@@ -1,0 +1,374 @@
+//! TSP — branch-and-bound minimum-cost tour (the TreadMarks demo app).
+//!
+//! A task queue of tour prefixes is generated up front; processors pop
+//! prefixes under a queue lock and solve each by depth-first search with
+//! pruning against a shared best bound (updated under its own lock, read
+//! optimistically during search). This is the paper's "reasonably good
+//! speedup" application: coarse tasks, tiny shared state, migratory locks.
+
+use ncp2_sim::SimRng;
+
+use crate::framework::{Alloc, Ctx, Workload};
+
+/// Lock protecting the task queue head.
+const QUEUE_LOCK: u32 = 0;
+/// Lock protecting the best-tour bound.
+const BEST_LOCK: u32 = 1;
+/// Cycles of local work per DFS tree node (distance lookups, bound math).
+const NODE_COMPUTE: u64 = 420;
+/// DFS nodes between optimistic re-reads of the shared bound.
+const BOUND_CHECK_STRIDE: u64 = 32;
+
+/// TSP configuration.
+#[derive(Debug, Clone)]
+pub struct Tsp {
+    /// Number of cities.
+    pub cities: usize,
+    /// Tour-prefix length used to generate the task queue.
+    pub prefix_depth: usize,
+    /// Workload RNG seed (city coordinates).
+    pub seed: u64,
+}
+
+impl Default for Tsp {
+    /// Scaled-down default: 10 cities (the paper solves 18).
+    fn default() -> Self {
+        Tsp {
+            cities: 11,
+            prefix_depth: 3,
+            seed: 0x7597,
+        }
+    }
+}
+
+impl Tsp {
+    /// The paper's problem size: an 18-city tour.
+    pub fn paper() -> Self {
+        Tsp {
+            cities: 18,
+            prefix_depth: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Deterministic integer distance matrix from random plane coordinates.
+    fn distances(&self) -> Vec<Vec<u32>> {
+        let mut rng = SimRng::new(self.seed);
+        let pts: Vec<(f64, f64)> = (0..self.cities)
+            .map(|_| (rng.next_f64() * 1000.0, rng.next_f64() * 1000.0))
+            .collect();
+        (0..self.cities)
+            .map(|i| {
+                (0..self.cities)
+                    .map(|j| {
+                        let dx = pts[i].0 - pts[j].0;
+                        let dy = pts[i].1 - pts[j].1;
+                        (dx * dx + dy * dy).sqrt() as u32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Enumerates all tour prefixes of length `prefix_depth + 1` starting at
+    /// city 0 (the task list; identical on every processor).
+    fn tasks(&self) -> Vec<Vec<u8>> {
+        let mut tasks = Vec::new();
+        let mut prefix = vec![0u8];
+        self.gen_tasks(&mut prefix, &mut tasks);
+        tasks
+    }
+
+    fn gen_tasks(&self, prefix: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if prefix.len() == self.prefix_depth + 1 {
+            out.push(prefix.clone());
+            return;
+        }
+        for c in 1..self.cities as u8 {
+            if !prefix.contains(&c) {
+                prefix.push(c);
+                self.gen_tasks(prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+
+    /// Reference sequential solution (for tests).
+    pub fn solve_reference(&self) -> u32 {
+        let dist = self.distances();
+        let mut best = u32::MAX;
+        let mut visited = vec![false; self.cities];
+        visited[0] = true;
+        let mut order = vec![0u8];
+        Self::dfs_ref(&dist, &mut visited, &mut order, 0, &mut best);
+        best
+    }
+
+    fn dfs_ref(
+        dist: &[Vec<u32>],
+        visited: &mut [bool],
+        order: &mut Vec<u8>,
+        cost: u32,
+        best: &mut u32,
+    ) {
+        let n = dist.len();
+        if cost >= *best {
+            return;
+        }
+        if order.len() == n {
+            let total = cost + dist[*order.last().unwrap() as usize][0];
+            *best = (*best).min(total);
+            return;
+        }
+        for c in 1..n {
+            if !visited[c] {
+                let last = *order.last().unwrap() as usize;
+                visited[c] = true;
+                order.push(c as u8);
+                Self::dfs_ref(dist, visited, order, cost + dist[last][c], best);
+                order.pop();
+                visited[c] = false;
+            }
+        }
+    }
+}
+
+/// Shared layout.
+struct Layout {
+    best: u64,
+    queue_head: u64,
+    tasks: u64,
+    task_stride: u64,
+}
+
+impl Layout {
+    fn new(cities: usize, ntasks: usize) -> Self {
+        let mut a = Alloc::new();
+        let best = a.array_u32(1);
+        let queue_head = a.array_u32(1);
+        let task_stride = (cities as u64 + 2) * 4;
+        let tasks = a.bytes(task_stride * ntasks as u64, 4096);
+        Layout {
+            best,
+            queue_head,
+            tasks,
+            task_stride,
+        }
+    }
+
+    fn task_addr(&self, idx: u64) -> u64 {
+        self.tasks + idx * self.task_stride
+    }
+}
+
+impl Workload for Tsp {
+    fn name(&self) -> &'static str {
+        "TSP"
+    }
+
+    fn run(&self, ctx: &mut Ctx<'_>) -> u64 {
+        let dist = self.distances();
+        let tasks = self.tasks();
+        let lay = Layout::new(self.cities, tasks.len());
+        if ctx.pid == 0 {
+            ctx.write_u32(lay.best, u32::MAX);
+            ctx.write_u32(lay.queue_head, 0);
+            for (i, t) in tasks.iter().enumerate() {
+                let base = lay.task_addr(i as u64);
+                ctx.write_u32(base, t.len() as u32);
+                for (j, &c) in t.iter().enumerate() {
+                    ctx.write_u32(base + 4 * (1 + j as u64), c as u32);
+                }
+            }
+        }
+        ctx.barrier();
+        loop {
+            // Pop one prefix task.
+            ctx.lock(QUEUE_LOCK);
+            let head = ctx.read_u32(lay.queue_head);
+            let got = if (head as usize) < tasks.len() {
+                ctx.write_u32(lay.queue_head, head + 1);
+                true
+            } else {
+                false
+            };
+            ctx.unlock(QUEUE_LOCK);
+            if !got {
+                break;
+            }
+            // Read the prefix back from shared memory (it migrated here).
+            let base = lay.task_addr(head as u64);
+            let len = ctx.read_u32(base) as usize;
+            let mut order: Vec<u8> = (0..len)
+                .map(|j| ctx.read_u32(base + 4 * (1 + j as u64)) as u8)
+                .collect();
+            let mut visited = vec![false; self.cities];
+            let mut cost = 0u32;
+            for w in order.windows(2) {
+                cost += dist[w[0] as usize][w[1] as usize];
+            }
+            for &c in &order {
+                visited[c as usize] = true;
+            }
+            self.dfs_shared(ctx, &lay, &dist, &mut visited, &mut order, cost);
+        }
+        ctx.barrier();
+        if ctx.pid == 0 {
+            ctx.read_u32(lay.best) as u64
+        } else {
+            0
+        }
+    }
+}
+
+impl Tsp {
+    /// DFS with pruning against the shared bound. Compute cycles are
+    /// batched; the bound is re-read optimistically every few nodes.
+    fn dfs_shared(
+        &self,
+        ctx: &Ctx<'_>,
+        lay: &Layout,
+        dist: &[Vec<u32>],
+        visited: &mut [bool],
+        order: &mut Vec<u8>,
+        cost: u32,
+    ) {
+        let mut bound = ctx.read_u32(lay.best);
+        let mut nodes_since_check = 0u64;
+        let mut pending_compute = 0u64;
+        self.dfs_inner(
+            ctx,
+            lay,
+            dist,
+            visited,
+            order,
+            cost,
+            &mut bound,
+            &mut nodes_since_check,
+            &mut pending_compute,
+        );
+        ctx.compute(pending_compute);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_inner(
+        &self,
+        ctx: &Ctx<'_>,
+        lay: &Layout,
+        dist: &[Vec<u32>],
+        visited: &mut [bool],
+        order: &mut Vec<u8>,
+        cost: u32,
+        bound: &mut u32,
+        since_check: &mut u64,
+        pending: &mut u64,
+    ) {
+        *pending += NODE_COMPUTE;
+        *since_check += 1;
+        if *since_check >= BOUND_CHECK_STRIDE {
+            *since_check = 0;
+            ctx.compute(std::mem::take(pending));
+            *bound = ctx.read_u32(lay.best);
+        }
+        if cost >= *bound {
+            return;
+        }
+        let n = self.cities;
+        if order.len() == n {
+            let total = cost + dist[*order.last().expect("tour") as usize][0];
+            if total < *bound {
+                ctx.compute(std::mem::take(pending));
+                ctx.lock(BEST_LOCK);
+                let cur = ctx.read_u32(lay.best);
+                if total < cur {
+                    ctx.write_u32(lay.best, total);
+                }
+                ctx.unlock(BEST_LOCK);
+                *bound = (*bound).min(total);
+            }
+            return;
+        }
+        for c in 1..n {
+            if !visited[c] {
+                let last = *order.last().expect("tour") as usize;
+                visited[c] = true;
+                order.push(c as u8);
+                self.dfs_inner(
+                    ctx,
+                    lay,
+                    dist,
+                    visited,
+                    order,
+                    cost + dist[last][c],
+                    bound,
+                    since_check,
+                    pending,
+                );
+                order.pop();
+                visited[c] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_generation_covers_prefixes() {
+        let tsp = Tsp {
+            cities: 6,
+            prefix_depth: 2,
+            seed: 1,
+        };
+        let tasks = tsp.tasks();
+        // 5 * 4 length-3 prefixes starting at city 0.
+        assert_eq!(tasks.len(), 20);
+        assert!(tasks.iter().all(|t| t.len() == 3 && t[0] == 0));
+        let mut uniq = tasks.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 20);
+    }
+
+    #[test]
+    fn distances_are_symmetric_with_zero_diagonal() {
+        let tsp = Tsp::default();
+        let d = tsp.distances();
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, d[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_solver_finds_a_plausible_tour() {
+        let tsp = Tsp {
+            cities: 7,
+            prefix_depth: 2,
+            seed: 3,
+        };
+        let best = tsp.solve_reference();
+        assert!(best > 0 && best < u32::MAX);
+        // Greedy nearest-neighbour is an upper bound.
+        let d = tsp.distances();
+        let mut cur = 0usize;
+        let mut seen = [false; 7];
+        seen[0] = true;
+        let mut greedy = 0u32;
+        for _ in 1..7 {
+            let next = (0..7)
+                .filter(|&j| !seen[j])
+                .min_by_key(|&j| d[cur][j])
+                .unwrap();
+            greedy += d[cur][next];
+            seen[next] = true;
+            cur = next;
+        }
+        greedy += d[cur][0];
+        assert!(best <= greedy);
+    }
+}

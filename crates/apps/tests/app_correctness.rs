@@ -1,0 +1,128 @@
+//! End-to-end application correctness: every workload must produce the same
+//! checksum on the 16-node DSM (under several protocols) as on a single
+//! processor with the DSM disabled. Because the DSM moves real bytes
+//! (twins, diffs, page fetches), this validates the coherence protocols
+//! against the strongest oracle available.
+
+use ncp2_apps::{run_app, sequential_baseline, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
+use ncp2_core::{OverlapMode, Protocol};
+use ncp2_sim::SysParams;
+
+fn check<W: Workload + Clone>(app: W, protocols: &[Protocol]) {
+    let params = SysParams::default();
+    let seq = sequential_baseline(&params, app.clone());
+    assert_ne!(
+        seq.checksum,
+        0,
+        "{}: sequential checksum is zero",
+        app.name()
+    );
+    for &proto in protocols {
+        let r = run_app(params.clone(), proto, app.clone());
+        assert_eq!(
+            r.checksum,
+            seq.checksum,
+            "{} under {} diverged from sequential",
+            app.name(),
+            proto
+        );
+        assert!(r.total_cycles > 0);
+    }
+}
+
+const SPOT: [Protocol; 3] = [
+    Protocol::TreadMarks(OverlapMode::Base),
+    Protocol::TreadMarks(OverlapMode::IPD),
+    Protocol::Aurc { prefetch: true },
+];
+
+const FULL: [Protocol; 8] = [
+    Protocol::TreadMarks(OverlapMode::Base),
+    Protocol::TreadMarks(OverlapMode::I),
+    Protocol::TreadMarks(OverlapMode::ID),
+    Protocol::TreadMarks(OverlapMode::P),
+    Protocol::TreadMarks(OverlapMode::IP),
+    Protocol::TreadMarks(OverlapMode::IPD),
+    Protocol::Aurc { prefetch: false },
+    Protocol::Aurc { prefetch: true },
+];
+
+#[test]
+fn tsp_matches_sequential_and_reference() {
+    let app = Tsp {
+        cities: 8,
+        prefix_depth: 2,
+        seed: 0x7597,
+    };
+    let expected = app.solve_reference() as u64;
+    let params = SysParams::default();
+    let seq = sequential_baseline(&params, app.clone());
+    assert_eq!(
+        seq.checksum, expected,
+        "sequential TSP disagrees with reference solver"
+    );
+    check(app, &FULL);
+}
+
+#[test]
+fn radix_matches_sequential_under_all_protocols() {
+    check(
+        Radix {
+            keys: 2048,
+            radix: 64,
+            passes: 3,
+            seed: 0x5ad1,
+        },
+        &FULL,
+    );
+}
+
+#[test]
+fn ocean_matches_sequential_under_all_protocols() {
+    check(Ocean { grid: 34, iters: 4 }, &FULL);
+}
+
+#[test]
+fn em3d_matches_sequential_under_all_protocols() {
+    check(
+        Em3d {
+            nodes: 512,
+            degree: 3,
+            remote_pct: 10,
+            iters: 3,
+            seed: 0xE43D,
+        },
+        &FULL,
+    );
+}
+
+#[test]
+fn water_matches_sequential_under_all_protocols() {
+    check(
+        Water {
+            molecules: 32,
+            steps: 2,
+            seed: 0x3a7e5,
+        },
+        &FULL,
+    );
+}
+
+#[test]
+fn barnes_matches_sequential_under_all_protocols() {
+    check(
+        Barnes {
+            bodies: 64,
+            steps: 2,
+            theta_16: 12,
+            seed: 0xBA12,
+        },
+        &FULL,
+    );
+}
+
+#[test]
+fn default_sizes_run_under_spot_protocols() {
+    check(Tsp::default(), &SPOT);
+    check(Em3d::default(), &SPOT);
+}

@@ -1,0 +1,115 @@
+//! Property-based whole-stack fuzzing: random workload configurations on
+//! random machine shapes under random protocols must always match their
+//! sequential checksums. This is the heaviest hammer we have against
+//! residual protocol races; case counts are kept small because each case is
+//! a full simulation.
+
+use ncp2_apps::{run_app, sequential_baseline, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
+use ncp2_core::{OverlapMode, Protocol};
+use ncp2_sim::SysParams;
+use proptest::prelude::*;
+
+fn protocol(idx: u8) -> Protocol {
+    match idx % 8 {
+        0 => Protocol::TreadMarks(OverlapMode::Base),
+        1 => Protocol::TreadMarks(OverlapMode::I),
+        2 => Protocol::TreadMarks(OverlapMode::ID),
+        3 => Protocol::TreadMarks(OverlapMode::P),
+        4 => Protocol::TreadMarks(OverlapMode::IP),
+        5 => Protocol::TreadMarks(OverlapMode::IPD),
+        6 => Protocol::Aurc { prefetch: false },
+        _ => Protocol::Aurc { prefetch: true },
+    }
+}
+
+fn check<W: Workload + Clone>(app: W, nprocs: usize, proto: Protocol) {
+    let seq = sequential_baseline(&SysParams::default(), app.clone());
+    let par = run_app(SysParams::default().with_nprocs(nprocs), proto, app.clone());
+    assert_eq!(
+        par.checksum,
+        seq.checksum,
+        "{} diverged: nprocs={nprocs} proto={proto}",
+        app.name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn radix_random_configs(
+        keys_log in 7usize..11,
+        radix_log in 4usize..8,
+        passes in 1usize..4,
+        seed in any::<u64>(),
+        nprocs in 2usize..12,
+        proto in 0u8..8
+    ) {
+        let app = Radix { keys: 1 << keys_log, radix: 1 << radix_log, passes, seed };
+        check(app, nprocs, protocol(proto));
+    }
+
+    #[test]
+    fn em3d_random_configs(
+        nodes in 64usize..768,
+        degree in 1usize..5,
+        remote in 0u32..40,
+        iters in 1usize..4,
+        seed in any::<u64>(),
+        nprocs in 2usize..12,
+        proto in 0u8..8
+    ) {
+        let app = Em3d { nodes, degree, remote_pct: remote, iters, seed };
+        check(app, nprocs, protocol(proto));
+    }
+
+    #[test]
+    fn ocean_random_configs(
+        grid in 10usize..40,
+        iters in 1usize..4,
+        nprocs in 2usize..12,
+        proto in 0u8..8
+    ) {
+        let app = Ocean { grid, iters };
+        check(app, nprocs, protocol(proto));
+    }
+
+    #[test]
+    fn barnes_random_configs(
+        bodies in 8usize..80,
+        steps in 1usize..3,
+        theta in 4i64..24,
+        seed in any::<u64>(),
+        nprocs in 2usize..12,
+        proto in 0u8..8
+    ) {
+        let app = Barnes { bodies, steps, theta_16: theta, seed };
+        check(app, nprocs, protocol(proto));
+    }
+
+    #[test]
+    fn tsp_random_configs(
+        cities in 5usize..9,
+        seed in any::<u64>(),
+        nprocs in 2usize..12,
+        proto in 0u8..8
+    ) {
+        let app = Tsp { cities, prefix_depth: 2, seed };
+        // TSP also has an independent oracle: the host-side solver.
+        let optimal = app.solve_reference() as u64;
+        let par = run_app(SysParams::default().with_nprocs(nprocs), protocol(proto), app.clone());
+        prop_assert_eq!(par.checksum, optimal, "nprocs={} proto={}", nprocs, protocol(proto));
+    }
+
+    #[test]
+    fn water_random_configs(
+        molecules in 4usize..40,
+        steps in 1usize..3,
+        seed in any::<u64>(),
+        nprocs in 2usize..16,
+        proto in 0u8..8
+    ) {
+        let app = Water { molecules, steps, seed };
+        check(app, nprocs, protocol(proto));
+    }
+}

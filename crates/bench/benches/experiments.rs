@@ -1,0 +1,81 @@
+//! Criterion wrappers around miniature versions of each paper experiment,
+//! so `cargo bench` exercises every figure's code path end to end (full-size
+//! regeneration lives in the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ncp2::prelude::*;
+
+fn mini_app() -> Em3d {
+    Em3d {
+        nodes: 512,
+        degree: 3,
+        remote_pct: 10,
+        iters: 2,
+        seed: 0x1BE,
+    }
+}
+
+fn mini_params() -> SysParams {
+    SysParams::default().with_nprocs(8)
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01/speedup_point_8p", |b| {
+        b.iter(|| {
+            let r = run_app(
+                black_box(mini_params()),
+                Protocol::TreadMarks(OverlapMode::Base),
+                mini_app(),
+            );
+            r.total_cycles
+        })
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_overlap");
+    for mode in [OverlapMode::Base, OverlapMode::ID, OverlapMode::IPD] {
+        g.bench_function(mode.label().replace('+', "_"), |b| {
+            b.iter(|| run_app(mini_params(), Protocol::TreadMarks(mode), mini_app()).total_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_aurc");
+    for (name, proto) in [
+        ("aurc", Protocol::Aurc { prefetch: false }),
+        ("aurc_p", Protocol::Aurc { prefetch: true }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_app(mini_params(), proto, mini_app()).total_cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14/net_20mbps_point", |b| {
+        b.iter(|| {
+            run_app(
+                mini_params().with_net_bandwidth_mbps(20.0),
+                Protocol::TreadMarks(OverlapMode::ID),
+                mini_app(),
+            )
+            .total_cycles
+        })
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig01, bench_fig05, bench_fig11, bench_fig14
+);
+criterion_main!(experiments);

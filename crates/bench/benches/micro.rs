@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the protocol primitives: software vs
+//! hardware (bit-vector DMA) diffing, vector timestamps, routing and the
+//! page data plane. These measure the *host implementation* of the
+//! simulated mechanisms; the simulated cycle costs live in `SysParams`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use ncp2::core::bitvec::DirtyVec;
+use ncp2::core::diff::Diff;
+use ncp2::core::page::PageBuf;
+use ncp2::core::vtime::VectorTime;
+use ncp2::net::Network;
+use ncp2::sim::{SimRng, SysParams};
+
+fn dirty_page(dirty_words: usize) -> (PageBuf, PageBuf, DirtyVec) {
+    let twin = PageBuf::new(4096);
+    let mut cur = twin.clone();
+    let mut dv = DirtyVec::new(1024);
+    let mut rng = SimRng::new(42);
+    for _ in 0..dirty_words {
+        let w = rng.next_below(1024) as usize;
+        cur.set_word(w, rng.next_u64() as u32);
+        dv.set(w);
+    }
+    (twin, cur, dv)
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for dirty in [16usize, 256, 1024] {
+        let (twin, cur, dv) = dirty_page(dirty);
+        g.bench_function(format!("software_twin_compare/{dirty}"), |b| {
+            b.iter(|| Diff::from_twin(0, 0, 1, black_box(&cur), black_box(&twin)))
+        });
+        g.bench_function(format!("dma_bitvec_gather/{dirty}"), |b| {
+            b.iter(|| Diff::from_dirty_vec(0, 0, 1, black_box(&cur), black_box(&dv)))
+        });
+        let d = Diff::from_dirty_vec(0, 0, 1, &cur, &dv);
+        g.bench_function(format!("apply/{dirty}"), |b| {
+            b.iter_batched(
+                || PageBuf::new(4096),
+                |mut p| d.apply(black_box(&mut p)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvec");
+    let (_, _, dv) = dirty_page(256);
+    g.bench_function("scan_256_of_1024", |b| {
+        b.iter(|| black_box(&dv).iter_set().count())
+    });
+    g.bench_function("set_clear", |b| {
+        b.iter_batched(
+            || DirtyVec::new(1024),
+            |mut v| {
+                for i in (0..1024).step_by(3) {
+                    v.set(i);
+                }
+                v.clear();
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_vtime(c: &mut Criterion) {
+    let mut a = VectorTime::new(16);
+    let mut b = VectorTime::new(16);
+    for i in 0..16 {
+        a.observe(i, (i * 7) as u32 % 13);
+        b.observe(i, (i * 11) as u32 % 17);
+    }
+    c.bench_function("vtime/merge_16", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.merge(black_box(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("vtime/covers_16", |bch| {
+        bch.iter(|| black_box(&a).covers(black_box(&b)))
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let params = SysParams::default();
+    c.bench_function("network/transfer_4k_page", |b| {
+        b.iter_batched(
+            || Network::new(16),
+            |mut net| net.transfer(0, 0, 15, 4096, black_box(&params)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("network/route_all_pairs", |b| {
+        let net = Network::new(16);
+        b.iter(|| {
+            let mut h = 0u64;
+            for s in 0..16 {
+                for d in 0..16 {
+                    h += net.mesh().route(s, d).len() as u64;
+                }
+            }
+            h
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_diffs, bench_bitvec, bench_vtime, bench_network
+);
+criterion_main!(micro);

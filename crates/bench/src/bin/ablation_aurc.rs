@@ -1,0 +1,53 @@
+//! AURC design ablations: the §3.3 optimizations in isolation —
+//! pairwise sharing on/off and the combining write-cache size.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let app = opts.only_app.clone().unwrap_or_else(|| "Ocean".into());
+    let params = SysParams::default();
+
+    println!("== Ablation: AURC pairwise sharing ({app}) ==");
+    let mut rows = Vec::new();
+    for (label, pairwise) in [("pairwise on", true), ("pairwise off", false)] {
+        let mut p = params.clone();
+        p.aurc_pairwise = pairwise;
+        let r = harness::run(
+            &p,
+            Protocol::Aurc { prefetch: false },
+            &app,
+            opts.paper_size,
+        );
+        let fetches: u64 = r.nodes.iter().map(|n| n.page_fetches).sum();
+        let updates: u64 = r.nodes.iter().map(|n| n.au_updates).sum();
+        rows.push((
+            format!("{label} ({fetches} fetches, {updates} updates)"),
+            r.total_cycles,
+        ));
+    }
+    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    print!("{}", normalized_bars(&borrowed));
+
+    println!("\n== Ablation: write-cache (update combining) size ({app}) ==");
+    let mut rows = Vec::new();
+    for entries in [1usize, 2, 4, 8, 16] {
+        let mut p = params.clone();
+        p.write_cache_entries = entries;
+        let r = harness::run(
+            &p,
+            Protocol::Aurc { prefetch: false },
+            &app,
+            opts.paper_size,
+        );
+        let updates: u64 = r.nodes.iter().map(|n| n.au_updates).sum();
+        let combined: u64 = r.nodes.iter().map(|n| n.au_combined).sum();
+        rows.push((
+            format!("{entries:>2} entries ({updates} updates, {combined} combined)"),
+            r.total_cycles,
+        ));
+    }
+    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    print!("{}", normalized_bars(&borrowed));
+}

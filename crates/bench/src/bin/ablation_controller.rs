@@ -1,0 +1,65 @@
+//! Ablations on the protocol-controller design choices DESIGN.md calls out:
+//!
+//! * diff engine: software-on-processor (Base) vs software-on-controller
+//!   (I) vs bit-vector DMA (I+D) — isolates where the §5.1 gains come from;
+//! * the whole-page fallback threshold for long notice chains;
+//! * DMA scan speed (how fast must the custom engine be to keep its edge?).
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let app = opts.only_app.clone().unwrap_or_else(|| "Em3d".into());
+    let params = SysParams::default();
+
+    println!("== Ablation: diff engine placement ({app}) ==");
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("proc (Base)", OverlapMode::Base),
+        ("ctrl sw (I)", OverlapMode::I),
+        ("ctrl DMA (I+D)", OverlapMode::ID),
+    ] {
+        let r = harness::run(&params, Protocol::TreadMarks(mode), &app, opts.paper_size);
+        rows.push((label.to_string(), r.total_cycles));
+    }
+    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    print!("{}", normalized_bars(&borrowed));
+
+    println!("\n== Ablation: whole-page fallback threshold ({app}, Base) ==");
+    let mut rows = Vec::new();
+    for threshold in [4usize, 16, 32, 128, 100_000] {
+        let mut p = params.clone();
+        p.page_req_threshold = threshold;
+        let r = harness::run(
+            &p,
+            Protocol::TreadMarks(OverlapMode::Base),
+            &app,
+            opts.paper_size,
+        );
+        let fetches: u64 = r.nodes.iter().map(|n| n.page_fetches).sum();
+        rows.push((
+            format!("thresh {threshold:>6} ({fetches} page fetches)"),
+            r.total_cycles,
+        ));
+    }
+    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    print!("{}", normalized_bars(&borrowed));
+
+    println!("\n== Ablation: DMA scan speed ({app}, I+D) ==");
+    let mut rows = Vec::new();
+    for factor in [1u64, 2, 4, 8] {
+        let mut p = params.clone();
+        p.dma_scan_base = 200 * factor;
+        p.dma_scan_full = 2100 * factor;
+        let r = harness::run(
+            &p,
+            Protocol::TreadMarks(OverlapMode::ID),
+            &app,
+            opts.paper_size,
+        );
+        rows.push((format!("{factor}x slower scan"), r.total_cycles));
+    }
+    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    print!("{}", normalized_bars(&borrowed));
+}

@@ -1,0 +1,47 @@
+//! Prefetch-strategy ablation — the paper defers "a complete analysis of
+//! different prefetching strategies" to its companion report; this binary
+//! reproduces that study's axis: the paper's sticky all-referenced
+//! heuristic vs a recency-limited variant vs per-acquire caps, under I+P
+//! (where issuance is cheap) and P (where it is not).
+
+use ncp2::prelude::*;
+use ncp2::sim::PrefetchStrategy;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let strategies = [
+        ("all-referenced", PrefetchStrategy::AllReferenced),
+        ("recent-only", PrefetchStrategy::RecentlyReferenced),
+        ("capped-4", PrefetchStrategy::Capped(4)),
+        ("capped-16", PrefetchStrategy::Capped(16)),
+    ];
+    for app in opts.apps() {
+        for mode in [OverlapMode::P, OverlapMode::IP] {
+            println!("== Prefetch strategies — {app} under {} ==", mode.label());
+            let base = harness::run(
+                &SysParams::default(),
+                Protocol::TreadMarks(OverlapMode::Base),
+                app,
+                opts.paper_size,
+            );
+            let mut rows = vec![("no prefetch (Base)".to_string(), base.total_cycles)];
+            for (name, strategy) in strategies {
+                let params = SysParams {
+                    prefetch_strategy: strategy,
+                    ..SysParams::default()
+                };
+                let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
+                let (issued, useless) = r.prefetch_totals();
+                let joins: u64 = r.nodes.iter().map(|n| n.prefetch_joins).sum();
+                rows.push((
+                    format!("{name} ({issued} issued, {useless} useless, {joins} joins)"),
+                    r.total_cycles,
+                ));
+            }
+            let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+            print!("{}", normalized_bars(&borrowed));
+            println!();
+        }
+    }
+}

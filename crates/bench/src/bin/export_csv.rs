@@ -1,0 +1,60 @@
+//! Machine-readable export: every (application × protocol) run as one CSV
+//! row, for external plotting of the paper's figures.
+//!
+//! ```sh
+//! cargo run --release -p ncp2-bench --bin export_csv > results/all_runs.csv
+//! ```
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts, MODES};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    println!(
+        "app,protocol,nprocs,cycles,busy,data,synch,ipc,others,diff_pct,\
+         faults,write_faults,page_fetches,diffs_created,diffs_applied,\
+         prefetches,useless_prefetches,prefetch_joins,lock_acquires,\
+         barriers,invalidations,au_updates,au_combined,net_messages,net_bytes,\
+         net_mean_blocking,checksum"
+    );
+    let mut protos: Vec<Protocol> = MODES.iter().map(|&m| Protocol::TreadMarks(m)).collect();
+    protos.push(Protocol::Aurc { prefetch: false });
+    protos.push(Protocol::Aurc { prefetch: true });
+    for app in opts.apps() {
+        for &proto in &protos {
+            let r = harness::run(&params, proto, app, opts.paper_size);
+            let b = r.aggregate();
+            let sum = |f: fn(&ncp2::core::NodeStats) -> u64| -> u64 { r.nodes.iter().map(f).sum() };
+            println!(
+                "{app},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{:#x}",
+                r.protocol,
+                r.nprocs,
+                r.total_cycles,
+                b.busy,
+                b.data,
+                b.synch,
+                b.ipc,
+                b.other,
+                r.diff_pct(),
+                sum(|n| n.faults),
+                sum(|n| n.write_faults),
+                sum(|n| n.page_fetches),
+                sum(|n| n.diffs_created),
+                sum(|n| n.diffs_applied),
+                sum(|n| n.prefetches),
+                sum(|n| n.useless_prefetches),
+                sum(|n| n.prefetch_joins),
+                sum(|n| n.lock_acquires),
+                sum(|n| n.barriers),
+                sum(|n| n.invalidations),
+                sum(|n| n.au_updates),
+                sum(|n| n.au_combined),
+                r.net.messages,
+                r.net.bytes,
+                r.net.mean_blocking(),
+                r.checksum,
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 1: application speedups under non-overlapping (Base) TreadMarks,
+//! for 2..16 processors, relative to a 1-processor protocol-free run.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let apps = opts.apps();
+    let procs = [2usize, 4, 8, 12, 16];
+    let params = SysParams::default();
+    let mut cells: Vec<Vec<f64>> = Vec::new();
+    let seq: Vec<u64> = apps
+        .iter()
+        .map(|a| harness::seq_cycles(&params, a, opts.paper_size))
+        .collect();
+    for &p in &procs {
+        let row: Vec<f64> = apps
+            .iter()
+            .zip(&seq)
+            .map(|(app, &s)| {
+                let r = harness::run(
+                    &params.clone().with_nprocs(p),
+                    Protocol::TreadMarks(OverlapMode::Base),
+                    app,
+                    opts.paper_size,
+                );
+                r.speedup_over(s)
+            })
+            .collect();
+        cells.push(row);
+    }
+    println!("== Fig 1: speedups under TreadMarks (Base) ==");
+    print!("{}", speedup_table(&apps, &procs, &cells));
+}

@@ -1,0 +1,50 @@
+//! The abstract's headline: "our protocol controller can improve running
+//! time performance by up to 50% for TreadMarks, which means that it can
+//! double the TreadMarks speedups." This binary measures 16-processor
+//! speedups under Base and under the full controller (I+P+D picking the
+//! best per app, as the paper's 'best overlapping' does), and the ratio.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>9} {:>8}",
+        "app", "seq Mcyc", "Base spdup", "best overlap", "spdup", "ratio"
+    );
+    for app in opts.apps() {
+        let seq = harness::seq_cycles(&params, app, opts.paper_size);
+        let base = harness::run(
+            &params,
+            Protocol::TreadMarks(OverlapMode::Base),
+            app,
+            opts.paper_size,
+        );
+        // The paper's "best overlapping" = min over controller modes.
+        let mut best = ("I", u64::MAX);
+        for mode in [
+            OverlapMode::I,
+            OverlapMode::ID,
+            OverlapMode::IP,
+            OverlapMode::IPD,
+        ] {
+            let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
+            if r.total_cycles < best.1 {
+                best = (mode.label(), r.total_cycles);
+            }
+        }
+        let s_base = seq as f64 / base.total_cycles as f64;
+        let s_best = seq as f64 / best.1 as f64;
+        println!(
+            "{:<8} {:>9.1} {:>10.2} {:>12} {:>9.2} {:>7.2}x",
+            app,
+            seq as f64 / 1e6,
+            s_base,
+            best.0,
+            s_best,
+            s_best / s_base
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 2: normalized execution-time breakdown of every application under
+//! non-overlapping TreadMarks on 16 processors, with the diff-operation
+//! percentage annotated on each bar.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    println!("== Fig 2: TreadMarks (Base) breakdown on 16 processors ==");
+    println!(
+        "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>6}",
+        "app", "busy%", "data%", "synch%", "ipc%", "others%", "diff%"
+    );
+    for app in opts.apps() {
+        let r = harness::run(
+            &params,
+            Protocol::TreadMarks(OverlapMode::Base),
+            app,
+            opts.paper_size,
+        );
+        let b = r.aggregate();
+        println!(
+            "{:<8} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>5.1}%",
+            app,
+            100.0 * b.fraction(Category::Busy),
+            100.0 * b.fraction(Category::Data),
+            100.0 * b.fraction(Category::Synch),
+            100.0 * b.fraction(Category::Ipc),
+            100.0 * b.fraction(Category::Other),
+            r.diff_pct(),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Figures 5–10: performance of the overlapping techniques per application
+//! under TreadMarks — normalized running time, broken into busy / data /
+//! synch / ipc / others, for Base, I, I+D, P, I+P and I+P+D, plus the
+//! diff-operation reduction quoted in §5.1.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts, MODES};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    for app in opts.apps() {
+        let mut rows = Vec::new();
+        let mut diff_cycles = Vec::new();
+        for mode in MODES {
+            let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
+            diff_cycles.push((mode.label(), r.diff_total_cycles()));
+            rows.push(harness::row(&r));
+        }
+        harness::print_breakdown(
+            &format!("Fig 5-10: TreadMarks overlap modes — {app}"),
+            &rows,
+        );
+        let base = diff_cycles[0].1.max(1);
+        let id = diff_cycles[2].1;
+        println!(
+            "   diff-op time (twin+create+apply): Base {base} cycles, I+D {id} cycles \
+             => reduced {:.0}%",
+            100.0 * (1.0 - id as f64 / base as f64)
+        );
+        let (issued, useless) = {
+            let r = harness::run(
+                &params,
+                Protocol::TreadMarks(OverlapMode::P),
+                app,
+                opts.paper_size,
+            );
+            r.prefetch_totals()
+        };
+        if issued > 0 {
+            println!(
+                "   P-mode prefetches: {issued} issued, {useless} useless ({:.0}%)",
+                100.0 * useless as f64 / issued as f64
+            );
+        }
+        println!();
+    }
+}

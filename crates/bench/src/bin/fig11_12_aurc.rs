@@ -1,0 +1,28 @@
+//! Figures 11–12: best overlapping TreadMarks (I+D) vs AURC vs AURC+P,
+//! normalized to I+D per application, with breakdowns.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    for app in opts.apps() {
+        let mut rows = Vec::new();
+        for proto in [
+            Protocol::TreadMarks(OverlapMode::ID),
+            Protocol::Aurc { prefetch: false },
+            Protocol::Aurc { prefetch: true },
+        ] {
+            let r = harness::run(&params, proto, app, opts.paper_size);
+            rows.push(harness::row(&r));
+        }
+        harness::print_breakdown(
+            &format!("Fig 11-12: overlapping TreadMarks vs AURC — {app}"),
+            &rows,
+        );
+        let bars: Vec<(&str, u64)> = rows.iter().map(|(l, c, _, _)| (l.as_str(), *c)).collect();
+        print!("{}", normalized_bars(&bars));
+        println!();
+    }
+}

@@ -1,0 +1,94 @@
+//! Figures 13–16: sensitivity of the overlapping TreadMarks (I+D) and AURC
+//! to messaging overhead, network bandwidth, memory latency and memory
+//! bandwidth, on Em3d. Running times are normalized to I+D under the
+//! default parameters, exactly as in §5.3.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+struct Sweep {
+    title: &'static str,
+    x_label: &'static str,
+    xs: Vec<f64>,
+    make: fn(f64) -> SysParams,
+    /// Fig 13's second regime: AURC updates also pay the overhead.
+    expensive_updates: bool,
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let app = opts.only_app.clone().unwrap_or_else(|| "Em3d".to_string());
+    let sweeps = [
+        Sweep {
+            title: "Fig 13: effect of messaging overhead (AURC updates pay full overhead)",
+            x_label: "us",
+            xs: vec![1.0, 2.0, 3.0, 4.0],
+            make: |us| SysParams::default().with_messaging_overhead_us(us),
+            expensive_updates: true,
+        },
+        Sweep {
+            title: "Fig 14: effect of network bandwidth",
+            x_label: "MB/s",
+            xs: vec![20.0, 50.0, 100.0, 200.0],
+            make: |bw| SysParams::default().with_net_bandwidth_mbps(bw),
+            expensive_updates: false,
+        },
+        Sweep {
+            title: "Fig 15: effect of memory latency",
+            x_label: "ns",
+            xs: vec![40.0, 100.0, 150.0, 200.0],
+            make: |ns| SysParams::default().with_mem_latency_ns(ns as u64),
+            expensive_updates: false,
+        },
+        Sweep {
+            title: "Fig 16: effect of memory bandwidth",
+            x_label: "MB/s",
+            xs: vec![60.0, 103.0, 150.0, 200.0],
+            make: |bw| SysParams::default().with_mem_bandwidth_mbps(bw),
+            expensive_updates: false,
+        },
+    ];
+    // Baseline: I+D at the defaults.
+    let base = harness::run(
+        &SysParams::default(),
+        Protocol::TreadMarks(OverlapMode::ID),
+        &app,
+        opts.paper_size,
+    )
+    .total_cycles as f64;
+    for sweep in sweeps {
+        let mut tm = Vec::new();
+        let mut aurc = Vec::new();
+        for &x in &sweep.xs {
+            let mut params = (sweep.make)(x);
+            let r = harness::run(
+                &params,
+                Protocol::TreadMarks(OverlapMode::ID),
+                &app,
+                opts.paper_size,
+            );
+            tm.push(r.total_cycles as f64 / base);
+            if sweep.expensive_updates {
+                params = params.with_expensive_updates();
+            }
+            let r = harness::run(
+                &params,
+                Protocol::Aurc { prefetch: false },
+                &app,
+                opts.paper_size,
+            );
+            aurc.push(r.total_cycles as f64 / base);
+        }
+        let tm_name = format!("{app}-TM");
+        let aurc_name = format!("{app}-AURC");
+        println!(
+            "{}",
+            xy_plot(
+                sweep.title,
+                sweep.x_label,
+                &sweep.xs,
+                &[(&tm_name, tm), (&aurc_name, aurc)],
+            )
+        );
+    }
+}

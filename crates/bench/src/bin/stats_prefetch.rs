@@ -1,0 +1,36 @@
+//! §5.1 prefetch statistics: prefetches issued, useless rate, joins
+//! (faults that waited on an in-flight prefetch) and hits, per application,
+//! under P, I+P and AURC+P.
+
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let params = SysParams::default();
+    println!(
+        "{:<8} {:<7} {:>8} {:>8} {:>9} {:>7} {:>6}",
+        "app", "proto", "issued", "useless", "useless%", "joins", "hits"
+    );
+    for app in opts.apps() {
+        for proto in [
+            Protocol::TreadMarks(OverlapMode::P),
+            Protocol::TreadMarks(OverlapMode::IP),
+            Protocol::Aurc { prefetch: true },
+        ] {
+            let r = harness::run(&params, proto, app, opts.paper_size);
+            let (issued, useless) = r.prefetch_totals();
+            let joins: u64 = r.nodes.iter().map(|n| n.prefetch_joins).sum();
+            let hits: u64 = r.nodes.iter().map(|n| n.prefetch_hits).sum();
+            let pct = if issued == 0 {
+                0.0
+            } else {
+                100.0 * useless as f64 / issued as f64
+            };
+            println!(
+                "{:<8} {:<7} {:>8} {:>8} {:>8.1}% {:>7} {:>6}",
+                app, r.protocol, issued, useless, pct, joins, hits
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 1: the default system parameters (printed from the live
+//! configuration so the table can never drift from the code).
+
+use ncp2::prelude::*;
+
+fn main() {
+    let p = SysParams::default();
+    println!("== Table 1: default values for system parameters (1 cycle = 10 ns) ==");
+    let rows: Vec<(String, String)> = vec![
+        ("Number of processors".into(), format!("{}", p.nprocs)),
+        ("TLB size".into(), format!("{} entries", p.tlb_entries)),
+        (
+            "TLB fill service time".into(),
+            format!("{} cycles", p.tlb_fill),
+        ),
+        ("All interrupts".into(), format!("{} cycles", p.interrupt)),
+        ("Page size".into(), format!("{} bytes", p.page_bytes)),
+        (
+            "Total cache per processor".into(),
+            format!("{} Kbytes", p.cache_bytes / 1024),
+        ),
+        (
+            "Write buffer size".into(),
+            format!("{} entries", p.write_buffer_entries),
+        ),
+        (
+            "Write cache size (AURC)".into(),
+            format!("{} entries", p.write_cache_entries),
+        ),
+        ("Cache line size".into(), format!("{} bytes", p.line_bytes)),
+        (
+            "Memory setup time".into(),
+            format!("{} cycles", p.mem_setup),
+        ),
+        (
+            "Memory access time (after setup)".into(),
+            format!("{} cycles/word", p.mem_cycles_per_word),
+        ),
+        ("PCI setup time".into(), format!("{} cycles", p.pci_setup)),
+        (
+            "PCI burst access time (after setup)".into(),
+            format!("{} cycles/word", p.pci_cycles_per_word),
+        ),
+        (
+            "Network path width".into(),
+            format!(
+                "8 bits ({} cycles/byte, bidirectional)",
+                p.net_cycles_per_byte
+            ),
+        ),
+        (
+            "Messaging overhead".into(),
+            format!("{} cycles", p.messaging_overhead),
+        ),
+        (
+            "Switch latency".into(),
+            format!("{} cycles", p.switch_latency),
+        ),
+        ("Wire latency".into(), format!("{} cycles", p.wire_latency)),
+        (
+            "List processing".into(),
+            format!("{} cycles/element", p.list_processing),
+        ),
+        (
+            "Page twinning".into(),
+            format!("{} cycles/word + memory accesses", p.twin_cycles_per_word),
+        ),
+        (
+            "Diff application and creation".into(),
+            format!("{} cycles/word + memory accesses", p.diff_cycles_per_word),
+        ),
+        (
+            "DMA bit-vector scan (derived)".into(),
+            format!(
+                "{}..{} cycles per 4-KB page",
+                p.dma_scan(0),
+                p.dma_scan(p.page_words())
+            ),
+        ),
+        (
+            "Network bandwidth (derived)".into(),
+            format!("{:.0} MB/s", p.net_bandwidth_mbps()),
+        ),
+        (
+            "Memory latency (derived)".into(),
+            format!("{} ns", p.mem_latency_ns()),
+        ),
+    ];
+    for (name, value) in rows {
+        println!("{name:<40} {value}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Dump a protocol event trace for one application/protocol as CSV — a
+//! timeline view of messages, faults, lock grants and barrier releases.
+//!
+//! ```sh
+//! cargo run --release -p ncp2-bench --bin trace_dump -- --app Radix > trace.csv
+//! ```
+
+use ncp2::core::trace_csv;
+use ncp2::prelude::*;
+use ncp2_bench::harness::{build_app, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let app = opts.only_app.clone().unwrap_or_else(|| "Radix".into());
+    let params = SysParams {
+        trace: true,
+        ..SysParams::default()
+    };
+    let r = run_app(
+        params,
+        Protocol::TreadMarks(OverlapMode::ID),
+        build_app(&app, opts.paper_size),
+    );
+    eprintln!(
+        "{} under {}: {} cycles, {} trace events",
+        app,
+        r.protocol,
+        r.total_cycles,
+        r.trace.len()
+    );
+    print!("{}", trace_csv(&r.trace));
+}

@@ -1,0 +1,146 @@
+//! Shared plumbing for the figure-regeneration binaries.
+
+use ncp2::prelude::*;
+
+/// The six applications in the paper's plotting order.
+pub const APP_NAMES: [&str; 6] = ["TSP", "Water", "Radix", "Barnes", "Em3d", "Ocean"];
+
+/// The six TreadMarks overlap modes in the paper's plotting order.
+pub const MODES: [OverlapMode; 6] = [
+    OverlapMode::Base,
+    OverlapMode::I,
+    OverlapMode::ID,
+    OverlapMode::P,
+    OverlapMode::IP,
+    OverlapMode::IPD,
+];
+
+/// Builds an application by name, at the default (scaled) or paper size.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_app(name: &str, paper_size: bool) -> Box<dyn Workload> {
+    match (name, paper_size) {
+        ("TSP", false) => Box::new(Tsp::default()),
+        ("TSP", true) => Box::new(Tsp::paper()),
+        ("Water", false) => Box::new(Water::default()),
+        ("Water", true) => Box::new(Water::paper()),
+        ("Radix", false) => Box::new(Radix::default()),
+        ("Radix", true) => Box::new(Radix::paper()),
+        ("Barnes", false) => Box::new(Barnes::default()),
+        ("Barnes", true) => Box::new(Barnes::paper()),
+        ("Em3d", false) => Box::new(Em3d::default()),
+        ("Em3d", true) => Box::new(Em3d::paper()),
+        ("Ocean", false) => Box::new(Ocean::default()),
+        ("Ocean", true) => Box::new(Ocean::paper()),
+        _ => panic!("unknown application {name}"),
+    }
+}
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// Run the paper's original problem sizes (slow) instead of the scaled
+    /// defaults.
+    pub paper_size: bool,
+    /// Restrict to one application (`--app NAME`).
+    pub only_app: Option<String>,
+}
+
+impl Opts {
+    /// Parses `--paper-size` and `--app NAME` from `std::env::args`.
+    pub fn parse() -> Opts {
+        let mut opts = Opts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper-size" => opts.paper_size = true,
+                "--app" => opts.only_app = args.next(),
+                "--help" | "-h" => {
+                    eprintln!("options: [--paper-size] [--app NAME]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// The applications selected by these options.
+    pub fn apps(&self) -> Vec<&'static str> {
+        APP_NAMES
+            .iter()
+            .copied()
+            .filter(|n| {
+                self.only_app
+                    .as_deref()
+                    .is_none_or(|o| o.eq_ignore_ascii_case(n))
+            })
+            .collect()
+    }
+}
+
+/// Runs one app under one protocol and returns the result.
+pub fn run(params: &SysParams, protocol: Protocol, app: &str, paper_size: bool) -> RunResult {
+    run_app(params.clone(), protocol, build_app(app, paper_size))
+}
+
+/// Sequential (1-processor, protocol-free) cycle count for speedups.
+pub fn seq_cycles(params: &SysParams, app: &str, paper_size: bool) -> u64 {
+    sequential_baseline(params, build_app(app, paper_size)).total_cycles
+}
+
+/// Formats a `RunResult` as a breakdown-table row.
+pub fn row(result: &RunResult) -> (String, u64, Breakdown, f64) {
+    (
+        result.protocol.clone(),
+        result.total_cycles,
+        result.aggregate(),
+        result.diff_pct(),
+    )
+}
+
+/// Renders rows through `ncp2_stats::breakdown_table` (borrowing labels).
+pub fn print_breakdown(title: &str, rows: &[(String, u64, Breakdown, f64)]) {
+    println!("== {title} ==");
+    let borrowed: Vec<(&str, u64, Breakdown, f64)> = rows
+        .iter()
+        .map(|(l, c, b, d)| (l.as_str(), *c, *b, *d))
+        .collect();
+    print!("{}", breakdown_table(&borrowed));
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_buildable_at_both_sizes() {
+        for name in APP_NAMES {
+            assert_eq!(build_app(name, false).name(), name);
+            assert_eq!(build_app(name, true).name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        let _ = build_app("Linpack", false);
+    }
+
+    #[test]
+    fn opts_filter_apps() {
+        let o = Opts {
+            paper_size: false,
+            only_app: Some("em3d".into()),
+        };
+        assert_eq!(o.apps(), vec!["Em3d"]);
+        let all = Opts::default();
+        assert_eq!(all.apps().len(), 6);
+    }
+}

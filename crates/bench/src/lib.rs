@@ -1,0 +1,6 @@
+//! # ncp2-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus shared
+//! helpers in [`harness`]. Criterion micro-benchmarks live in `benches/`.
+
+pub mod harness;

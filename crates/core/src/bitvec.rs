@@ -1,0 +1,149 @@
+//! Per-page dirty-word bit vectors.
+//!
+//! The protocol controller "keeps a record (in the controller's memory) of
+//! all the modified words in a page ... in the form of a bit vector, where
+//! each bit represents a word of data" (§3.1). The custom DMA engine scans
+//! this vector to generate and apply diffs.
+
+/// A bit vector with one bit per 4-byte word of a page (1024 bits for the
+/// default 4-KB page).
+///
+/// ```
+/// use ncp2_core::bitvec::DirtyVec;
+/// let mut v = DirtyVec::new(1024);
+/// v.set(7);
+/// v.set(1000);
+/// assert_eq!(v.count(), 2);
+/// assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![7, 1000]);
+/// v.clear();
+/// assert!(v.is_clean());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyVec {
+    bits: Vec<u64>,
+    words: usize,
+    count: u32,
+}
+
+impl DirtyVec {
+    /// Creates an all-clean vector covering `words` words.
+    pub fn new(words: usize) -> Self {
+        DirtyVec {
+            bits: vec![0; words.div_ceil(64)],
+            words,
+            count: 0,
+        }
+    }
+
+    /// Number of words this vector covers.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Marks word `idx` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.words, "word index {idx} out of range");
+        let (w, b) = (idx / 64, idx % 64);
+        if self.bits[w] & (1 << b) == 0 {
+            self.bits[w] |= 1 << b;
+            self.count += 1;
+        }
+    }
+
+    /// Whether word `idx` is dirty.
+    pub fn test(&self, idx: usize) -> bool {
+        idx < self.words && self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of dirty words.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether no word is dirty.
+    pub fn is_clean(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Resets every bit (diff generation "resets all the bits in the
+    /// vector", §3.1).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.count = 0;
+    }
+
+    /// Iterates over dirty word indices in increasing order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(w * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Encoded size in bytes when shipped inside a diff (one bit per word).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.words.div_ceil(8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut v = DirtyVec::new(128);
+        v.set(5);
+        v.set(5);
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn iter_matches_test() {
+        let mut v = DirtyVec::new(1024);
+        let idxs = [0, 1, 63, 64, 65, 511, 1023];
+        for &i in &idxs {
+            v.set(i);
+        }
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), idxs.to_vec());
+        for i in 0..1024 {
+            assert_eq!(v.test(i), idxs.contains(&i));
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut v = DirtyVec::new(64);
+        for i in 0..64 {
+            v.set(i);
+        }
+        assert_eq!(v.count(), 64);
+        v.clear();
+        assert!(v.is_clean());
+        assert_eq!(v.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn encoded_size() {
+        assert_eq!(DirtyVec::new(1024).encoded_bytes(), 128);
+        assert_eq!(DirtyVec::new(100).encoded_bytes(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        DirtyVec::new(8).set(8);
+    }
+}

@@ -1,0 +1,232 @@
+//! Twins and diffs — the word-granularity update encoding of TreadMarks.
+//!
+//! A *twin* is a snapshot of a page taken at the first write of an interval;
+//! a *diff* is the list of words where the current page differs from the
+//! twin. With the NCP2 hardware support (§3.1) twins disappear: the snooped
+//! dirty-word bit vector already identifies modified words and the DMA
+//! engine gathers them directly.
+
+use crate::bitvec::DirtyVec;
+use crate::page::{PageBuf, PageId};
+use crate::vtime::IntervalId;
+
+/// Size in bytes of a diff's wire header (page id, owner, interval, count).
+pub const DIFF_HEADER_BYTES: u64 = 16;
+
+/// An encoding of the modifications made to one page during one interval.
+///
+/// ```
+/// use ncp2_core::page::PageBuf;
+/// use ncp2_core::diff::Diff;
+///
+/// let twin = PageBuf::new(4096);
+/// let mut cur = PageBuf::new(4096);
+/// cur.set_word(10, 0xAB);
+/// let d = Diff::from_twin(3, 0, 1, &cur, &twin);
+/// assert_eq!(d.word_count(), 1);
+///
+/// let mut other = PageBuf::new(4096);
+/// d.apply(&mut other);
+/// assert_eq!(other.word(10), 0xAB);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    /// Page the diff belongs to.
+    pub page: PageId,
+    /// Processor that performed the writes.
+    pub owner: usize,
+    /// Interval (of the writing processor) the diff covers.
+    pub interval: IntervalId,
+    /// `(word index, new value)` pairs in increasing index order.
+    words: Vec<(u32, u32)>,
+}
+
+impl Diff {
+    /// Creates a diff by comparing `current` against its `twin`
+    /// (software diffing, Base/I/P/I+P modes).
+    pub fn from_twin(
+        page: PageId,
+        owner: usize,
+        interval: IntervalId,
+        current: &PageBuf,
+        twin: &PageBuf,
+    ) -> Self {
+        let words = current
+            .words_differing(twin)
+            .map(|i| (i as u32, current.word(i)))
+            .collect();
+        Diff {
+            page,
+            owner,
+            interval,
+            words,
+        }
+    }
+
+    /// Creates a diff by gathering the words flagged in a snooped dirty
+    /// vector (hardware diffing, I+D/I+P+D modes). This needs no twin.
+    pub fn from_dirty_vec(
+        page: PageId,
+        owner: usize,
+        interval: IntervalId,
+        current: &PageBuf,
+        dirty: &DirtyVec,
+    ) -> Self {
+        let words = dirty
+            .iter_set()
+            .map(|i| (i as u32, current.word(i)))
+            .collect();
+        Diff {
+            page,
+            owner,
+            interval,
+            words,
+        }
+    }
+
+    /// Merges `later`'s words over this diff (used when a page is dirtied
+    /// again within the same interval after an early diff was forced by an
+    /// invalidation).
+    pub fn merge(&mut self, later: &Diff) {
+        assert_eq!(
+            (self.page, self.owner),
+            (later.page, later.owner),
+            "diff identity mismatch"
+        );
+        let mut map: std::collections::BTreeMap<u32, u32> = self.words.iter().copied().collect();
+        for &(i, v) in &later.words {
+            map.insert(i, v);
+        }
+        self.words = map.into_iter().collect();
+    }
+
+    /// Applies the diff to `target`, scatter-writing each recorded word.
+    pub fn apply(&self, target: &mut PageBuf) {
+        for &(idx, val) in &self.words {
+            target.set_word(idx as usize, val);
+        }
+    }
+
+    /// Number of modified words carried.
+    pub fn word_count(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Wire size: header + bit vector (one bit per page word) + the words
+    /// themselves, matching the paper's "returns the words and the bit
+    /// vector as the page's diff".
+    pub fn encoded_bytes(&self, page_words: u64) -> u64 {
+        DIFF_HEADER_BYTES + page_words.div_ceil(8) + 4 * self.word_count()
+    }
+
+    /// The recorded `(word index, value)` pairs.
+    pub fn entries(&self) -> &[(u32, u32)] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(words: &[(usize, u32)]) -> PageBuf {
+        let mut p = PageBuf::new(4096);
+        for &(i, v) in words {
+            p.set_word(i, v);
+        }
+        p
+    }
+
+    #[test]
+    fn twin_and_dirty_vec_diffs_agree() {
+        let twin = PageBuf::new(4096);
+        let cur = page_with(&[(1, 10), (100, 20), (1023, 30)]);
+        let soft = Diff::from_twin(0, 0, 1, &cur, &twin);
+        let mut dv = DirtyVec::new(1024);
+        for i in [1, 100, 1023] {
+            dv.set(i);
+        }
+        let hard = Diff::from_dirty_vec(0, 0, 1, &cur, &dv);
+        assert_eq!(soft, hard);
+    }
+
+    #[test]
+    fn dirty_vec_diff_captures_overwrites_to_same_value() {
+        // A word written back to its original value is still "modified" per
+        // the snooping hardware, even though a twin comparison misses it.
+        let cur = PageBuf::new(4096);
+        let mut dv = DirtyVec::new(1024);
+        dv.set(5);
+        let hard = Diff::from_dirty_vec(0, 0, 1, &cur, &dv);
+        assert_eq!(hard.word_count(), 1);
+        let twin = PageBuf::new(4096);
+        let soft = Diff::from_twin(0, 0, 1, &cur, &twin);
+        assert_eq!(soft.word_count(), 0);
+    }
+
+    #[test]
+    fn apply_round_trip() {
+        let twin = page_with(&[(7, 1)]);
+        let cur = page_with(&[(7, 1), (8, 2), (9, 3)]);
+        let d = Diff::from_twin(0, 0, 1, &cur, &twin);
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn concurrent_disjoint_diffs_commute() {
+        let base = PageBuf::new(4096);
+        let a = {
+            let cur = page_with(&[(0, 11)]);
+            Diff::from_twin(0, 0, 1, &cur, &base)
+        };
+        let b = {
+            let cur = page_with(&[(512, 22)]);
+            Diff::from_twin(0, 1, 1, &cur, &base)
+        };
+        let mut t1 = base.clone();
+        a.apply(&mut t1);
+        b.apply(&mut t1);
+        let mut t2 = base.clone();
+        b.apply(&mut t2);
+        a.apply(&mut t2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn encoded_size_formula() {
+        let twin = PageBuf::new(4096);
+        let cur = page_with(&[(0, 1), (1, 2)]);
+        let d = Diff::from_twin(0, 0, 1, &cur, &twin);
+        assert_eq!(d.encoded_bytes(1024), 16 + 128 + 8);
+    }
+
+    #[test]
+    fn merge_overlays_later_words() {
+        let base = PageBuf::new(4096);
+        let mut d1 = Diff::from_twin(0, 2, 5, &page_with(&[(1, 10), (2, 20)]), &base);
+        let d2 = Diff::from_twin(0, 2, 5, &page_with(&[(2, 99), (3, 30)]), &base);
+        d1.merge(&d2);
+        assert_eq!(d1.entries(), &[(1, 10), (2, 99), (3, 30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity mismatch")]
+    fn merge_rejects_foreign_diffs() {
+        let base = PageBuf::new(4096);
+        let mut d1 = Diff::from_twin(0, 0, 1, &base, &base);
+        let d2 = Diff::from_twin(1, 0, 1, &base, &base);
+        d1.merge(&d2);
+    }
+
+    #[test]
+    fn empty_diff_is_cheap() {
+        let p = PageBuf::new(4096);
+        let d = Diff::from_twin(0, 0, 1, &p, &p.clone());
+        assert_eq!(d.word_count(), 0);
+        let mut t = PageBuf::new(4096);
+        d.apply(&mut t);
+        assert_eq!(t, PageBuf::new(4096));
+    }
+}

@@ -1,0 +1,199 @@
+//! Intervals and write notices.
+//!
+//! An interval is the span of one processor's execution between two
+//! synchronization operations; a write notice announces "page *p* was
+//! modified in interval *i* of processor *q*". Acquiring processors
+//! invalidate pages named by notices whose intervals they have not yet seen
+//! (§2 of the paper).
+
+use std::collections::HashMap;
+
+use crate::page::PageId;
+use crate::vtime::{IntervalId, VectorTime};
+
+/// A write notice: one page dirtied by one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Notice {
+    /// The modified page.
+    pub page: PageId,
+    /// The processor that modified it.
+    pub owner: usize,
+    /// The owner's interval in which the modification happened.
+    pub interval: IntervalId,
+}
+
+/// A full interval announcement as shipped on lock-grant and barrier
+/// messages: identity, timestamp and the pages it dirtied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalAnnouncement {
+    /// Processor that created the interval.
+    pub owner: usize,
+    /// Its per-owner sequence number.
+    pub id: IntervalId,
+    /// Vector time at the interval's close.
+    pub vt: VectorTime,
+    /// Pages dirtied during the interval.
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalAnnouncement {
+    /// The write notices this interval induces.
+    pub fn notices(&self) -> impl Iterator<Item = Notice> + '_ {
+        self.pages.iter().map(|&page| Notice {
+            page,
+            owner: self.owner,
+            interval: self.id,
+        })
+    }
+
+    /// Wire size contribution (8 B per page + 24 B of identity/timestamp
+    /// summary; vector times are run-length coded in real systems).
+    pub fn encoded_bytes(&self) -> u64 {
+        24 + 8 * self.pages.len() as u64
+    }
+}
+
+/// Every interval a node has learned about (its own and others'), keyed by
+/// `(owner, id)`. Used to compute the announcements a releaser must ship to
+/// an acquirer, and garbage-collected at barriers.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalStore {
+    map: HashMap<(usize, IntervalId), IntervalAnnouncement>,
+}
+
+impl IntervalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an interval (idempotent: re-announcements are ignored).
+    pub fn record(&mut self, ann: IntervalAnnouncement) {
+        self.map.entry((ann.owner, ann.id)).or_insert(ann);
+    }
+
+    /// Looks up one interval.
+    pub fn get(&self, owner: usize, id: IntervalId) -> Option<&IntervalAnnouncement> {
+        self.map.get(&(owner, id))
+    }
+
+    /// Number of intervals retained.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Intervals known here but **not** covered by `their_vt` — exactly what
+    /// a releaser must announce to an acquirer. Returned in deterministic
+    /// `(owner, id)` order.
+    pub fn missing_for(&self, their_vt: &VectorTime) -> Vec<IntervalAnnouncement> {
+        let mut out: Vec<&IntervalAnnouncement> = self
+            .map
+            .values()
+            .filter(|a| !their_vt.covers_interval(a.owner, a.id))
+            .collect();
+        out.sort_by_key(|a| (a.owner, a.id));
+        out.into_iter().cloned().collect()
+    }
+
+    /// Every retained interval in deterministic `(owner, id)` order (used
+    /// by barrier managers to broadcast the merged announcement set).
+    pub fn all(&self) -> Vec<IntervalAnnouncement> {
+        let mut out: Vec<&IntervalAnnouncement> = self.map.values().collect();
+        out.sort_by_key(|a| (a.owner, a.id));
+        out.into_iter().cloned().collect()
+    }
+
+    /// Drops every interval covered by `floor` (a vector time all
+    /// processors are known to have reached, e.g. the previous barrier's
+    /// merged time). Returns how many intervals were collected.
+    pub fn gc_covered(&mut self, floor: &VectorTime) -> usize {
+        let before = self.map.len();
+        self.map
+            .retain(|&(owner, id), _| !floor.covers_interval(owner, id));
+        before - self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(owner: usize, id: IntervalId, pages: &[PageId], n: usize) -> IntervalAnnouncement {
+        let mut vt = VectorTime::new(n);
+        vt.observe(owner, id);
+        IntervalAnnouncement {
+            owner,
+            id,
+            vt,
+            pages: pages.to_vec(),
+        }
+    }
+
+    #[test]
+    fn missing_for_respects_coverage() {
+        let mut s = IntervalStore::new();
+        s.record(ann(0, 1, &[10], 4));
+        s.record(ann(0, 2, &[11], 4));
+        s.record(ann(1, 1, &[12], 4));
+        let mut their = VectorTime::new(4);
+        their.observe(0, 1);
+        let missing = s.missing_for(&their);
+        let keys: Vec<(usize, IntervalId)> = missing.iter().map(|a| (a.owner, a.id)).collect();
+        assert_eq!(keys, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let mut s = IntervalStore::new();
+        s.record(ann(2, 5, &[1, 2], 4));
+        s.record(ann(2, 5, &[99], 4)); // ignored duplicate
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(2, 5).unwrap().pages, vec![1, 2]);
+    }
+
+    #[test]
+    fn gc_drops_only_covered() {
+        let mut s = IntervalStore::new();
+        s.record(ann(0, 1, &[], 2));
+        s.record(ann(0, 2, &[], 2));
+        s.record(ann(1, 1, &[], 2));
+        let mut floor = VectorTime::new(2);
+        floor.observe(0, 1);
+        floor.observe(1, 1);
+        assert_eq!(s.gc_covered(&floor), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(0, 2).is_some());
+    }
+
+    #[test]
+    fn notices_enumerate_pages() {
+        let a = ann(3, 7, &[5, 6], 4);
+        let ns: Vec<Notice> = a.notices().collect();
+        assert_eq!(
+            ns,
+            vec![
+                Notice {
+                    page: 5,
+                    owner: 3,
+                    interval: 7
+                },
+                Notice {
+                    page: 6,
+                    owner: 3,
+                    interval: 7
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn encoded_size_grows_with_pages() {
+        assert_eq!(ann(0, 1, &[], 2).encoded_bytes(), 24);
+        assert_eq!(ann(0, 1, &[1, 2, 3], 2).encoded_bytes(), 48);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ncp2-core — software DSM protocols with protocol-controller overlap
+//!
+//! The primary contribution of *"Hiding Communication Latency and Coherence
+//! Overhead in Software DSMs"* (Bianchini et al., ASPLOS 1996), reproduced
+//! in full:
+//!
+//! * **TreadMarks** (lazy release consistency, lazy diffs) under the six
+//!   overlap modes of §5.1 — `Base`, `I`, `I+D`, `P`, `I+P`, `I+P+D` — where
+//!   the NCP2 **protocol controller** offloads basic protocol actions (`I`),
+//!   its bit-vector **DMA engine** generates and applies diffs without twins
+//!   (`D`), and invalidated-but-referenced pages are **prefetched** at
+//!   acquire points (`P`);
+//! * **AURC** and **AURC+P** — Shrimp-style automatic updates with pairwise
+//!   sharing and home nodes (§3.3), the paper's comparison protocols.
+//!
+//! The protocols run over the substrates in `ncp2-sim`, `ncp2-mem` and
+//! `ncp2-net`, and move *real data*: pages, twins and diffs carry bytes, so
+//! application results computed under the simulated DSM validate the
+//! coherence protocol end to end.
+//!
+//! Entry point: [`Simulation`].
+//!
+//! ```no_run
+//! use ncp2_core::{OverlapMode, Protocol, Simulation};
+//! use ncp2_sim::{ProcOp, SysParams};
+//!
+//! let sim = Simulation::new(SysParams::default(), Protocol::TreadMarks(OverlapMode::ID));
+//! let result = sim.run(|pid, port| {
+//!     port.call(ProcOp::Write { addr: 64 * pid as u64, bytes: 4, value: pid as u64 });
+//!     port.call(ProcOp::Barrier(0));
+//!     port.call(ProcOp::Finish);
+//! });
+//! println!("{} took {} cycles", result.protocol, result.total_cycles);
+//! ```
+
+pub mod aurc;
+pub mod bitvec;
+pub mod controller;
+pub mod diff;
+pub mod interval;
+pub mod msg;
+pub mod page;
+pub mod protocol;
+pub mod stats;
+pub mod sync;
+pub mod system;
+pub mod trace;
+pub mod treadmarks;
+pub mod vtime;
+
+pub use controller::Controller;
+pub use diff::Diff;
+pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
+pub use page::{PageBuf, PageId, PageState};
+pub use protocol::{OverlapMode, Protocol};
+pub use stats::{NodeStats, RunResult};
+pub use system::Simulation;
+pub use trace::{trace_csv, TraceEvent, TraceKind};
+pub use vtime::{IntervalId, VectorTime};

@@ -1,0 +1,191 @@
+//! Shared pages: the DSM data plane and per-copy protection state.
+//!
+//! Unlike a pure timing model, this crate moves real bytes: every node has
+//! its own copy of each page it touches, twins are real snapshots and diffs
+//! are real word lists. An application run under the simulated DSM therefore
+//! computes real results, which end-to-end tests compare against sequential
+//! executions — validating the coherence protocol itself.
+
+/// Identifier of a 4-KB shared page (byte address / page size).
+pub type PageId = u64;
+
+/// Page id containing byte address `addr`.
+pub fn page_of(addr: u64, page_bytes: u64) -> PageId {
+    addr / page_bytes
+}
+
+/// Word index (4-byte granularity) of `addr` within its page.
+pub fn word_index(addr: u64, page_bytes: u64) -> usize {
+    ((addr % page_bytes) / 4) as usize
+}
+
+/// Virtual-memory protection state of one node's copy of a page, as driven
+/// by the DSM (§2: "software DSMs use virtual memory protection bits to
+/// enforce coherence at the page level").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageState {
+    /// Out of date: any access faults and must collect diffs.
+    Invalid,
+    /// Clean: reads proceed; the first write faults (twin creation in the
+    /// software protocols, dirty-vector tracking with hardware diffs).
+    #[default]
+    ReadOnly,
+    /// Dirty in the current interval: reads and writes proceed.
+    ReadWrite,
+}
+
+/// One page's worth of actual data.
+///
+/// ```
+/// use ncp2_core::page::PageBuf;
+/// let mut p = PageBuf::new(4096);
+/// p.write(8, 4, 0xDEAD_BEEF);
+/// assert_eq!(p.read(8, 4), 0xDEAD_BEEF);
+/// assert_eq!(p.read(12, 4), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageBuf {
+    data: Vec<u8>,
+}
+
+impl PageBuf {
+    /// A zero-filled page of `bytes` bytes.
+    pub fn new(bytes: u64) -> Self {
+        PageBuf {
+            data: vec![0; bytes as usize],
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the page has zero size (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) at `offset`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned, oversized or crosses the page end.
+    pub fn read(&self, offset: usize, size: u8) -> u64 {
+        self.check(offset, size);
+        let mut v = 0u64;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | self.data[offset + i] as u64;
+        }
+        v
+    }
+
+    /// Writes `size` bytes of `value` at `offset`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned, oversized or crosses the page end.
+    pub fn write(&mut self, offset: usize, size: u8, value: u64) {
+        self.check(offset, size);
+        for i in 0..size as usize {
+            self.data[offset + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Raw word (4-byte) view, used by diff creation and application.
+    pub fn word(&self, idx: usize) -> u32 {
+        u32::from_le_bytes(self.data[idx * 4..idx * 4 + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Stores a raw word.
+    pub fn set_word(&mut self, idx: usize, value: u32) {
+        self.data[idx * 4..idx * 4 + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Number of 4-byte words in the page.
+    pub fn words(&self) -> usize {
+        self.data.len() / 4
+    }
+
+    /// Word indices where `self` and `twin` differ (diff creation).
+    pub fn words_differing<'a>(&'a self, twin: &'a PageBuf) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.len(), twin.len(), "twin size mismatch");
+        (0..self.words()).filter(move |&i| self.word(i) != twin.word(i))
+    }
+
+    /// Copies the full contents of `src` over this page (whole-page fetch).
+    pub fn copy_from(&mut self, src: &PageBuf) {
+        assert_eq!(self.len(), src.len(), "page size mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    fn check(&self, offset: usize, size: u8) {
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "access size {size} unsupported"
+        );
+        assert!(
+            offset.is_multiple_of(size as usize),
+            "misaligned access at offset {offset}"
+        );
+        assert!(
+            offset + size as usize <= self.data.len(),
+            "access crosses page end"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_helpers() {
+        assert_eq!(page_of(0, 4096), 0);
+        assert_eq!(page_of(4095, 4096), 0);
+        assert_eq!(page_of(4096, 4096), 1);
+        assert_eq!(word_index(4, 4096), 1);
+        assert_eq!(word_index(4096 + 8, 4096), 2);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut p = PageBuf::new(64);
+        p.write(0, 8, 0x0102_0304_0506_0708);
+        assert_eq!(p.read(0, 8), 0x0102_0304_0506_0708);
+        assert_eq!(p.read(0, 4), 0x0506_0708);
+        assert_eq!(p.read(4, 4), 0x0102_0304);
+        assert_eq!(p.read(0, 1), 0x08);
+    }
+
+    #[test]
+    fn word_view_matches_byte_view() {
+        let mut p = PageBuf::new(32);
+        p.write(8, 4, 0xAABB_CCDD);
+        assert_eq!(p.word(2), 0xAABB_CCDD);
+        p.set_word(3, 7);
+        assert_eq!(p.read(12, 4), 7);
+    }
+
+    #[test]
+    fn diffing_finds_changed_words() {
+        let twin = PageBuf::new(64);
+        let mut cur = PageBuf::new(64);
+        cur.set_word(3, 9);
+        cur.set_word(15, 1);
+        let changed: Vec<usize> = cur.words_differing(&twin).collect();
+        assert_eq!(changed, vec![3, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_access_panics() {
+        PageBuf::new(16).read(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses page end")]
+    fn overflow_access_panics() {
+        PageBuf::new(16).read(16, 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-run statistics: breakdowns plus the auxiliary counters the paper
+//! quotes in its prose (diff-operation time, useless prefetch rates, ...).
+
+use ncp2_net::TrafficStats;
+use ncp2_sim::{Breakdown, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one node over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Execution-time breakdown of the computation processor.
+    pub breakdown: Breakdown,
+    /// Cycles spent twinning (processor or controller).
+    pub twin_cycles: Cycles,
+    /// Cycles spent creating diffs (processor, controller or DMA).
+    pub diff_create_cycles: Cycles,
+    /// Cycles spent applying diffs (processor, controller or DMA).
+    pub diff_apply_cycles: Cycles,
+    /// Subset of twin/diff cycles that ran on the **computation processor**
+    /// (the paper's "% of execution time spent on diff-related operations").
+    pub diff_proc_cycles: Cycles,
+    /// Cycles the protocol controller's core/DMA engine was busy.
+    pub controller_busy: Cycles,
+    /// Read/write access faults taken.
+    pub faults: u64,
+    /// Write faults (twin creations) taken.
+    pub write_faults: u64,
+    /// Lock acquires completed.
+    pub lock_acquires: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Pages invalidated by write notices.
+    pub invalidations: u64,
+    /// Diffs created on behalf of this node's writes.
+    pub diffs_created: u64,
+    /// Diffs applied to this node's pages.
+    pub diffs_applied: u64,
+    /// Whole-page fetches (TreadMarks overflow path or AURC).
+    pub page_fetches: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Prefetched pages invalidated again before any use.
+    pub useless_prefetches: u64,
+    /// Faults that found a prefetch in flight and waited for it.
+    pub prefetch_joins: u64,
+    /// Faults avoided entirely because a prefetch had completed.
+    pub prefetch_hits: u64,
+    /// AURC automatic-update messages emitted.
+    pub au_updates: u64,
+    /// AURC write-cache combining hits.
+    pub au_combined: u64,
+}
+
+impl NodeStats {
+    /// Fraction of this node's execution time spent in processor-side
+    /// diff-related operations (twinning + diff creation/application) — the
+    /// number printed on top of each bar in Figure 2.
+    pub fn diff_pct(&self) -> f64 {
+        let t = self.breakdown.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.diff_proc_cycles as f64 / t as f64
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Protocol label ("Base", "I+D", "AURC", ...).
+    pub protocol: String,
+    /// Number of processors simulated.
+    pub nprocs: usize,
+    /// End-to-end running time (max over processors), cycles.
+    pub total_cycles: Cycles,
+    /// Per-node counters.
+    pub nodes: Vec<NodeStats>,
+    /// Network traffic counters.
+    pub net: TrafficStats,
+    /// Workload-defined checksum (compared against a sequential run).
+    pub checksum: u64,
+    /// Protocol event trace (empty unless `SysParams::trace` was set).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl RunResult {
+    /// Breakdown summed over all processors.
+    pub fn aggregate(&self) -> Breakdown {
+        self.nodes.iter().map(|n| n.breakdown).sum()
+    }
+
+    /// Mean over processors of the diff-operation percentage.
+    pub fn diff_pct(&self) -> f64 {
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            self.nodes.iter().map(|n| n.diff_pct()).sum::<f64>() / self.nodes.len() as f64
+        }
+    }
+
+    /// Total diff-related cycles regardless of which engine ran them
+    /// (processor, controller core, or DMA).
+    pub fn diff_total_cycles(&self) -> Cycles {
+        self.nodes
+            .iter()
+            .map(|n| n.twin_cycles + n.diff_create_cycles + n.diff_apply_cycles)
+            .sum()
+    }
+
+    /// Prefetches issued / useless across all nodes.
+    pub fn prefetch_totals(&self) -> (u64, u64) {
+        let issued = self.nodes.iter().map(|n| n.prefetches).sum();
+        let useless = self.nodes.iter().map(|n| n.useless_prefetches).sum();
+        (issued, useless)
+    }
+
+    /// Running time of `self` relative to `base` in percent (the paper's
+    /// normalized bars: 100 = same, lower = faster).
+    pub fn normalized_to(&self, base: &RunResult) -> f64 {
+        assert!(base.total_cycles > 0, "baseline ran for zero cycles");
+        100.0 * self.total_cycles as f64 / base.total_cycles as f64
+    }
+
+    /// Speedup of this run over a sequential run taking `seq_cycles`.
+    pub fn speedup_over(&self, seq_cycles: Cycles) -> f64 {
+        assert!(self.total_cycles > 0, "run took zero cycles");
+        seq_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncp2_sim::Category;
+
+    fn node(busy: u64, diff: u64) -> NodeStats {
+        let mut n = NodeStats::default();
+        n.breakdown.add(Category::Busy, busy);
+        n.diff_proc_cycles = diff;
+        n
+    }
+
+    fn run(total: u64, nodes: Vec<NodeStats>) -> RunResult {
+        RunResult {
+            protocol: "Base".into(),
+            nprocs: nodes.len(),
+            total_cycles: total,
+            nodes,
+            net: TrafficStats::default(),
+            checksum: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn diff_pct_is_relative_to_node_time() {
+        let n = node(200, 50);
+        assert!((n.diff_pct() - 25.0).abs() < 1e-12);
+        assert_eq!(NodeStats::default().diff_pct(), 0.0);
+    }
+
+    #[test]
+    fn normalization_and_speedup() {
+        let base = run(1000, vec![node(100, 0)]);
+        let fast = run(600, vec![node(100, 0)]);
+        assert!((fast.normalized_to(&base) - 60.0).abs() < 1e-12);
+        assert!((fast.speedup_over(6000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_sums_nodes() {
+        let r = run(10, vec![node(5, 1), node(7, 2)]);
+        assert_eq!(r.aggregate().busy, 12);
+        assert!((r.diff_pct() - (20.0 + 2.0 / 7.0 * 100.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_totals_sum() {
+        let a = NodeStats {
+            prefetches: 10,
+            useless_prefetches: 9,
+            ..NodeStats::default()
+        };
+        let b = NodeStats {
+            prefetches: 5,
+            ..NodeStats::default()
+        };
+        let r = run(1, vec![a, b]);
+        assert_eq!(r.prefetch_totals(), (15, 9));
+    }
+}

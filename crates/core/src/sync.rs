@@ -1,0 +1,356 @@
+//! Lock and barrier machinery shared by TreadMarks and AURC.
+//!
+//! Locks are distributed: a static manager (`lock mod nprocs`) forwards each
+//! acquire to the last owner, which replies directly to the acquirer with
+//! the write notices (interval announcements) the acquirer has not seen.
+//! Barriers are centralized at `barrier mod nprocs`: arrivals carry the
+//! intervals created since the last barrier, the manager merges and
+//! rebroadcasts. Interval/write-notice processing is "complicated" protocol
+//! work and always runs on the computation processor (§3.2), even with a
+//! protocol controller.
+
+use ncp2_sim::ops::{BarrierId, LockId};
+use ncp2_sim::{Category, Cycles};
+
+use crate::interval::IntervalAnnouncement;
+use crate::msg::Msg;
+use crate::protocol::Protocol;
+use crate::system::{BarrierState, Simulation, Wait};
+use crate::vtime::VectorTime;
+
+impl Simulation {
+    // ----- processor-issued operations ------------------------------------
+
+    pub(crate) fn op_lock(&mut self, pid: usize, lock: LockId) {
+        let manager = lock as usize % self.params.nprocs;
+        self.advance(pid, self.params.list_processing, Category::Synch);
+        let msg = Msg::LockReq {
+            lock,
+            acquirer: pid,
+            vt: self.nodes[pid].vt.clone(),
+        };
+        let mut t = self.nodes[pid].time;
+        self.send_msg(&mut t, pid, manager, msg, Category::Synch, false);
+        self.block(pid, Wait::Lock { lock });
+    }
+
+    pub(crate) fn op_unlock(&mut self, pid: usize, lock: LockId) {
+        if matches!(self.protocol, Protocol::Aurc { .. }) {
+            self.aurc_flush_wcache(pid, Category::Synch);
+        }
+        self.close_interval(pid);
+        self.nodes[pid].held_locks.remove(&lock);
+        let waiter = self.nodes[pid]
+            .lock_queue
+            .get_mut(&lock)
+            .and_then(|q| q.pop_front());
+        if let Some((acquirer, vt)) = waiter {
+            self.nodes[pid].owned_locks.remove(&lock);
+            let t = self.nodes[pid].time;
+            self.grant_lock(pid, t, lock, acquirer, &vt, false);
+        }
+    }
+
+    pub(crate) fn op_barrier(&mut self, pid: usize, barrier: BarrierId) {
+        let manager = barrier as usize % self.params.nprocs;
+        if matches!(self.protocol, Protocol::Aurc { .. }) {
+            self.aurc_flush_wcache(pid, Category::Synch);
+        }
+        self.close_interval(pid);
+        let anns = self.nodes[pid]
+            .store
+            .missing_for(&self.nodes[pid].last_barrier_vt.clone());
+        self.advance(
+            pid,
+            self.params.list_processing * (anns.len() as Cycles + 1),
+            Category::Synch,
+        );
+        let horizons = match self.protocol {
+            Protocol::Aurc { .. } => self.nodes[pid].out_horizon.clone(),
+            Protocol::TreadMarks(_) => Vec::new(),
+        };
+        let msg = Msg::BarrierArrive {
+            barrier,
+            from: pid,
+            vt: self.nodes[pid].vt.clone(),
+            anns,
+            horizons,
+        };
+        let mut t = self.nodes[pid].time;
+        self.send_msg(&mut t, pid, manager, msg, Category::Synch, false);
+        self.block(pid, Wait::Barrier);
+    }
+
+    /// Closes the open interval if it dirtied anything: bumps the vector
+    /// time, records the announcement, and prepares diffs per protocol
+    /// (write-protect + lazy twins in software modes, eager DMA diffs in the
+    /// hardware-diff modes, nothing in AURC).
+    pub(crate) fn close_interval(&mut self, pid: usize) {
+        if self.nodes[pid].cur_dirty.is_empty() {
+            return;
+        }
+        let id = self.nodes[pid].vt.bump(pid);
+        let pages = std::mem::take(&mut self.nodes[pid].cur_dirty);
+        match self.protocol {
+            Protocol::TreadMarks(_) => self.tm_close_pages(pid, id, &pages),
+            Protocol::Aurc { .. } => {
+                for &page in &pages {
+                    if let Some(lp) = self.nodes[pid].aurc_pages.get_mut(&page) {
+                        lp.in_cur_dirty = false;
+                    }
+                }
+            }
+        }
+        let ann = IntervalAnnouncement {
+            owner: pid,
+            id,
+            vt: self.nodes[pid].vt.clone(),
+            pages,
+        };
+        self.nodes[pid].store.record(ann);
+    }
+
+    // ----- message handlers -----------------------------------------------
+
+    pub(crate) fn on_lock_req(
+        &mut self,
+        manager: usize,
+        t: Cycles,
+        lock: LockId,
+        acquirer: usize,
+        vt: VectorTime,
+    ) {
+        let c = self.interrupt_proc(
+            manager,
+            t,
+            self.params.interrupt + self.params.list_processing,
+            Category::Ipc,
+        );
+        let last = match self.lock_last.get(&lock) {
+            Some(&l) => l,
+            None => {
+                // First touch: the manager holds the grant token.
+                self.lock_last.insert(lock, manager);
+                self.nodes[manager].owned_locks.insert(lock);
+                manager
+            }
+        };
+        if last == acquirer {
+            // Re-acquire with no intervening owner: nothing new to learn.
+            let msg = Msg::LockGrant {
+                lock,
+                anns: Vec::new(),
+                update_horizon: 0,
+            };
+            let mut tc = c;
+            self.send_msg(&mut tc, manager, acquirer, msg, Category::Ipc, true);
+        } else {
+            self.lock_last.insert(lock, acquirer);
+            let msg = Msg::LockForward { lock, acquirer, vt };
+            let mut tc = c;
+            self.send_msg(&mut tc, manager, last, msg, Category::Ipc, true);
+        }
+    }
+
+    pub(crate) fn on_lock_forward(
+        &mut self,
+        holder: usize,
+        t: Cycles,
+        lock: LockId,
+        acquirer: usize,
+        vt: VectorTime,
+    ) {
+        let can_grant = self.nodes[holder].owned_locks.contains(&lock)
+            && !self.nodes[holder].held_locks.contains(&lock);
+        let c = self.interrupt_proc(holder, t, self.params.interrupt, Category::Ipc);
+        if can_grant {
+            self.nodes[holder].owned_locks.remove(&lock);
+            self.grant_lock(holder, c, lock, acquirer, &vt, true);
+        } else {
+            // Still inside (or still waiting for) the critical section: the
+            // request waits here and is granted at the next unlock.
+            self.nodes[holder]
+                .lock_queue
+                .entry(lock)
+                .or_default()
+                .push_back((acquirer, vt));
+        }
+    }
+
+    /// Computes and ships a lock grant from `holder` to `acquirer`, starting
+    /// at time `t`. `servicing` is true when the holder reacts to a
+    /// forwarded request (IPC) rather than granting at its own unlock
+    /// (Synch).
+    pub(crate) fn grant_lock(
+        &mut self,
+        holder: usize,
+        t: Cycles,
+        lock: LockId,
+        acquirer: usize,
+        acquirer_vt: &VectorTime,
+        servicing: bool,
+    ) {
+        let anns = self.nodes[holder].store.missing_for(acquirer_vt);
+        let work = self.params.list_processing * (anns.len() as Cycles + 1);
+        let (mut t, cat) = if servicing {
+            (
+                self.interrupt_proc(holder, t, work, Category::Ipc),
+                Category::Ipc,
+            )
+        } else {
+            self.advance(holder, work, Category::Synch);
+            (self.nodes[holder].time, Category::Synch)
+        };
+        let update_horizon = match self.protocol {
+            Protocol::Aurc { .. } => self.nodes[holder].out_horizon[acquirer],
+            Protocol::TreadMarks(_) => 0,
+        };
+        let msg = Msg::LockGrant {
+            lock,
+            anns,
+            update_horizon,
+        };
+        self.send_msg(&mut t, holder, acquirer, msg, cat, servicing);
+    }
+
+    pub(crate) fn on_lock_grant(
+        &mut self,
+        acquirer: usize,
+        t: Cycles,
+        lock: LockId,
+        anns: Vec<IntervalAnnouncement>,
+        update_horizon: Cycles,
+    ) {
+        debug_assert!(
+            matches!(self.nodes[acquirer].wait, Wait::Lock { lock: l } if l == lock),
+            "grant for a lock {lock} processor {acquirer} is not waiting on"
+        );
+        let mut end = self.process_anns(acquirer, &anns, t);
+        end = self.issue_prefetches(acquirer, end);
+        self.nodes[acquirer].held_locks.insert(lock);
+        self.nodes[acquirer].owned_locks.insert(lock);
+        self.nodes[acquirer].stats.lock_acquires += 1;
+        let wake = end.max(update_horizon);
+        self.record(
+            wake,
+            acquirer,
+            crate::trace::TraceKind::LockAcquired { lock },
+        );
+        self.schedule_wake(acquirer, wake);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_barrier_arrive(
+        &mut self,
+        manager: usize,
+        t: Cycles,
+        barrier: BarrierId,
+        from: usize,
+        vt: VectorTime,
+        anns: Vec<IntervalAnnouncement>,
+        horizons: Vec<Cycles>,
+    ) {
+        let n = self.params.nprocs;
+        let mut c = self.interrupt_proc(
+            manager,
+            t,
+            self.params.interrupt + self.params.list_processing * (anns.len() as Cycles + 1),
+            Category::Ipc,
+        );
+        let bs = self
+            .barriers
+            .entry(barrier)
+            .or_insert_with(|| BarrierState {
+                arrived: 0,
+                merged_vt: None,
+                anns: crate::interval::IntervalStore::new(),
+                horizons: vec![Vec::new(); n],
+            });
+        for ann in anns {
+            bs.anns.record(ann);
+        }
+        match &mut bs.merged_vt {
+            Some(m) => m.merge(&vt),
+            slot => *slot = Some(vt),
+        }
+        bs.horizons[from] = horizons;
+        bs.arrived += 1;
+        if bs.arrived < n {
+            return;
+        }
+        // Last arrival: release everyone.
+        let bs = self
+            .barriers
+            .remove(&barrier)
+            .expect("barrier state exists");
+        let merged = bs.merged_vt.expect("at least one arrival");
+        let all_anns = bs.anns.all();
+        for k in 0..n {
+            let update_horizon = bs
+                .horizons
+                .iter()
+                .filter(|h| !h.is_empty())
+                .map(|h| h[k])
+                .max()
+                .unwrap_or(0);
+            let msg = Msg::BarrierRelease {
+                barrier,
+                vt: merged.clone(),
+                anns: all_anns.clone(),
+                update_horizon,
+            };
+            self.send_msg(&mut c, manager, k, msg, Category::Ipc, true);
+        }
+    }
+
+    pub(crate) fn on_barrier_release(
+        &mut self,
+        pid: usize,
+        t: Cycles,
+        vt: VectorTime,
+        anns: Vec<IntervalAnnouncement>,
+        update_horizon: Cycles,
+    ) {
+        debug_assert!(
+            matches!(self.nodes[pid].wait, Wait::Barrier),
+            "release for a barrier processor {pid} is not waiting on"
+        );
+        let mut end = self.process_anns(pid, &anns, t);
+        self.nodes[pid].vt.merge(&vt);
+        self.nodes[pid].last_barrier_vt = vt;
+        end = self.issue_prefetches(pid, end);
+        self.nodes[pid].stats.barriers += 1;
+        let wake = end.max(update_horizon);
+        self.record(wake, pid, crate::trace::TraceKind::BarrierReleased);
+        self.schedule_wake(pid, wake);
+    }
+
+    // ----- protocol dispatch ----------------------------------------------
+
+    /// Applies a batch of interval announcements at `pid` starting at `t`:
+    /// records them, merges the vector time and invalidates named pages.
+    /// Returns the completion time of the processor-side processing.
+    pub(crate) fn process_anns(
+        &mut self,
+        pid: usize,
+        anns: &[IntervalAnnouncement],
+        t: Cycles,
+    ) -> Cycles {
+        match self.protocol {
+            Protocol::TreadMarks(_) => self.tm_process_anns(pid, anns, t),
+            Protocol::Aurc { .. } => self.aurc_process_anns(pid, anns, t),
+        }
+    }
+
+    /// Issues acquire-time prefetches when the protocol calls for them.
+    /// Returns the (possibly extended) completion time.
+    pub(crate) fn issue_prefetches(&mut self, pid: usize, t: Cycles) -> Cycles {
+        if !self.protocol.prefetch() {
+            return t;
+        }
+        match self.protocol {
+            Protocol::TreadMarks(_) => self.tm_issue_prefetches(pid, t),
+            Protocol::Aurc { .. } => self.aurc_issue_prefetches(pid, t),
+        }
+    }
+}

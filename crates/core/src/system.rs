@@ -1,0 +1,921 @@
+//! The simulated machine: 16 workstation nodes, their memory hierarchies,
+//! protocol controllers, the mesh interconnect and the DSM protocol glue.
+//!
+//! [`Simulation`] owns the deterministic back end. Workload threads (the
+//! front end) drive it through [`ncp2_sim::ProcHarness`]: the back end
+//! always resumes the runnable processor with the smallest local clock, or
+//! handles the earliest pending event, whichever comes first — so a run is
+//! a deterministic function of (parameters, protocol, workload).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ncp2_mem::NodeMemory;
+use ncp2_net::Network;
+use ncp2_sim::ops::{BarrierId, LockId};
+use ncp2_sim::{
+    Breakdown, Category, Cycles, EventQueue, Priority, ProcHarness, ProcOp, ProcReply, ProcStatus,
+    SysParams,
+};
+
+use crate::bitvec::DirtyVec;
+use crate::controller::Controller;
+use crate::diff::Diff;
+use crate::interval::IntervalStore;
+use crate::msg::Msg;
+use crate::page::{page_of, PageBuf, PageId, PageState};
+use crate::protocol::Protocol;
+use crate::stats::{NodeStats, RunResult};
+use crate::vtime::{IntervalId, VectorTime};
+
+/// Back-end events.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A protocol message reaches `dst`'s network interface.
+    Msg { dst: usize, msg: Msg },
+    /// A blocked processor's pending operation completes.
+    Wake { pid: usize },
+}
+
+/// In-flight fault state: replies still outstanding plus collected payloads.
+#[derive(Debug, Default)]
+pub(crate) struct FaultWait {
+    pub page: PageId,
+    pub outstanding: usize,
+    pub ready_at: Cycles,
+    pub diffs: Vec<Diff>,
+    pub full_page: Option<(PageBuf, VectorTime)>,
+}
+
+/// Why a processor is blocked.
+#[derive(Debug, Default)]
+pub(crate) enum Wait {
+    #[default]
+    None,
+    /// TreadMarks access fault collecting diffs.
+    Fault(FaultWait),
+    /// Fault that found a prefetch already in flight for the page.
+    PrefetchJoin {
+        /// The page whose in-flight prefetch the fault joined.
+        #[allow(dead_code)]
+        page: PageId,
+    },
+    /// Waiting for a lock grant.
+    Lock { lock: LockId },
+    /// Waiting for a barrier release.
+    Barrier,
+    /// AURC page fetch from the home node.
+    AurcFault { page: PageId },
+}
+
+impl Wait {
+    fn category(&self) -> Category {
+        match self {
+            Wait::None => Category::Other,
+            Wait::Fault(_) | Wait::PrefetchJoin { .. } | Wait::AurcFault { .. } => Category::Data,
+            Wait::Lock { .. } | Wait::Barrier => Category::Synch,
+        }
+    }
+}
+
+/// One node's copy of a TreadMarks page.
+#[derive(Debug)]
+pub(crate) struct TmPage {
+    pub data: PageBuf,
+    pub state: PageState,
+    /// Twin snapshot and the interval it belongs to (software modes only).
+    pub twin: Option<(IntervalId, PageBuf)>,
+    /// Snooped dirty-word bits (hardware-diff modes only).
+    pub dirty: DirtyVec,
+    /// Set when the page is dirtied in the open interval.
+    pub in_cur_dirty: bool,
+    /// Referenced since last (re)validation.
+    pub referenced: bool,
+    /// Referenced at the time it was last invalidated (prefetch heuristic).
+    pub was_referenced: bool,
+    /// Referenced during the most recent validity window (the non-sticky
+    /// variant used by `PrefetchStrategy::RecentlyReferenced`).
+    pub recently_referenced: bool,
+    /// Completed prefetch not yet used by any access.
+    pub prefetched_unused: bool,
+    /// Unapplied write notices `(owner, interval)`.
+    pub pending: Vec<(usize, IntervalId)>,
+    /// Intervals of *this* node that dirtied the page (for full-page apply).
+    pub own_intervals: Vec<IntervalId>,
+}
+
+impl TmPage {
+    fn new(page_bytes: u64, page_words: u64) -> Self {
+        TmPage {
+            data: PageBuf::new(page_bytes),
+            state: PageState::ReadOnly,
+            twin: None,
+            dirty: DirtyVec::new(page_words as usize),
+            in_cur_dirty: false,
+            referenced: false,
+            was_referenced: false,
+            recently_referenced: false,
+            prefetched_unused: false,
+            pending: Vec::new(),
+            own_intervals: Vec::new(),
+        }
+    }
+}
+
+/// In-flight prefetch for one page.
+#[derive(Debug, Default)]
+pub(crate) struct PrefetchState {
+    pub outstanding: usize,
+    pub ready_at: Cycles,
+    pub diffs: Vec<Diff>,
+    pub full_page: Option<(PageBuf, VectorTime)>,
+    /// Notices the prefetch will satisfy.
+    pub requested: Vec<(usize, IntervalId)>,
+    /// A fault is blocked waiting for this prefetch.
+    pub joined: bool,
+}
+
+/// AURC per-node view of one page.
+#[derive(Debug, Default)]
+pub(crate) struct AurcLocal {
+    pub valid: bool,
+    pub referenced: bool,
+    pub was_referenced: bool,
+    pub recently_referenced: bool,
+    pub prefetched_unused: bool,
+    pub prefetching: bool,
+    /// The page was invalidated again while a prefetch was in flight; the
+    /// reply must not re-validate it.
+    pub prefetch_stale: bool,
+    pub in_cur_dirty: bool,
+    /// A fault is blocked waiting for an in-flight prefetch of this page.
+    pub joined: bool,
+}
+
+/// AURC global sharing mode of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AurcMode {
+    /// Touched by one processor only.
+    Single(usize),
+    /// Bi-directional pairwise mapping; `replaced` is set once the third
+    /// sharer has displaced the original first sharer (§3.3) — the next
+    /// outsider then forces home mode.
+    Pairwise(usize, usize, bool),
+    /// Written through to a home node by everyone.
+    Home(usize),
+}
+
+/// AURC network-interface write cache: combines consecutive updates per
+/// cache line before they hit the wire (§3.3).
+#[derive(Debug, Default)]
+pub(crate) struct WriteCache {
+    /// FIFO of `(line address, destination)` entries.
+    pub entries: VecDeque<(u64, usize)>,
+    pub capacity: usize,
+}
+
+impl WriteCache {
+    /// Inserts a line; returns an evicted entry if the cache was full.
+    /// Returns `None` with no effect when the line is already present
+    /// (combining hit, recorded by the caller).
+    pub fn insert(&mut self, line: u64, dst: usize) -> InsertOutcome {
+        if self.entries.iter().any(|&(l, d)| l == line && d == dst) {
+            return InsertOutcome::Combined;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back((line, dst));
+        InsertOutcome::Inserted { evicted }
+    }
+
+    /// Drains every entry (release-time flush).
+    pub fn flush(&mut self) -> Vec<(u64, usize)> {
+        self.entries.drain(..).collect()
+    }
+}
+
+/// Result of a write-cache insert.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum InsertOutcome {
+    Combined,
+    Inserted { evicted: Option<(u64, usize)> },
+}
+
+/// Everything belonging to one workstation node.
+pub(crate) struct Node {
+    pub time: Cycles,
+    pub status: ProcStatus,
+    pub wait: Wait,
+    pub wait_start: Cycles,
+    /// Cycles spent servicing others while this processor was blocked
+    /// (reclassified from wait time to IPC at wake).
+    pub ipc_during_wait: Cycles,
+    pub pending_op: Option<ProcOp>,
+    pub mem: NodeMemory,
+    pub ctrl: Controller,
+    pub stats: NodeStats,
+    // --- TreadMarks state ---
+    pub vt: VectorTime,
+    pub pages: HashMap<PageId, TmPage>,
+    pub store: IntervalStore,
+    /// Diffs this node created for its own writes, keyed by (page, interval).
+    pub diffs: HashMap<(PageId, IntervalId), Diff>,
+    pub cur_dirty: Vec<PageId>,
+    pub last_barrier_vt: VectorTime,
+    pub held_locks: HashSet<LockId>,
+    /// Locks whose grant token this node possesses (held or last released
+    /// here and not yet passed on).
+    pub owned_locks: HashSet<LockId>,
+    /// Forwarded acquire requests queued while this node holds the lock.
+    pub lock_queue: HashMap<LockId, VecDeque<(usize, VectorTime)>>,
+    pub prefetches: HashMap<PageId, PrefetchState>,
+    // --- AURC state ---
+    pub aurc_pages: HashMap<PageId, AurcLocal>,
+    pub wcache: WriteCache,
+    /// At a home node: per-page arrival horizon of incoming updates.
+    pub home_horizon: HashMap<PageId, Cycles>,
+    /// Per-destination arrival horizon of updates this node has emitted.
+    pub out_horizon: Vec<Cycles>,
+}
+
+impl Node {
+    fn new(pid: usize, params: &SysParams) -> Self {
+        let _ = pid;
+        Node {
+            time: 0,
+            status: ProcStatus::Runnable,
+            wait: Wait::None,
+            wait_start: 0,
+            ipc_during_wait: 0,
+            pending_op: None,
+            mem: NodeMemory::new(params),
+            ctrl: Controller::new(),
+            stats: NodeStats::default(),
+            vt: VectorTime::new(params.nprocs),
+            pages: HashMap::new(),
+            store: IntervalStore::new(),
+            diffs: HashMap::new(),
+            cur_dirty: Vec::new(),
+            last_barrier_vt: VectorTime::new(params.nprocs),
+            held_locks: HashSet::new(),
+            owned_locks: HashSet::new(),
+            lock_queue: HashMap::new(),
+            prefetches: HashMap::new(),
+            aurc_pages: HashMap::new(),
+            wcache: WriteCache {
+                entries: VecDeque::new(),
+                capacity: params.write_cache_entries,
+            },
+            home_horizon: HashMap::new(),
+            out_horizon: vec![0; params.nprocs],
+        }
+    }
+}
+
+/// Pending barrier episode at its manager.
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    pub arrived: usize,
+    pub merged_vt: Option<VectorTime>,
+    pub anns: IntervalStore,
+    /// AURC: `horizons[src][dst]` arrival horizon reported by each arrival.
+    pub horizons: Vec<Vec<Cycles>>,
+}
+
+/// The complete simulated machine for one run.
+pub struct Simulation {
+    pub(crate) params: SysParams,
+    pub(crate) protocol: Protocol,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) net: Network,
+    pub(crate) nodes: Vec<Node>,
+    /// Lock manager state: last owner per lock (chain head).
+    pub(crate) lock_last: HashMap<LockId, usize>,
+    pub(crate) barriers: HashMap<BarrierId, BarrierState>,
+    /// AURC master data plane and global sharing modes.
+    pub(crate) master: HashMap<PageId, PageBuf>,
+    pub(crate) aurc_modes: HashMap<PageId, AurcMode>,
+    pub(crate) done: usize,
+    pub(crate) seq: bool,
+    pub(crate) trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl Simulation {
+    /// Builds a machine with the given parameters and protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`SysParams::validate`].
+    pub fn new(params: SysParams, protocol: Protocol) -> Self {
+        params.validate().expect("invalid system parameters");
+        let n = params.nprocs;
+        Simulation {
+            queue: EventQueue::new(),
+            net: Network::new(n),
+            nodes: (0..n).map(|p| Node::new(p, &params)).collect(),
+            lock_last: HashMap::new(),
+            barriers: HashMap::new(),
+            master: HashMap::new(),
+            aurc_modes: HashMap::new(),
+            done: 0,
+            seq: n == 1,
+            trace: Vec::new(),
+            params,
+            protocol,
+        }
+    }
+
+    /// Runs `body` on every simulated processor to completion and returns
+    /// the run's statistics.
+    ///
+    /// The body receives `(pid, port)` and must finish with
+    /// [`ProcOp::Finish`] (the `ncp2-apps` framework does this for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (blocked processors with no pending events) and on
+    /// workload panics.
+    pub fn run<F>(mut self, body: F) -> RunResult
+    where
+        F: Fn(usize, ncp2_sim::ProcPort) + Send + Sync + 'static,
+    {
+        let harness = ProcHarness::spawn(self.params.nprocs, body);
+        let n = self.params.nprocs;
+        while self.done < n {
+            let next_proc = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, nd)| nd.status == ProcStatus::Runnable)
+                .min_by_key(|(pid, nd)| (nd.time, *pid))
+                .map(|(pid, nd)| (pid, nd.time));
+            let next_ev = self.queue.peek_time();
+            match (next_proc, next_ev) {
+                (Some((pid, pt)), Some(et)) => {
+                    if et <= pt {
+                        let ev = self.queue.pop().expect("peeked event");
+                        self.handle_event(ev.time, ev.payload, &harness);
+                    } else {
+                        self.step_proc(pid, &harness);
+                    }
+                }
+                (Some((pid, _)), None) => self.step_proc(pid, &harness),
+                (None, Some(_)) => {
+                    let ev = self.queue.pop().expect("peeked event");
+                    self.handle_event(ev.time, ev.payload, &harness);
+                }
+                (None, None) => {
+                    let stuck: Vec<usize> = self
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, nd)| nd.status == ProcStatus::Blocked)
+                        .map(|(p, _)| p)
+                        .collect();
+                    panic!("simulation deadlock: processors {stuck:?} blocked with no events");
+                }
+            }
+        }
+        harness.join();
+        self.finish()
+    }
+
+    fn finish(mut self) -> RunResult {
+        let total = self.nodes.iter().map(|nd| nd.time).max().unwrap_or(0);
+        for nd in &mut self.nodes {
+            nd.stats.controller_busy = nd.ctrl.busy();
+        }
+        RunResult {
+            protocol: self.protocol.label().to_string(),
+            nprocs: self.params.nprocs,
+            total_cycles: total,
+            nodes: self.nodes.iter().map(|nd| nd.stats).collect(),
+            net: self.net.stats(),
+            checksum: 0,
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    // ----- processor stepping -------------------------------------------
+
+    fn step_proc(&mut self, pid: usize, harness: &ProcHarness) {
+        let op = harness.next_op(pid);
+        match op {
+            ProcOp::Compute(c) => {
+                self.advance(pid, c, Category::Busy);
+                harness.reply(pid, ProcReply::Ack);
+            }
+            ProcOp::Read { .. } | ProcOp::Write { .. } => {
+                self.nodes[pid].pending_op = Some(op);
+                if let Some(reply) = self.access(pid, op) {
+                    self.nodes[pid].pending_op = None;
+                    harness.reply(pid, reply);
+                }
+                // else: blocked; replied at wake.
+            }
+            ProcOp::Lock(l) => {
+                self.nodes[pid].pending_op = Some(op);
+                if self.seq {
+                    self.advance(pid, 10, Category::Synch);
+                    self.nodes[pid].pending_op = None;
+                    harness.reply(pid, ProcReply::Ack);
+                } else {
+                    self.op_lock(pid, l);
+                }
+            }
+            ProcOp::Unlock(l) => {
+                if self.seq {
+                    self.advance(pid, 10, Category::Synch);
+                } else {
+                    self.op_unlock(pid, l);
+                }
+                harness.reply(pid, ProcReply::Ack);
+            }
+            ProcOp::Barrier(b) => {
+                self.nodes[pid].pending_op = Some(op);
+                if self.seq {
+                    self.advance(pid, 10, Category::Synch);
+                    self.nodes[pid].pending_op = None;
+                    harness.reply(pid, ProcReply::Ack);
+                } else {
+                    self.op_barrier(pid, b);
+                }
+            }
+            ProcOp::Finish => {
+                self.nodes[pid].status = ProcStatus::Done;
+                self.done += 1;
+                harness.reply(pid, ProcReply::Ack);
+            }
+        }
+    }
+
+    /// Performs a read/write op. Returns `Some(reply)` when it completed
+    /// synchronously, `None` when the processor blocked.
+    fn access(&mut self, pid: usize, op: ProcOp) -> Option<ProcReply> {
+        if self.seq {
+            return Some(self.seq_access(pid, op));
+        }
+        match self.protocol {
+            Protocol::TreadMarks(_) => self.tm_access(pid, op),
+            Protocol::Aurc { .. } => self.aurc_access(pid, op),
+        }
+    }
+
+    fn seq_access(&mut self, pid: usize, op: ProcOp) -> ProcReply {
+        let (addr, write) = match op {
+            ProcOp::Read { addr, .. } => (addr, false),
+            ProcOp::Write { addr, .. } => (addr, true),
+            _ => unreachable!("seq_access on non-memory op"),
+        };
+        self.charge_mem(pid, addr, write);
+        let page = page_of(addr, self.params.page_bytes);
+        let buf = self
+            .master
+            .entry(page)
+            .or_insert_with(|| PageBuf::new(self.params.page_bytes));
+        let off = (addr % self.params.page_bytes) as usize;
+        match op {
+            ProcOp::Read { bytes, .. } => ProcReply::Value(buf.read(off, bytes)),
+            ProcOp::Write { bytes, value, .. } => {
+                buf.write(off, bytes, value);
+                ProcReply::Ack
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ----- shared helpers -----------------------------------------------
+
+    /// Advances `pid`'s clock by `c` cycles of `cat`.
+    pub(crate) fn advance(&mut self, pid: usize, c: Cycles, cat: Category) {
+        let nd = &mut self.nodes[pid];
+        nd.time += c;
+        nd.stats.breakdown.add(cat, c);
+    }
+
+    /// Runs the hardware timing of one data reference and charges the
+    /// breakdown (1 busy cycle on a hit; TLB/stall cycles as Other).
+    pub(crate) fn charge_mem(&mut self, pid: usize, addr: u64, write: bool) {
+        let now = self.nodes[pid].time;
+        let params = self.params.clone();
+        let nd = &mut self.nodes[pid];
+        let out = if write {
+            nd.mem.write(now, addr, &params)
+        } else {
+            nd.mem.read(now, addr, &params)
+        };
+        let hit_cycles = if out.cache_hit || write { 1 } else { 0 };
+        let other = (out.done - now).saturating_sub(hit_cycles);
+        nd.time = out.done;
+        nd.stats.breakdown.add(Category::Busy, hit_cycles);
+        nd.stats.breakdown.add(Category::Other, other);
+    }
+
+    /// Charges `dur` cycles of unexpected service work to processor `pid`
+    /// starting at event time `now`; returns the service completion time.
+    ///
+    /// * Runnable processors are preempted (their clock is pushed back).
+    /// * Blocked processors overlap the service with their wait; the cycles
+    ///   are reclassified from wait time to `cat` at wake.
+    /// * Finished processors absorb the work without extending the run.
+    pub(crate) fn interrupt_proc(
+        &mut self,
+        pid: usize,
+        now: Cycles,
+        dur: Cycles,
+        cat: Category,
+    ) -> Cycles {
+        let nd = &mut self.nodes[pid];
+        match nd.status {
+            ProcStatus::Runnable => {
+                nd.time += dur;
+                nd.stats.breakdown.add(cat, dur);
+            }
+            ProcStatus::Blocked => {
+                nd.ipc_during_wait += dur;
+            }
+            ProcStatus::Done => {
+                nd.stats.breakdown.add(cat, dur);
+            }
+        }
+        now + dur
+    }
+
+    /// Records a protocol trace event when tracing is enabled.
+    pub(crate) fn record(&mut self, time: Cycles, node: usize, kind: crate::trace::TraceKind) {
+        if self.params.trace {
+            self.trace
+                .push(crate::trace::TraceEvent { time, node, kind });
+        }
+    }
+
+    /// Schedules delivery of `msg` leaving `src` at `t`.
+    pub(crate) fn dispatch(&mut self, t: Cycles, src: usize, dst: usize, msg: Msg) {
+        let bytes = msg.bytes(self.params.page_bytes, self.params.page_words());
+        self.record(
+            t,
+            src,
+            crate::trace::TraceKind::MsgSent {
+                dst,
+                bytes,
+                prefetch: msg.is_prefetch(),
+            },
+        );
+        let prio = if msg.is_prefetch() {
+            Priority::Low
+        } else {
+            Priority::Normal
+        };
+        let params = self.params.clone();
+        let arrival = self.net.transfer(t, src, dst, bytes, &params);
+        self.queue.push(arrival, prio, Ev::Msg { dst, msg });
+    }
+
+    /// Sends a message with the setup performed by the **protocol
+    /// controller** (I-modes): occupies the controller, not the processor.
+    pub(crate) fn ctrl_send(&mut self, t: Cycles, src: usize, dst: usize, msg: Msg) {
+        let oh = self.params.messaging_overhead;
+        let (_, end) = self.nodes[src].ctrl.run_io(t, oh);
+        self.dispatch(end, src, dst, msg);
+    }
+
+    /// Blocks `pid` with the given wait reason.
+    pub(crate) fn block(&mut self, pid: usize, wait: Wait) {
+        let nd = &mut self.nodes[pid];
+        debug_assert_eq!(nd.status, ProcStatus::Runnable, "double block of {pid}");
+        nd.status = ProcStatus::Blocked;
+        nd.wait_start = nd.time;
+        nd.ipc_during_wait = 0;
+        nd.wait = wait;
+    }
+
+    /// Schedules `pid` to wake at `t`.
+    pub(crate) fn schedule_wake(&mut self, pid: usize, t: Cycles) {
+        self.queue.push(t, Priority::Urgent, Ev::Wake { pid });
+    }
+
+    // ----- event handling -------------------------------------------------
+
+    fn handle_event(&mut self, t: Cycles, ev: Ev, harness: &ProcHarness) {
+        match ev {
+            Ev::Wake { pid } => self.handle_wake(pid, t, harness),
+            Ev::Msg { dst, msg } => self.handle_msg(dst, t, msg),
+        }
+    }
+
+    fn handle_wake(&mut self, pid: usize, t: Cycles, harness: &ProcHarness) {
+        let cat = self.nodes[pid].wait.category();
+        {
+            let nd = &mut self.nodes[pid];
+            debug_assert_eq!(nd.status, ProcStatus::Blocked, "wake of non-blocked {pid}");
+            let wait_dur = t.saturating_sub(nd.wait_start);
+            let reclass = nd.ipc_during_wait.min(wait_dur);
+            nd.stats.breakdown.add(cat, wait_dur - reclass);
+            nd.stats.breakdown.add(Category::Ipc, reclass);
+            nd.ipc_during_wait = 0;
+            nd.time = nd.wait_start.max(t);
+            nd.status = ProcStatus::Runnable;
+            nd.wait = Wait::None;
+        }
+        let op = self.nodes[pid].pending_op.expect("wake without pending op");
+        match op {
+            ProcOp::Read { .. } | ProcOp::Write { .. } => {
+                // The access retries; it may block again (e.g. new notices
+                // arrived for the page while a prefetch was in flight).
+                if let Some(reply) = self.access(pid, op) {
+                    self.nodes[pid].pending_op = None;
+                    harness.reply(pid, reply);
+                }
+            }
+            ProcOp::Lock(_) | ProcOp::Barrier(_) => {
+                self.nodes[pid].pending_op = None;
+                harness.reply(pid, ProcReply::Ack);
+            }
+            other => unreachable!("unexpected pending op {other:?}"),
+        }
+    }
+
+    fn handle_msg(&mut self, dst: usize, t: Cycles, msg: Msg) {
+        match msg {
+            Msg::LockReq { lock, acquirer, vt } => self.on_lock_req(dst, t, lock, acquirer, vt),
+            Msg::LockForward { lock, acquirer, vt } => {
+                self.on_lock_forward(dst, t, lock, acquirer, vt)
+            }
+            Msg::LockGrant {
+                lock,
+                anns,
+                update_horizon,
+            } => self.on_lock_grant(dst, t, lock, anns, update_horizon),
+            Msg::BarrierArrive {
+                barrier,
+                from,
+                vt,
+                anns,
+                horizons,
+            } => self.on_barrier_arrive(dst, t, barrier, from, vt, anns, horizons),
+            Msg::BarrierRelease {
+                vt,
+                anns,
+                update_horizon,
+                ..
+            } => self.on_barrier_release(dst, t, vt, anns, update_horizon),
+            Msg::DiffReq {
+                page,
+                intervals,
+                requester,
+                requester_vt,
+                prefetch,
+                want_page,
+            } => self.on_diff_req(
+                dst,
+                t,
+                page,
+                intervals,
+                requester,
+                requester_vt,
+                prefetch,
+                want_page,
+            ),
+            Msg::DiffReply {
+                page,
+                diffs,
+                full_page,
+                prefetch,
+            } => self.on_diff_reply(dst, t, page, diffs, full_page, prefetch),
+            Msg::AurcUpdate { page, .. } => self.on_aurc_update(dst, t, page),
+            Msg::AurcPageReq {
+                page,
+                requester,
+                prefetch,
+            } => self.on_aurc_page_req(dst, t, page, requester, prefetch),
+            Msg::AurcPageReply { page, prefetch } => {
+                self.on_aurc_page_reply(dst, t, page, prefetch)
+            }
+        }
+    }
+
+    /// Sends `msg` from `src`, charging the per-message software overhead to
+    /// the right engine: the protocol controller under the I-modes, the
+    /// computation processor otherwise. `servicing` selects preemptive
+    /// charging ([`Self::interrupt_proc`]) over in-line charging (the
+    /// processor is the acting party). Advances `*t` to the injection time.
+    pub(crate) fn send_msg(
+        &mut self,
+        t: &mut Cycles,
+        src: usize,
+        dst: usize,
+        msg: Msg,
+        cat: Category,
+        servicing: bool,
+    ) {
+        let offload = matches!(self.protocol, Protocol::TreadMarks(m) if m.offload());
+        if offload {
+            let issue = Controller::issue_cost(&self.params);
+            if servicing {
+                *t = self.interrupt_proc(src, *t, issue, cat);
+            } else {
+                self.advance(src, issue, cat);
+                *t = self.nodes[src].time;
+            }
+            self.ctrl_send(*t, src, dst, msg);
+        } else {
+            let oh = self.params.messaging_overhead;
+            if servicing {
+                *t = self.interrupt_proc(src, *t, oh, cat);
+            } else {
+                self.advance(src, oh, cat);
+                *t = self.nodes[src].time;
+            }
+            self.dispatch(*t, src, dst, msg);
+        }
+    }
+
+    // ----- small accessors used by the protocol modules -------------------
+
+    /// The overlap mode (TreadMarks protocols only).
+    pub(crate) fn mode(&self) -> crate::protocol::OverlapMode {
+        match self.protocol {
+            Protocol::TreadMarks(m) => m,
+            Protocol::Aurc { .. } => unreachable!("mode() called under AURC"),
+        }
+    }
+
+    /// Lazily materializes node `pid`'s copy of `page`.
+    pub(crate) fn tm_page(&mut self, pid: usize, page: PageId) -> &mut TmPage {
+        let (pb, pw) = (self.params.page_bytes, self.params.page_words());
+        self.nodes[pid]
+            .pages
+            .entry(page)
+            .or_insert_with(|| TmPage::new(pb, pw))
+    }
+
+    /// Lazily materializes the AURC master copy of `page`.
+    pub(crate) fn master_page(&mut self, page: PageId) -> &mut PageBuf {
+        let pb = self.params.page_bytes;
+        self.master.entry(page).or_insert_with(|| PageBuf::new(pb))
+    }
+
+    /// Aggregated breakdown over every node (testing aid).
+    pub fn aggregate(&self) -> Breakdown {
+        self.nodes.iter().map(|n| n.stats.breakdown).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OverlapMode;
+
+    fn sim(n: usize) -> Simulation {
+        Simulation::new(
+            SysParams::default().with_nprocs(n),
+            Protocol::TreadMarks(OverlapMode::Base),
+        )
+    }
+
+    #[test]
+    fn write_cache_combines_and_evicts_fifo() {
+        let mut wc = WriteCache {
+            entries: VecDeque::new(),
+            capacity: 2,
+        };
+        assert_eq!(wc.insert(1, 0), InsertOutcome::Inserted { evicted: None });
+        assert_eq!(wc.insert(1, 0), InsertOutcome::Combined);
+        assert_eq!(wc.insert(2, 0), InsertOutcome::Inserted { evicted: None });
+        assert_eq!(
+            wc.insert(3, 0),
+            InsertOutcome::Inserted {
+                evicted: Some((1, 0))
+            }
+        );
+        let flushed = wc.flush();
+        assert_eq!(flushed, vec![(2, 0), (3, 0)]);
+        assert!(wc.entries.is_empty());
+    }
+
+    #[test]
+    fn write_cache_keys_on_line_and_destination() {
+        let mut wc = WriteCache {
+            entries: VecDeque::new(),
+            capacity: 4,
+        };
+        assert_eq!(wc.insert(7, 0), InsertOutcome::Inserted { evicted: None });
+        // Same line to a different destination is a distinct entry.
+        assert_eq!(wc.insert(7, 1), InsertOutcome::Inserted { evicted: None });
+        assert_eq!(wc.insert(7, 0), InsertOutcome::Combined);
+        assert_eq!(wc.entries.len(), 2);
+    }
+
+    #[test]
+    fn wait_categories_match_paper_buckets() {
+        assert_eq!(Wait::Fault(FaultWait::default()).category(), Category::Data);
+        assert_eq!(Wait::PrefetchJoin { page: 0 }.category(), Category::Data);
+        assert_eq!(Wait::AurcFault { page: 0 }.category(), Category::Data);
+        assert_eq!(Wait::Lock { lock: 0 }.category(), Category::Synch);
+        assert_eq!(Wait::Barrier.category(), Category::Synch);
+    }
+
+    #[test]
+    fn interrupt_proc_preempts_runnable_processors() {
+        let mut s = sim(2);
+        s.nodes[1].time = 1000;
+        let done = s.interrupt_proc(1, 500, 100, Category::Ipc);
+        assert_eq!(done, 600, "service completes at event time + duration");
+        assert_eq!(s.nodes[1].time, 1100, "the processor is pushed back");
+        assert_eq!(s.nodes[1].stats.breakdown.ipc, 100);
+    }
+
+    #[test]
+    fn interrupt_proc_overlaps_blocked_processors() {
+        let mut s = sim(2);
+        s.nodes[1].status = ncp2_sim::ProcStatus::Blocked;
+        s.nodes[1].wait_start = 400;
+        let done = s.interrupt_proc(1, 500, 100, Category::Ipc);
+        assert_eq!(done, 600);
+        assert_eq!(
+            s.nodes[1].ipc_during_wait, 100,
+            "charged against the wait at wake"
+        );
+        assert_eq!(
+            s.nodes[1].stats.breakdown.ipc, 0,
+            "not yet in the breakdown"
+        );
+    }
+
+    #[test]
+    fn advance_tags_categories() {
+        let mut s = sim(1);
+        s.advance(0, 10, Category::Busy);
+        s.advance(0, 5, Category::Synch);
+        assert_eq!(s.nodes[0].time, 15);
+        assert_eq!(s.nodes[0].stats.breakdown.busy, 10);
+        assert_eq!(s.nodes[0].stats.breakdown.synch, 5);
+    }
+
+    #[test]
+    fn tm_page_is_lazily_zeroed_and_readable() {
+        let mut s = sim(2);
+        let tp = s.tm_page(1, 42);
+        assert_eq!(tp.state, PageState::ReadOnly);
+        assert_eq!(tp.data.read(0, 8), 0);
+        assert!(!tp.referenced && tp.pending.is_empty());
+        // Master pages too.
+        assert_eq!(s.master_page(7).read(64, 4), 0);
+    }
+
+    #[test]
+    fn dispatch_prioritizes_prefetch_messages_low() {
+        let mut s = sim(2);
+        let demand = Msg::AurcPageReq {
+            page: 0,
+            requester: 0,
+            prefetch: false,
+        };
+        let pf = Msg::AurcPageReq {
+            page: 1,
+            requester: 0,
+            prefetch: true,
+        };
+        assert!(!demand.is_prefetch());
+        assert!(pf.is_prefetch());
+        // At equal delivery time, the queue orders by priority: the demand
+        // message (Normal) pops before the prefetch (Low) even though it
+        // was pushed second — the paper's command-priority mechanism.
+        let prio = |m: &Msg| {
+            if m.is_prefetch() {
+                Priority::Low
+            } else {
+                Priority::Normal
+            }
+        };
+        s.queue.push(100, prio(&pf), Ev::Msg { dst: 1, msg: pf });
+        s.queue.push(
+            100,
+            prio(&demand),
+            Ev::Msg {
+                dst: 1,
+                msg: demand,
+            },
+        );
+        let first = s.queue.pop().expect("event");
+        match first.payload {
+            Ev::Msg {
+                msg: Msg::AurcPageReq { prefetch, .. },
+                ..
+            } => assert!(!prefetch),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system parameters")]
+    fn bad_params_are_rejected() {
+        let p = SysParams {
+            page_bytes: 3000,
+            ..SysParams::default()
+        };
+        let _ = Simulation::new(p, Protocol::TreadMarks(OverlapMode::Base));
+    }
+}

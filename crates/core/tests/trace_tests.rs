@@ -1,0 +1,97 @@
+//! Tests for the optional protocol event trace.
+
+use ncp2_core::{trace_csv, OverlapMode, Protocol, Simulation, TraceKind};
+use ncp2_sim::{ProcOp, SysParams};
+
+fn run_traced(proto: Protocol) -> ncp2_core::RunResult {
+    let params = SysParams {
+        trace: true,
+        ..SysParams::default().with_nprocs(4)
+    };
+    Simulation::new(params, proto).run(|pid, port| {
+        port.call(ProcOp::Lock(1));
+        let v = port.call(ProcOp::Read { addr: 0, bytes: 4 }).value();
+        port.call(ProcOp::Write {
+            addr: 0,
+            bytes: 4,
+            value: v + pid as u64 + 1,
+        });
+        port.call(ProcOp::Unlock(1));
+        port.call(ProcOp::Barrier(0));
+        port.call(ProcOp::Finish);
+    })
+}
+
+#[test]
+fn trace_records_the_protocol_story() {
+    let r = run_traced(Protocol::TreadMarks(OverlapMode::Base));
+    assert!(!r.trace.is_empty(), "tracing was enabled");
+    let count = |pred: fn(&TraceKind) -> bool| r.trace.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(count(|k| matches!(k, TraceKind::LockAcquired { .. })), 4);
+    assert_eq!(count(|k| matches!(k, TraceKind::BarrierReleased)), 4);
+    assert!(
+        count(|k| matches!(k, TraceKind::Fault { .. })) >= 3,
+        "later acquirers fault"
+    );
+    assert!(count(|k| matches!(k, TraceKind::MsgSent { .. })) > 8);
+    // Timestamps are sane and non-decreasing is NOT required (events from
+    // different nodes interleave), but every event fits inside the run.
+    assert!(r
+        .trace
+        .iter()
+        .all(|e| e.time <= r.total_cycles && e.node < 4));
+}
+
+#[test]
+fn trace_is_off_by_default() {
+    let r = Simulation::new(
+        SysParams::default().with_nprocs(2),
+        Protocol::TreadMarks(OverlapMode::Base),
+    )
+    .run(|_, port| {
+        port.call(ProcOp::Write {
+            addr: 0,
+            bytes: 4,
+            value: 1,
+        });
+        port.call(ProcOp::Barrier(0));
+        port.call(ProcOp::Finish);
+    });
+    assert!(r.trace.is_empty());
+}
+
+#[test]
+fn trace_renders_to_csv() {
+    let r = run_traced(Protocol::Aurc { prefetch: false });
+    let csv = trace_csv(&r.trace);
+    assert_eq!(csv.lines().count(), r.trace.len() + 1);
+    assert!(csv.contains("msg_sent"));
+    assert!(csv.contains("lock_acquired"));
+}
+
+#[test]
+fn traced_and_untraced_runs_have_identical_timing() {
+    let traced = run_traced(Protocol::TreadMarks(OverlapMode::ID));
+    let untraced = {
+        let params = SysParams {
+            trace: false,
+            ..SysParams::default().with_nprocs(4)
+        };
+        Simulation::new(params, Protocol::TreadMarks(OverlapMode::ID)).run(|pid, port| {
+            port.call(ProcOp::Lock(1));
+            let v = port.call(ProcOp::Read { addr: 0, bytes: 4 }).value();
+            port.call(ProcOp::Write {
+                addr: 0,
+                bytes: 4,
+                value: v + pid as u64 + 1,
+            });
+            port.call(ProcOp::Unlock(1));
+            port.call(ProcOp::Barrier(0));
+            port.call(ProcOp::Finish);
+        })
+    };
+    assert_eq!(
+        traced.total_cycles, untraced.total_cycles,
+        "tracing must be timing-neutral"
+    );
+}

@@ -1,0 +1,165 @@
+//! Direct-mapped first-level data cache (timing side).
+//!
+//! 128 KB total, 32-byte lines by default. Shared pages are kept
+//! **write-through** (§3.1: "forcing the cache to write shared data through
+//! to the bus") so the protocol controller can snoop stores and maintain
+//! per-page dirty-word bit vectors; writes are no-write-allocate.
+
+/// Direct-mapped cache tag array.
+///
+/// ```
+/// use ncp2_mem::Cache;
+/// let mut c = Cache::new(4096, 32);
+/// assert!(!c.read(0x40));      // cold miss fills the line
+/// assert!(c.read(0x44));       // same 32-byte line
+/// assert!(!c.read(0x40 + 4096 * 32)); // conflicting tag evicts it
+/// assert!(!c.read(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    tags: Vec<Option<u64>>,
+    line_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache with `lines` direct-mapped entries of `line_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `line_bytes` is not a power of two.
+    pub fn new(lines: u64, line_bytes: u64) -> Self {
+        assert!(lines > 0, "cache needs at least one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            tags: vec![None; lines as usize],
+            line_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn slot(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        ((line % self.tags.len() as u64) as usize, line)
+    }
+
+    /// Read lookup; fills the line on a miss. Returns whether it hit.
+    pub fn read(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.slot(addr);
+        if self.tags[idx] == Some(tag) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.tags[idx] = Some(tag);
+            false
+        }
+    }
+
+    /// Write lookup; write-through, **no** allocate on miss. Returns whether
+    /// it hit (and updated) a resident line.
+    pub fn write(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.slot(addr);
+        if self.tags[idx] == Some(tag) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates every resident line of the page starting at `page_base`
+    /// (used when the protocol controller or network interface writes data
+    /// directly to local memory — the processor snoop of §3.1).
+    pub fn invalidate_page(&mut self, page_base: u64, page_bytes: u64) {
+        let first_line = page_base / self.line_bytes;
+        let lines_per_page = page_bytes / self.line_bytes;
+        for line in first_line..first_line + lines_per_page {
+            let idx = (line % self.tags.len() as u64) as usize;
+            if self.tags[idx] == Some(line) {
+                self.tags[idx] = None;
+            }
+        }
+    }
+
+    /// Invalidates the single line containing `addr` if resident.
+    pub fn invalidate_line(&mut self, addr: u64) {
+        let (idx, tag) = self.slot(addr);
+        if self.tags[idx] == Some(tag) {
+            self.tags[idx] = None;
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = Cache::new(64, 32);
+        assert!(!c.read(100));
+        for off in 96..128 {
+            assert!(c.read(off), "address {off} shares the line");
+        }
+        assert!(!c.read(128));
+    }
+
+    #[test]
+    fn write_does_not_allocate() {
+        let mut c = Cache::new(64, 32);
+        assert!(!c.write(0));
+        assert!(!c.read(0), "write miss must not have filled the line");
+        assert!(c.write(0), "read fill makes later writes hit");
+    }
+
+    #[test]
+    fn conflict_misses() {
+        let mut c = Cache::new(8, 32);
+        let stride = 8 * 32;
+        assert!(!c.read(0));
+        assert!(!c.read(stride)); // maps to the same set, evicts
+        assert!(!c.read(0));
+    }
+
+    #[test]
+    fn page_invalidation_clears_resident_lines() {
+        let mut c = Cache::new(4096, 32);
+        for addr in (4096..8192).step_by(32) {
+            c.read(addr);
+        }
+        c.invalidate_page(4096, 4096);
+        assert!(!c.read(4096));
+        assert!(!c.read(8160));
+    }
+
+    #[test]
+    fn line_invalidation_is_precise() {
+        let mut c = Cache::new(4096, 32);
+        c.read(0);
+        c.read(32);
+        c.invalidate_line(0);
+        assert!(!c.read(0));
+        assert!(c.read(32));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = Cache::new(16, 32);
+        c.read(0);
+        c.read(0);
+        c.write(0);
+        assert_eq!(c.stats(), (2, 1));
+    }
+}

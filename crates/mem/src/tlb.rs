@@ -1,0 +1,123 @@
+//! 128-entry TLB with FIFO replacement.
+
+use std::collections::VecDeque;
+
+/// Translation lookaside buffer, fully associative with FIFO replacement.
+///
+/// The paper charges a 100-cycle fill on a miss (Table 1); the cost lives in
+/// `SysParams`, this type only tracks residency.
+///
+/// ```
+/// use ncp2_mem::Tlb;
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.access(1)); // cold miss, now resident
+/// assert!(tlb.access(1));
+/// tlb.access(2);
+/// tlb.access(3); // evicts page 1 (FIFO)
+/// assert!(!tlb.access(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB holding `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `page`; on a miss, fills the entry (evicting FIFO-oldest).
+    /// Returns whether the lookup hit.
+    pub fn access(&mut self, page: u64) -> bool {
+        if self.entries.contains(&page) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(page);
+            false
+        }
+    }
+
+    /// Drops a translation (page remap / invalidation).
+    pub fn invalidate(&mut self, page: u64) {
+        self.entries.retain(|&p| p != page);
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no translations are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut tlb = Tlb::new(3);
+        for p in 0..3 {
+            assert!(!tlb.access(p));
+        }
+        assert!(!tlb.access(3)); // evicts 0
+        assert!(!tlb.access(0)); // 0 gone, evicts 1
+        assert!(tlb.access(2));
+        assert!(tlb.access(3));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.access(7);
+        assert!(tlb.access(7));
+        tlb.invalidate(7);
+        assert!(!tlb.access(7));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut tlb = Tlb::new(2);
+        tlb.access(1);
+        tlb.access(1);
+        tlb.access(2);
+        assert_eq!(tlb.stats(), (1, 2));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut tlb = Tlb::new(5);
+        for p in 0..100 {
+            tlb.access(p);
+            assert!(tlb.len() <= 5);
+        }
+        assert!(!tlb.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Finite write buffer between the processor and the memory bus.
+
+use std::collections::VecDeque;
+
+use ncp2_sim::{Cycles, FifoResource};
+
+/// A `capacity`-entry write buffer.
+///
+/// Each buffered store drains through the node's DRAM resource in FIFO
+/// order. A store issued while the buffer is full stalls the processor until
+/// the oldest entry retires — the paper's "write buffer stall time"
+/// component of the *others* category.
+///
+/// ```
+/// use ncp2_sim::FifoResource;
+/// use ncp2_mem::WriteBuffer;
+///
+/// let mut dram = FifoResource::new();
+/// let mut wb = WriteBuffer::new(1);
+/// assert_eq!(wb.push(0, &mut dram, 13), 0); // buffered, no stall
+/// let stall = wb.push(1, &mut dram, 13);    // full: waits for first drain
+/// assert_eq!(stall, 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    /// Drain-completion times of in-flight entries, oldest first.
+    drains: VecDeque<Cycles>,
+    capacity: usize,
+    stall_cycles: Cycles,
+    writes: u64,
+}
+
+impl WriteBuffer {
+    /// Creates an empty buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            drains: VecDeque::new(),
+            capacity,
+            stall_cycles: 0,
+            writes: 0,
+        }
+    }
+
+    /// Enqueues a store at time `now` whose memory transaction occupies
+    /// `drain_duration` cycles of `dram`. Returns the processor stall
+    /// (zero unless the buffer was full).
+    pub fn push(&mut self, now: Cycles, dram: &mut FifoResource, drain_duration: Cycles) -> Cycles {
+        self.writes += 1;
+        self.retire(now);
+        let mut stall = 0;
+        if self.drains.len() == self.capacity {
+            // Wait for the oldest entry to finish draining.
+            let free_at = self.drains.pop_front().expect("buffer was full");
+            stall = free_at.saturating_sub(now);
+            self.stall_cycles += stall;
+        }
+        let (_, end) = dram.reserve(now + stall, drain_duration);
+        self.drains.push_back(end);
+        stall
+    }
+
+    /// Retires entries whose drain completed by `now`.
+    pub fn retire(&mut self, now: Cycles) {
+        while self.drains.front().is_some_and(|&d| d <= now) {
+            self.drains.pop_front();
+        }
+    }
+
+    /// Time by which every buffered store will have reached memory; used at
+    /// release points where the DSM must wait for its writes to be visible.
+    pub fn drain_time(&self) -> Option<Cycles> {
+        self.drains.back().copied()
+    }
+
+    /// Entries currently in flight.
+    pub fn len(&self) -> usize {
+        self.drains.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.drains.is_empty()
+    }
+
+    /// Total processor stall cycles charged so far.
+    pub fn total_stall(&self) -> Cycles {
+        self.stall_cycles
+    }
+
+    /// Total stores pushed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stall_until_full() {
+        let mut dram = FifoResource::new();
+        let mut wb = WriteBuffer::new(4);
+        for i in 0..4 {
+            assert_eq!(wb.push(i, &mut dram, 13), 0);
+        }
+        assert!(wb.push(4, &mut dram, 13) > 0);
+    }
+
+    #[test]
+    fn retirement_frees_entries() {
+        let mut dram = FifoResource::new();
+        let mut wb = WriteBuffer::new(2);
+        wb.push(0, &mut dram, 10);
+        wb.push(0, &mut dram, 10);
+        assert_eq!(wb.len(), 2);
+        wb.retire(25);
+        assert_eq!(wb.len(), 0);
+        assert_eq!(wb.push(25, &mut dram, 10), 0);
+    }
+
+    #[test]
+    fn drain_time_tracks_last_entry() {
+        let mut dram = FifoResource::new();
+        let mut wb = WriteBuffer::new(4);
+        assert_eq!(wb.drain_time(), None);
+        wb.push(0, &mut dram, 10);
+        wb.push(0, &mut dram, 10);
+        assert_eq!(wb.drain_time(), Some(20));
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut dram = FifoResource::new();
+        let mut wb = WriteBuffer::new(1);
+        wb.push(0, &mut dram, 100);
+        let s = wb.push(0, &mut dram, 100);
+        assert_eq!(s, 100);
+        assert_eq!(wb.total_stall(), 100);
+        assert_eq!(wb.writes(), 2);
+    }
+}

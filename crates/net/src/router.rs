@@ -1,0 +1,191 @@
+//! Wormhole transfer timing with per-link contention.
+
+use ncp2_sim::{Cycles, SysParams};
+
+use crate::topology::Mesh;
+
+/// Aggregate traffic counters for congestion diagnosis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages injected.
+    pub messages: u64,
+    /// Payload bytes injected.
+    pub bytes: u64,
+    /// Sum over messages of (arrival − injection), cycles.
+    pub total_latency: Cycles,
+    /// Sum over messages of time spent blocked on busy links, cycles.
+    pub total_blocking: Cycles,
+}
+
+impl TrafficStats {
+    /// Mean end-to-end latency per message, cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.messages as f64
+        }
+    }
+
+    /// Mean cycles a message waited for contended links.
+    pub fn mean_blocking(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_blocking as f64 / self.messages as f64
+        }
+    }
+}
+
+/// The interconnect: a [`Mesh`] plus per-directed-link reservations.
+///
+/// The wormhole approximation: a message's head may enter the network once
+/// **all** links on its dimension-order path are free (a wormhole blocked
+/// mid-route holds its earlier links, so path-wide acquisition is the
+/// right coarse model); it then pipelines at one flit per
+/// `net_cycles_per_byte`, arriving `hops × (switch + wire) + serialization`
+/// later, and all path links are held until the tail drains.
+///
+/// ```
+/// use ncp2_sim::SysParams;
+/// use ncp2_net::Network;
+/// let p = SysParams::default();
+/// let mut net = Network::new(16);
+/// let a1 = net.transfer(0, 0, 3, 32, &p);
+/// // A second message over the same links must wait for the first's tail.
+/// let a2 = net.transfer(0, 0, 3, 32, &p);
+/// assert!(a2 > a1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    link_free: Vec<Cycles>,
+    stats: TrafficStats,
+}
+
+impl Network {
+    /// Builds the interconnect for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let mesh = Mesh::new(n);
+        let links = mesh.link_count().max(1);
+        Network {
+            mesh,
+            link_free: vec![0; links],
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Injects a `bytes`-byte message from `src` to `dst` at time `now`;
+    /// returns its arrival time at `dst`'s network interface.
+    ///
+    /// `src == dst` models a loopback NI transfer: serialization only.
+    pub fn transfer(
+        &mut self,
+        now: Cycles,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        params: &SysParams,
+    ) -> Cycles {
+        let serialization = params.net_serialize(bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        if src == dst {
+            let arrival = now + serialization;
+            self.stats.total_latency += arrival - now;
+            return arrival;
+        }
+        let path = self.mesh.route(src, dst);
+        let ready = path.iter().map(|&l| self.link_free[l]).max().unwrap_or(0);
+        let start = now.max(ready);
+        let head = path.len() as Cycles * params.hop_latency();
+        let arrival = start + head + serialization;
+        for &l in &path {
+            self.link_free[l] = arrival;
+        }
+        self.stats.total_blocking += start - now;
+        self.stats.total_latency += arrival - now;
+        arrival
+    }
+
+    /// Traffic counters since construction.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SysParams {
+        SysParams::default()
+    }
+
+    #[test]
+    fn uncontended_latency_formula() {
+        let mut net = Network::new(16);
+        // 0 -> 5 is 2 hops in a 4x4 mesh.
+        let arrival = net.transfer(100, 0, 5, 16, &p());
+        assert_eq!(arrival, 100 + 2 * 6 + 32);
+        assert_eq!(net.stats().total_blocking, 0);
+    }
+
+    #[test]
+    fn overlapping_paths_serialize() {
+        let mut net = Network::new(16);
+        let a1 = net.transfer(0, 0, 3, 4096, &p());
+        // 1 -> 2 uses a link inside 0 -> 3's path.
+        let a2 = net.transfer(0, 1, 2, 8, &p());
+        assert!(
+            a2 > a1,
+            "second message should block behind the page transfer"
+        );
+        assert!(net.stats().total_blocking > 0);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interact() {
+        let mut net = Network::new(16);
+        let a1 = net.transfer(0, 0, 1, 64, &p());
+        let a2 = net.transfer(0, 14, 15, 64, &p());
+        assert_eq!(a1, a2);
+        assert_eq!(net.stats().total_blocking, 0);
+    }
+
+    #[test]
+    fn bandwidth_sweep_scales_serialization() {
+        let params = p().with_net_bandwidth_mbps(200.0); // 0.5 cycles/byte
+        let mut net = Network::new(16);
+        let arrival = net.transfer(0, 0, 1, 1000, &params);
+        assert_eq!(arrival, 6 + 500);
+    }
+
+    #[test]
+    fn loopback_only_serializes() {
+        let mut net = Network::new(16);
+        assert_eq!(net.transfer(50, 7, 7, 10, &p()), 50 + 20);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = Network::new(4);
+        net.transfer(0, 0, 1, 100, &p());
+        net.transfer(0, 1, 0, 50, &p());
+        let s = net.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 150);
+        assert!(s.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn single_node_network_is_usable() {
+        let mut net = Network::new(1);
+        assert_eq!(net.transfer(0, 0, 0, 4, &p()), 8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Near-square 2-D mesh topology with dimension-order routing.
+
+/// A 2-D mesh of `width × height` nodes, numbered row-major.
+///
+/// For `n` nodes the constructor picks the most nearly square `width ×
+/// height = n` factorization (16 → 4×4, 8 → 4×2, 2 → 2×1), matching the
+/// paper's 16-node mesh.
+///
+/// ```
+/// use ncp2_net::Mesh;
+/// let m = Mesh::new(16);
+/// assert_eq!((m.width(), m.height()), (4, 4));
+/// assert_eq!(m.hops(0, 15), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+}
+
+/// A directed link between two adjacent mesh nodes, identified by index into
+/// the network's reservation table.
+pub type LinkId = usize;
+
+impl Mesh {
+    /// Builds the most nearly square mesh holding exactly `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "mesh needs at least one node");
+        let mut best = (n, 1);
+        let mut w = 1;
+        while w * w <= n {
+            if n.is_multiple_of(w) {
+                best = (n / w, w);
+            }
+            w += 1;
+        }
+        Mesh {
+            width: best.0,
+            height: best.1,
+        }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `(x, y)` coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// Node id at `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width && y < self.height, "coords out of range");
+        y * self.width + x
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Number of directed links in the mesh (each undirected edge counts
+    /// twice; the paper's paths are bidirectional).
+    pub fn link_count(&self) -> usize {
+        let horiz = (self.width - 1) * self.height;
+        let vert = self.width * (self.height - 1);
+        2 * (horiz + vert)
+    }
+
+    /// Directed link id from `from` to the adjacent node `to`.
+    ///
+    /// Layout: all east links, then west, then south (increasing y), then
+    /// north.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not adjacent.
+    pub fn link_id(&self, from: usize, to: usize) -> LinkId {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let horiz = (self.width - 1) * self.height;
+        let vert = self.width * (self.height - 1);
+        if fy == ty && tx == fx + 1 {
+            fy * (self.width - 1) + fx // east
+        } else if fy == ty && fx == tx + 1 {
+            horiz + fy * (self.width - 1) + tx // west
+        } else if fx == tx && ty == fy + 1 {
+            2 * horiz + fy * self.width + fx // south
+        } else if fx == tx && fy == ty + 1 {
+            2 * horiz + vert + ty * self.width + fx // north
+        } else {
+            panic!("nodes {from} and {to} are not adjacent");
+        }
+    }
+
+    /// The dimension-order (X then Y) route from `src` to `dst` as a list of
+    /// directed link ids. Empty when `src == dst`.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
+        while x != dx {
+            let nx = if dx > x { x + 1 } else { x - 1 };
+            links.push(self.link_id(self.node_at(x, y), self.node_at(nx, y)));
+            x = nx;
+        }
+        while y != dy {
+            let ny = if dy > y { y + 1 } else { y - 1 };
+            links.push(self.link_id(self.node_at(x, y), self.node_at(x, ny)));
+            y = ny;
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_factorizations() {
+        assert_eq!((Mesh::new(16).width(), Mesh::new(16).height()), (4, 4));
+        assert_eq!((Mesh::new(8).width(), Mesh::new(8).height()), (4, 2));
+        assert_eq!((Mesh::new(12).width(), Mesh::new(12).height()), (4, 3));
+        assert_eq!((Mesh::new(2).width(), Mesh::new(2).height()), (2, 1));
+        assert_eq!((Mesh::new(1).width(), Mesh::new(1).height()), (1, 1));
+        assert_eq!((Mesh::new(7).width(), Mesh::new(7).height()), (7, 1));
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh::new(16);
+        for n in 0..16 {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn link_ids_are_unique_and_dense() {
+        let m = Mesh::new(16);
+        let mut seen = vec![false; m.link_count()];
+        for y in 0..4 {
+            for x in 0..4 {
+                let n = m.node_at(x, y);
+                let mut neighbors = Vec::new();
+                if x + 1 < 4 {
+                    neighbors.push(m.node_at(x + 1, y));
+                }
+                if x > 0 {
+                    neighbors.push(m.node_at(x - 1, y));
+                }
+                if y + 1 < 4 {
+                    neighbors.push(m.node_at(x, y + 1));
+                }
+                if y > 0 {
+                    neighbors.push(m.node_at(x, y - 1));
+                }
+                for nb in neighbors {
+                    let id = m.link_id(n, nb);
+                    assert!(!seen[id], "duplicate link id {id}");
+                    seen[id] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "link id space not dense");
+    }
+
+    #[test]
+    fn routes_have_manhattan_length() {
+        let m = Mesh::new(16);
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(m.route(s, d).len() as u64, m.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = Mesh::new(16);
+        // 0 -> 15: east, east, east, then south, south, south.
+        let r = m.route(0, 15);
+        assert_eq!(r.len(), 6);
+        let e01 = m.link_id(0, 1);
+        assert_eq!(r[0], e01);
+        let s311 = m.link_id(3, 7);
+        assert_eq!(r[3], s311);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_link_panics() {
+        Mesh::new(16).link_id(0, 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! System parameters — Table 1 of the paper, plus the sweep knobs of §5.3.
+//!
+//! All times are in 10-ns processor cycles. The protocol controller's RISC
+//! core and DMA engine run at the computation-processor clock (paper §4.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{self, Cycles};
+
+/// Which invalid pages an acquire-time prefetch targets. The paper's
+/// heuristic prefetches every invalidated page that was ever cached and
+/// referenced; its companion report (Bianchini, Pinto & Amorim, "Page Fault
+/// Behavior and Prefetching in Software DSMs", 1996) explores less
+/// aggressive strategies, reproduced here as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchStrategy {
+    /// Every invalid page that was referenced at any point since it was
+    /// first touched (the paper's sticky heuristic).
+    AllReferenced,
+    /// Only pages that were referenced during their most recent validity
+    /// window — stale interest expires.
+    RecentlyReferenced,
+    /// The sticky heuristic capped at N pages per acquire (lowest page ids
+    /// first, deterministic).
+    Capped(usize),
+}
+
+/// Word size used for diff bit vectors and memory-transfer accounting (bytes).
+pub const WORD_BYTES: u64 = 4;
+
+/// Full simulated-system parameter set.
+///
+/// `SysParams::default()` reproduces Table 1 exactly; the `with_*` builders
+/// implement the §5.3 sweeps.
+///
+/// ```
+/// use ncp2_sim::SysParams;
+/// let p = SysParams::default();
+/// assert_eq!(p.nprocs, 16);
+/// assert_eq!(p.page_bytes, 4096);
+/// assert_eq!(p.messaging_overhead, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SysParams {
+    /// Number of workstation nodes (computation processors).
+    pub nprocs: usize,
+    /// TLB entries per processor.
+    pub tlb_entries: usize,
+    /// TLB fill service time (cycles).
+    pub tlb_fill: Cycles,
+    /// Cost of any interrupt delivered to the computation processor (cycles).
+    pub interrupt: Cycles,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Total first-level data cache per processor (bytes); direct mapped.
+    pub cache_bytes: u64,
+    /// Write buffer entries.
+    pub write_buffer_entries: usize,
+    /// AURC network-interface write cache entries.
+    pub write_cache_entries: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Memory setup time (cycles) before the first word of an access.
+    pub mem_setup: Cycles,
+    /// Memory access time after setup, cycles per 4-byte word (may be
+    /// fractional when swept to a target bandwidth).
+    pub mem_cycles_per_word: f64,
+    /// PCI setup time (cycles).
+    pub pci_setup: Cycles,
+    /// PCI burst access time after setup, cycles per word.
+    pub pci_cycles_per_word: f64,
+    /// Network serialization: cycles per byte on a link (8-bit path moving
+    /// one flit per 2-cycle wire hop = 2.0 = 50 MB/s).
+    pub net_cycles_per_byte: f64,
+    /// Software messaging overhead per message (network-interface setup).
+    pub messaging_overhead: Cycles,
+    /// Per-update-message overhead for AURC automatic updates. The paper's
+    /// default optimistically charges a single cycle; §5.3 shows AURC
+    /// degrading when updates pay the full messaging overhead.
+    pub au_messaging_overhead: Cycles,
+    /// Mesh switch latency per hop (cycles).
+    pub switch_latency: Cycles,
+    /// Wire latency per hop (cycles).
+    pub wire_latency: Cycles,
+    /// Protocol list processing (cycles per element).
+    pub list_processing: Cycles,
+    /// Software page twinning cost, cycles per word (plus memory accesses).
+    pub twin_cycles_per_word: Cycles,
+    /// Software diff creation/application, cycles per word (plus memory).
+    pub diff_cycles_per_word: Cycles,
+    /// DMA bit-vector scan: cycles for an all-clean 4-KB page.
+    pub dma_scan_base: Cycles,
+    /// DMA bit-vector scan: cycles for an all-dirty 4-KB page.
+    pub dma_scan_full: Cycles,
+    /// Enable AURC's optimized pairwise sharing (ablation knob; the paper's
+    /// AURC always has it on).
+    pub aurc_pairwise: bool,
+    /// TreadMarks faults with more pending write notices than this fetch the
+    /// whole page instead of a diff chain (ablation knob).
+    pub page_req_threshold: usize,
+    /// Acquire-time prefetch target selection (P/I+P/I+P+D and AURC+P).
+    pub prefetch_strategy: PrefetchStrategy,
+    /// Record a protocol event trace on the run result (off by default —
+    /// traces grow with every message).
+    pub trace: bool,
+    /// Master seed for workload randomness.
+    pub seed: u64,
+}
+
+impl Default for SysParams {
+    fn default() -> Self {
+        SysParams {
+            nprocs: 16,
+            tlb_entries: 128,
+            tlb_fill: 100,
+            interrupt: 400,
+            page_bytes: 4096,
+            cache_bytes: 128 * 1024,
+            write_buffer_entries: 4,
+            write_cache_entries: 4,
+            line_bytes: 32,
+            mem_setup: 10,
+            mem_cycles_per_word: 3.0,
+            pci_setup: 10,
+            pci_cycles_per_word: 3.0,
+            net_cycles_per_byte: 2.0,
+            messaging_overhead: 200,
+            au_messaging_overhead: 1,
+            switch_latency: 4,
+            wire_latency: 2,
+            list_processing: 6,
+            twin_cycles_per_word: 5,
+            diff_cycles_per_word: 7,
+            dma_scan_base: 200,
+            dma_scan_full: 2100,
+            aurc_pairwise: true,
+            page_req_threshold: 32,
+            prefetch_strategy: PrefetchStrategy::AllReferenced,
+            trace: false,
+            seed: 0x4E43_5032, // "NCP2"
+        }
+    }
+}
+
+impl SysParams {
+    /// Words per page.
+    pub fn page_words(&self) -> u64 {
+        self.page_bytes / WORD_BYTES
+    }
+
+    /// Words per cache line.
+    pub fn line_words(&self) -> u64 {
+        self.line_bytes / WORD_BYTES
+    }
+
+    /// Number of direct-mapped cache lines.
+    pub fn cache_lines(&self) -> u64 {
+        self.cache_bytes / self.line_bytes
+    }
+
+    /// Memory occupancy of a `words`-word access: setup plus per-word cycles.
+    pub fn mem_access(&self, words: u64) -> Cycles {
+        self.mem_setup + (self.mem_cycles_per_word * words as f64).round() as Cycles
+    }
+
+    /// PCI occupancy of a `words`-word burst.
+    pub fn pci_access(&self, words: u64) -> Cycles {
+        self.pci_setup + (self.pci_cycles_per_word * words as f64).round() as Cycles
+    }
+
+    /// Memory occupancy of `words` *scattered* words (diff scatter/gather):
+    /// setup is paid once per cache-line-sized chunk instead of once per
+    /// transfer, so scattered traffic is far more latency-sensitive than
+    /// whole-page bursts — the §5.3 asymmetry between the diff-based
+    /// TreadMarks and AURC's page copies.
+    pub fn mem_scattered(&self, words: u64) -> Cycles {
+        let chunk = self.line_words().max(1);
+        words.div_ceil(chunk) * self.mem_access(chunk)
+    }
+
+    /// DMA diff-engine bit-vector scan time for a page with `dirty_words`
+    /// set bits: linear interpolation between the paper's endpoints
+    /// (~200 cycles all-clean, ~2100 cycles all-dirty for a 4-KB page).
+    pub fn dma_scan(&self, dirty_words: u64) -> Cycles {
+        let full = self.page_words();
+        let span = self.dma_scan_full.saturating_sub(self.dma_scan_base);
+        self.dma_scan_base + span * dirty_words.min(full) / full
+    }
+
+    /// Network serialization time for a message body of `bytes`.
+    pub fn net_serialize(&self, bytes: u64) -> Cycles {
+        (self.net_cycles_per_byte * bytes as f64).ceil() as Cycles
+    }
+
+    /// Per-hop head latency (switch + wire).
+    pub fn hop_latency(&self) -> Cycles {
+        self.switch_latency + self.wire_latency
+    }
+
+    /// Network link bandwidth implied by `net_cycles_per_byte`, in MB/s.
+    pub fn net_bandwidth_mbps(&self) -> f64 {
+        time::bandwidth_mbps(1, self.net_cycles_per_byte)
+    }
+
+    /// Raw memory bandwidth implied by `mem_cycles_per_word`, in MB/s.
+    pub fn mem_bandwidth_mbps(&self) -> f64 {
+        time::bandwidth_mbps(WORD_BYTES, self.mem_cycles_per_word)
+    }
+
+    /// Memory latency implied by `mem_setup`, in nanoseconds (paper Fig 15's
+    /// x-axis: default 10 cycles = 100 ns).
+    pub fn mem_latency_ns(&self) -> u64 {
+        time::cycles_to_ns(self.mem_setup)
+    }
+
+    /// Sweep helper (Fig 13): sets the messaging overhead from a latency in
+    /// microseconds (2 µs = the 200-cycle default).
+    pub fn with_messaging_overhead_us(mut self, us: f64) -> Self {
+        self.messaging_overhead = (us * 100.0).round() as Cycles;
+        self
+    }
+
+    /// Sweep helper (Fig 13, second regime): make AURC automatic updates pay
+    /// the full per-message overhead instead of the optimistic single cycle.
+    pub fn with_expensive_updates(mut self) -> Self {
+        self.au_messaging_overhead = self.messaging_overhead;
+        self
+    }
+
+    /// Sweep helper (Fig 14): sets link serialization from MB/s.
+    pub fn with_net_bandwidth_mbps(mut self, mbps: f64) -> Self {
+        self.net_cycles_per_byte = time::cycles_per_unit_for_mbps(1, mbps);
+        self
+    }
+
+    /// Sweep helper (Fig 15): sets memory setup time from nanoseconds.
+    pub fn with_mem_latency_ns(mut self, ns: u64) -> Self {
+        self.mem_setup = time::ns_to_cycles(ns);
+        self
+    }
+
+    /// Sweep helper (Fig 16): sets memory per-word time from MB/s.
+    pub fn with_mem_bandwidth_mbps(mut self, mbps: f64) -> Self {
+        self.mem_cycles_per_word = time::cycles_per_unit_for_mbps(WORD_BYTES, mbps);
+        self
+    }
+
+    /// Sweep helper: number of processors (Fig 1 uses 2..16).
+    pub fn with_nprocs(mut self, nprocs: usize) -> Self {
+        assert!(nprocs >= 1, "need at least one processor");
+        self.nprocs = nprocs;
+        self
+    }
+
+    /// Validates internal consistency (powers of two, divisibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.page_bytes.is_power_of_two() {
+            return Err(format!("page size {} not a power of two", self.page_bytes));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} not a power of two", self.line_bytes));
+        }
+        if !self.page_bytes.is_multiple_of(self.line_bytes) {
+            return Err("page size must be a multiple of line size".into());
+        }
+        if !self.cache_bytes.is_multiple_of(self.line_bytes) {
+            return Err("cache size must be a multiple of line size".into());
+        }
+        if self.nprocs == 0 {
+            return Err("nprocs must be at least 1".into());
+        }
+        if self.mem_cycles_per_word <= 0.0 || self.net_cycles_per_byte <= 0.0 {
+            return Err("bandwidth parameters must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let p = SysParams::default();
+        assert_eq!(p.nprocs, 16);
+        assert_eq!(p.tlb_entries, 128);
+        assert_eq!(p.tlb_fill, 100);
+        assert_eq!(p.interrupt, 400);
+        assert_eq!(p.page_bytes, 4096);
+        assert_eq!(p.cache_bytes, 128 * 1024);
+        assert_eq!(p.write_buffer_entries, 4);
+        assert_eq!(p.write_cache_entries, 4);
+        assert_eq!(p.line_bytes, 32);
+        assert_eq!(p.mem_setup, 10);
+        assert_eq!(p.mem_cycles_per_word, 3.0);
+        assert_eq!(p.pci_setup, 10);
+        assert_eq!(p.switch_latency, 4);
+        assert_eq!(p.wire_latency, 2);
+        assert_eq!(p.messaging_overhead, 200);
+        assert_eq!(p.list_processing, 6);
+        assert_eq!(p.twin_cycles_per_word, 5);
+        assert_eq!(p.diff_cycles_per_word, 7);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn dma_scan_endpoints() {
+        let p = SysParams::default();
+        assert_eq!(p.dma_scan(0), 200);
+        assert_eq!(p.dma_scan(1024), 2100);
+        let mid = p.dma_scan(512);
+        assert!(mid > 1000 && mid < 1300, "midpoint {mid} not near 1150");
+    }
+
+    #[test]
+    fn sweep_helpers_round_trip() {
+        let p = SysParams::default().with_net_bandwidth_mbps(200.0);
+        assert!((p.net_bandwidth_mbps() - 200.0).abs() < 1e-9);
+        let p = SysParams::default().with_mem_latency_ns(40);
+        assert_eq!(p.mem_setup, 4);
+        let p = SysParams::default().with_messaging_overhead_us(4.0);
+        assert_eq!(p.messaging_overhead, 400);
+        let p = SysParams::default().with_mem_bandwidth_mbps(60.0);
+        assert!((p.mem_bandwidth_mbps() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let p = SysParams {
+            page_bytes: 3000,
+            ..SysParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = SysParams {
+            line_bytes: 48,
+            ..SysParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = SysParams {
+            mem_cycles_per_word: 0.0,
+            ..SysParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mem_access_cost() {
+        let p = SysParams::default();
+        // A 32-byte line: 10 + 8*3 = 34 cycles.
+        assert_eq!(p.mem_access(8), 34);
+        // A full page: 10 + 1024*3.
+        assert_eq!(p.mem_access(1024), 10 + 3072);
+    }
+}

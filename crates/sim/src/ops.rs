@@ -1,0 +1,102 @@
+//! The operation vocabulary between simulated processors (front end) and the
+//! protocol back end.
+//!
+//! Every interaction a workload has with the simulated machine is one of
+//! these operations; the back end observes them in global simulated-time
+//! order, exactly like the paper's Mint front end calling the back end on
+//! every data reference.
+
+use crate::time::Cycles;
+
+/// Identifier of a simulated processor / node (0-based).
+pub type ProcId = usize;
+
+/// Identifier of a DSM lock.
+pub type LockId = u32;
+
+/// Identifier of a DSM barrier.
+pub type BarrierId = u32;
+
+/// One operation issued by a simulated computation processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcOp {
+    /// Local computation of the given number of cycles (private data
+    /// references and ALU work folded into a calibrated cost).
+    Compute(Cycles),
+    /// Shared-memory read of `bytes` (1, 2, 4 or 8) at byte address `addr`.
+    Read { addr: u64, bytes: u8 },
+    /// Shared-memory write; `value` holds the raw little-endian bits.
+    Write { addr: u64, bytes: u8, value: u64 },
+    /// Acquire a DSM lock.
+    Lock(LockId),
+    /// Release a DSM lock.
+    Unlock(LockId),
+    /// Enter a DSM barrier (all processors must arrive).
+    Barrier(BarrierId),
+    /// The workload on this processor is finished.
+    Finish,
+}
+
+impl ProcOp {
+    /// Whether this operation can block the issuing processor on remote
+    /// state (everything except pure computation and `Finish`).
+    pub fn may_block(&self) -> bool {
+        !matches!(self, ProcOp::Compute(_) | ProcOp::Finish)
+    }
+}
+
+/// Back-end response completing a [`ProcOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcReply {
+    /// Operation completed; no data.
+    Ack,
+    /// Read completed with the raw value bits.
+    Value(u64),
+}
+
+impl ProcReply {
+    /// Extracts the value of a read reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is not [`ProcReply::Value`]; that indicates a
+    /// front-/back-end protocol bug, not a user error.
+    pub fn value(self) -> u64 {
+        match self {
+            ProcReply::Value(v) => v,
+            ProcReply::Ack => panic!("expected a value reply"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(!ProcOp::Compute(5).may_block());
+        assert!(!ProcOp::Finish.may_block());
+        assert!(ProcOp::Read { addr: 0, bytes: 4 }.may_block());
+        assert!(ProcOp::Write {
+            addr: 0,
+            bytes: 4,
+            value: 1
+        }
+        .may_block());
+        assert!(ProcOp::Lock(0).may_block());
+        assert!(ProcOp::Unlock(0).may_block());
+        assert!(ProcOp::Barrier(0).may_block());
+    }
+
+    #[test]
+    fn value_extraction() {
+        assert_eq!(ProcReply::Value(42).value(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a value")]
+    fn ack_has_no_value() {
+        let _ = ProcReply::Ack.value();
+    }
+}

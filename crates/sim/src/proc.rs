@@ -1,0 +1,222 @@
+//! Rendezvous front end: real Rust workload threads driving simulated
+//! processors.
+//!
+//! Each simulated computation processor is an OS thread executing actual
+//! workload code. Every [`ProcOp`] is a blocking round trip into the back
+//! end, which replies only once the operation has completed in simulated
+//! time. Because the back end resumes exactly one processor at a time (the
+//! one with the smallest local clock), the simulation is fully deterministic
+//! despite using threads: there is never more than one runnable workload
+//! thread whose effects the back end observes concurrently.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::ops::{ProcId, ProcOp, ProcReply};
+
+/// Scheduling state of a simulated processor, tracked by back ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcStatus {
+    /// Has (or will have) a pending operation to execute.
+    #[default]
+    Runnable,
+    /// Waiting on the protocol (fault service, lock grant, barrier...).
+    Blocked,
+    /// Issued [`ProcOp::Finish`].
+    Done,
+}
+
+/// Workload-side handle: issues operations and receives replies.
+///
+/// Handed to the workload closure by [`ProcHarness::spawn`]; workloads
+/// normally use the ergonomic wrappers in `ncp2-apps` rather than calling
+/// [`ProcPort::call`] directly.
+#[derive(Debug)]
+pub struct ProcPort {
+    op_tx: Sender<ProcOp>,
+    reply_rx: Receiver<ProcReply>,
+}
+
+impl ProcPort {
+    /// Issues one operation and blocks until the back end completes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the back end has gone away (simulation aborted).
+    pub fn call(&self, op: ProcOp) -> ProcReply {
+        self.op_tx.send(op).expect("simulation back end terminated");
+        self.reply_rx
+            .recv()
+            .expect("simulation back end terminated")
+    }
+}
+
+/// Back-end side of one processor's channel pair.
+#[derive(Debug)]
+struct ProcChannel {
+    op_rx: Receiver<ProcOp>,
+    reply_tx: Sender<ProcReply>,
+}
+
+/// Owns the workload threads and the per-processor rendezvous channels.
+///
+/// ```
+/// use ncp2_sim::{ProcHarness, ProcOp, ProcReply};
+///
+/// let harness = ProcHarness::spawn(2, |pid, port| {
+///     port.call(ProcOp::Compute(10 * (pid as u64 + 1)));
+///     port.call(ProcOp::Finish);
+/// });
+/// for pid in 0..2 {
+///     assert!(matches!(harness.next_op(pid), ProcOp::Compute(_)));
+///     harness.reply(pid, ProcReply::Ack);
+///     assert_eq!(harness.next_op(pid), ProcOp::Finish);
+///     harness.reply(pid, ProcReply::Ack);
+/// }
+/// harness.join();
+/// ```
+#[derive(Debug)]
+pub struct ProcHarness {
+    channels: Vec<ProcChannel>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ProcHarness {
+    /// Spawns `n` workload threads, each running `body(pid, port)`.
+    ///
+    /// The body **must** end by issuing [`ProcOp::Finish`] (and may not issue
+    /// anything afterwards); the back end replies to it so the thread can
+    /// unwind cleanly.
+    pub fn spawn<F>(n: usize, body: F) -> Self
+    where
+        F: Fn(ProcId, ProcPort) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let mut channels = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        for pid in 0..n {
+            // Capacity 1 lets a thread pre-compute and post its next op
+            // without waiting for the back end to be ready to receive it.
+            let (op_tx, op_rx) = bounded(1);
+            let (reply_tx, reply_rx) = bounded(1);
+            channels.push(ProcChannel { op_rx, reply_tx });
+            let body = Arc::clone(&body);
+            let handle = std::thread::Builder::new()
+                .name(format!("ncp2-proc-{pid}"))
+                .spawn(move || body(pid, ProcPort { op_tx, reply_rx }))
+                .expect("failed to spawn workload thread");
+            threads.push(handle);
+        }
+        ProcHarness { channels, threads }
+    }
+
+    /// Number of simulated processors.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the harness drives zero processors.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Receives the next operation from processor `pid`, blocking until the
+    /// workload thread produces one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload thread has panicked or exited without
+    /// issuing [`ProcOp::Finish`].
+    pub fn next_op(&self, pid: ProcId) -> ProcOp {
+        self.channels[pid]
+            .op_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("workload thread {pid} died before Finish"))
+    }
+
+    /// Completes processor `pid`'s pending operation.
+    pub fn reply(&self, pid: ProcId, reply: ProcReply) {
+        // A send can only fail after Finish was acknowledged; that would be a
+        // back-end protocol bug.
+        self.channels[pid]
+            .reply_tx
+            .send(reply)
+            .unwrap_or_else(|_| panic!("workload thread {pid} no longer listening"));
+    }
+
+    /// Joins all workload threads, propagating any workload panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any workload thread panicked.
+    pub fn join(self) {
+        drop(self.channels);
+        for (pid, t) in self.threads.into_iter().enumerate() {
+            if let Err(e) = t.join() {
+                std::panic::panic_any(format!("workload thread {pid} panicked: {e:?}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_many_ops() {
+        let harness = ProcHarness::spawn(4, |pid, port| {
+            for i in 0..100u64 {
+                let r = port.call(ProcOp::Read {
+                    addr: i * 4,
+                    bytes: 4,
+                });
+                assert_eq!(r.value(), i + pid as u64);
+            }
+            port.call(ProcOp::Finish);
+        });
+        // Interleave processors round-robin.
+        let mut counts = [0u64; 4];
+        let mut done = 0;
+        while done < 4 {
+            for (pid, count) in counts.iter_mut().enumerate() {
+                if *count > 100 {
+                    continue;
+                }
+                match harness.next_op(pid) {
+                    ProcOp::Read { addr, bytes: 4 } => {
+                        assert_eq!(addr, *count * 4);
+                        harness.reply(pid, ProcReply::Value(*count + pid as u64));
+                        *count += 1;
+                    }
+                    ProcOp::Finish => {
+                        harness.reply(pid, ProcReply::Ack);
+                        *count = 101;
+                        done += 1;
+                    }
+                    other => panic!("unexpected op {other:?}"),
+                }
+            }
+        }
+        harness.join();
+    }
+
+    #[test]
+    fn pipelining_does_not_deadlock() {
+        // The workload posts its next op before the back end asks for it.
+        let harness = ProcHarness::spawn(1, |_, port| {
+            port.call(ProcOp::Compute(1));
+            port.call(ProcOp::Compute(2));
+            port.call(ProcOp::Finish);
+        });
+        assert_eq!(harness.next_op(0), ProcOp::Compute(1));
+        harness.reply(0, ProcReply::Ack);
+        assert_eq!(harness.next_op(0), ProcOp::Compute(2));
+        harness.reply(0, ProcReply::Ack);
+        assert_eq!(harness.next_op(0), ProcOp::Finish);
+        harness.reply(0, ProcReply::Ack);
+        harness.join();
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic event queue.
+//!
+//! Events are ordered by `(time, priority, sequence)`. The sequence number is
+//! assigned at push time, so two runs that push the same events in the same
+//! order pop them in the same order — the foundation of the simulator's
+//! bit-for-bit determinism.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// Scheduling priority for events that share a timestamp.
+///
+/// `Urgent` models the paper's high-priority protocol-controller commands
+/// ("so that we can prevent prefetches from delaying requests for which a
+/// computation processor is stalled waiting"); `Low` models prefetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Serviced before anything else at the same timestamp.
+    Urgent,
+    /// Ordinary protocol traffic.
+    #[default]
+    Normal,
+    /// Prefetches and other deferrable work.
+    Low,
+}
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Absolute simulated time at which the event fires.
+    pub time: Cycles,
+    /// Tie-break priority at equal `time`.
+    pub priority: Priority,
+    /// Push-order sequence number (unique per queue).
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Event<T> {}
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl<T> Event<T> {
+    fn key(&self) -> (Cycles, Priority, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+/// A deterministic min-priority queue of [`Event`]s.
+///
+/// ```
+/// use ncp2_sim::{EventQueue, Priority};
+/// let mut q = EventQueue::new();
+/// q.push(5, Priority::Normal, 'x');
+/// assert_eq!(q.peek_time(), Some(5));
+/// assert_eq!(q.pop().map(|e| e.payload), Some('x'));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    pub fn push(&mut self, time: Cycles, priority: Priority, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            priority,
+            seq,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_priority_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(10, Priority::Normal, 1);
+        q.push(10, Priority::Low, 2);
+        q.push(10, Priority::Urgent, 3);
+        q.push(5, Priority::Low, 4);
+        q.push(10, Priority::Urgent, 5);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![4, 3, 5, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_within_same_key() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, Priority::Normal, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(42, Priority::Normal, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.pop().map(|e| e.time), Some(42));
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulated time: 10-ns processor cycles, as in Table 1 of the paper.
+
+/// Simulated time and durations, measured in processor cycles.
+pub type Cycles = u64;
+
+/// Length of one simulated cycle in nanoseconds (100 MHz clock).
+pub const CYCLE_NS: u64 = 10;
+
+/// Converts nanoseconds to (rounded) cycles.
+///
+/// ```
+/// assert_eq!(ncp2_sim::time::ns_to_cycles(100), 10);
+/// ```
+pub fn ns_to_cycles(ns: u64) -> Cycles {
+    ns.div_ceil(CYCLE_NS)
+}
+
+/// Converts microseconds to cycles.
+///
+/// ```
+/// assert_eq!(ncp2_sim::time::us_to_cycles(2), 200);
+/// ```
+pub fn us_to_cycles(us: u64) -> Cycles {
+    us * 1000 / CYCLE_NS
+}
+
+/// Converts cycles to nanoseconds.
+pub fn cycles_to_ns(c: Cycles) -> u64 {
+    c * CYCLE_NS
+}
+
+/// Bandwidth in MB/s delivered by moving one `bytes`-sized unit every
+/// `cycles_per_unit` cycles. Used to translate the paper's MB/s axes
+/// (Figs 14 and 16) into engine parameters and back.
+///
+/// ```
+/// // One byte every 2 cycles = 50 MB/s (the paper's default network).
+/// assert!((ncp2_sim::time::bandwidth_mbps(1, 2.0) - 50.0).abs() < 1e-9);
+/// ```
+pub fn bandwidth_mbps(bytes: u64, cycles_per_unit: f64) -> f64 {
+    // 1 cycle = 10 ns, so 10^8 cycles/second.
+    bytes as f64 * 1e8 / cycles_per_unit / 1e6
+}
+
+/// Inverse of [`bandwidth_mbps`]: cycles per unit of `bytes` needed to
+/// sustain `mbps`.
+///
+/// # Panics
+///
+/// Panics if `mbps` is not strictly positive.
+pub fn cycles_per_unit_for_mbps(bytes: u64, mbps: f64) -> f64 {
+    assert!(mbps > 0.0, "bandwidth must be positive");
+    bytes as f64 * 100.0 / mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        assert_eq!(ns_to_cycles(95), 10);
+        assert_eq!(ns_to_cycles(100), 10);
+        assert_eq!(cycles_to_ns(10), 100);
+    }
+
+    #[test]
+    fn bandwidth_round_trip() {
+        let c = cycles_per_unit_for_mbps(4, 103.0);
+        let bw = bandwidth_mbps(4, c);
+        assert!((bw - 103.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_defaults_match() {
+        // 8-bit path advancing one flit per 2-cycle wire hop = 50 MB/s.
+        assert_eq!(bandwidth_mbps(1, 2.0) as u64, 50);
+        // 4-byte word every 3 cycles = 133 MB/s raw memory bandwidth.
+        assert!((bandwidth_mbps(4, 3.0) - 133.333).abs() < 0.01);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the simulation engine primitives.
+
+use ncp2_sim::{Breakdown, Category, EventQueue, FifoResource, Priority, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing (time, priority) order, FIFO within ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        events in prop::collection::vec((0u64..1000, 0u8..3), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, p)) in events.iter().enumerate() {
+            let prio = match p { 0 => Priority::Urgent, 1 => Priority::Normal, _ => Priority::Low };
+            q.push(t, prio, i);
+        }
+        let mut last: Option<(u64, Priority, usize)> = None;
+        while let Some(ev) = q.pop() {
+            let (t, p) = events[ev.payload];
+            let prio = match p { 0 => Priority::Urgent, 1 => Priority::Normal, _ => Priority::Low };
+            prop_assert_eq!(ev.time, t);
+            if let Some((lt, lp, lseq)) = last {
+                prop_assert!((lt, lp) <= (ev.time, prio), "order violated");
+                if (lt, lp) == (ev.time, prio) {
+                    prop_assert!(lseq < ev.payload, "FIFO violated within equal keys");
+                }
+            }
+            last = Some((ev.time, prio, ev.payload));
+        }
+    }
+
+    /// A FIFO resource never grants overlapping slots and never moves
+    /// backwards in time.
+    #[test]
+    fn fifo_resource_slots_never_overlap(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut r = FifoResource::new();
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for &(now, dur) in &reqs {
+            let (start, end) = r.reserve(now, dur);
+            prop_assert!(start >= now);
+            prop_assert!(start >= prev_end, "slot overlaps predecessor");
+            prop_assert_eq!(end - start, dur);
+            prev_end = end;
+            total += dur;
+        }
+        prop_assert_eq!(r.busy_cycles(), total);
+        prop_assert_eq!(r.requests(), reqs.len() as u64);
+    }
+
+    /// Breakdown totals are conserved by any sequence of adds/reclassifies.
+    #[test]
+    fn breakdown_total_is_conserved_by_reclassify(
+        adds in prop::collection::vec((0usize..5, 0u64..10_000), 1..50),
+        moves in prop::collection::vec((0usize..5, 0usize..5, 0u64..10_000), 0..50)
+    ) {
+        let mut b = Breakdown::default();
+        for &(c, v) in &adds {
+            b.add(Category::ALL[c], v);
+        }
+        let total = b.total();
+        for &(from, to, v) in &moves {
+            if from != to {
+                b.reclassify(Category::ALL[from], Category::ALL[to], v);
+            }
+            prop_assert_eq!(b.total(), total, "reclassify changed the total");
+        }
+    }
+
+    /// The RNG respects bounds and shuffles are permutations.
+    #[test]
+    fn rng_invariants(seed in any::<u64>(), bound in 1u64..1_000_000, n in 1usize..100) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Two generators with the same seed agree; split streams are
+    /// reproducible.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), salt in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut ca = a.split(salt);
+        let mut cb = b.split(salt);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's §5.2 head-to-head: overlapping TreadMarks (I+D) against
+//! AURC and AURC with prefetching, on every application.
+//!
+//! ```sh
+//! cargo run --release --example aurc_vs_treadmarks
+//! ```
+
+#![allow(clippy::type_complexity)]
+
+use ncp2::prelude::*;
+
+fn main() {
+    let params = SysParams::default();
+    let apps: Vec<(&str, fn() -> Box<dyn Workload>)> = vec![
+        ("TSP", || Box::new(Tsp::default())),
+        ("Water", || Box::new(Water::default())),
+        ("Radix", || Box::new(Radix::default())),
+        ("Barnes", || Box::new(Barnes::default())),
+        ("Em3d", || Box::new(Em3d::default())),
+        ("Ocean", || Box::new(Ocean::default())),
+    ];
+    for (name, make) in apps {
+        let mut bars = Vec::new();
+        for protocol in [
+            Protocol::TreadMarks(OverlapMode::ID),
+            Protocol::Aurc { prefetch: false },
+            Protocol::Aurc { prefetch: true },
+        ] {
+            let r = run_app(params.clone(), protocol, make());
+            bars.push((r.protocol.clone(), r.total_cycles));
+        }
+        println!("{name}:");
+        let borrowed: Vec<(&str, u64)> = bars.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+        print!("{}", normalized_bars(&borrowed));
+        println!();
+    }
+}

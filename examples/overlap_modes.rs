@@ -1,0 +1,61 @@
+//! Walk one application through all six TreadMarks overlap modes (§5.1 of
+//! the paper) and show where the cycles go.
+//!
+//! ```sh
+//! cargo run --release --example overlap_modes [-- app-name]
+//! ```
+
+use ncp2::prelude::*;
+
+fn pick_app(name: &str) -> Box<dyn Workload> {
+    match name {
+        "TSP" => Box::new(Tsp::default()),
+        "Water" => Box::new(Water::default()),
+        "Radix" => Box::new(Radix::default()),
+        "Barnes" => Box::new(Barnes::default()),
+        "Em3d" => Box::new(Em3d::default()),
+        "Ocean" => Box::new(Ocean::default()),
+        other => {
+            eprintln!("unknown app {other}; use TSP|Water|Radix|Barnes|Em3d|Ocean");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Ocean".into());
+    let params = SysParams::default();
+    let mut rows = Vec::new();
+    println!("TreadMarks overlap modes on {name} (16 nodes):\n");
+    for mode in [
+        OverlapMode::Base,
+        OverlapMode::I,
+        OverlapMode::ID,
+        OverlapMode::P,
+        OverlapMode::IP,
+        OverlapMode::IPD,
+    ] {
+        let r = run_app(params.clone(), Protocol::TreadMarks(mode), pick_app(&name));
+        let (issued, useless) = r.prefetch_totals();
+        if issued > 0 {
+            println!(
+                "{:<6}: {} prefetches issued, {} useless",
+                mode.label(),
+                issued,
+                useless
+            );
+        }
+        rows.push((
+            r.protocol.clone(),
+            r.total_cycles,
+            r.aggregate(),
+            r.diff_pct(),
+        ));
+    }
+    println!();
+    let borrowed: Vec<(&str, u64, _, f64)> = rows
+        .iter()
+        .map(|(l, c, b, d)| (l.as_str(), *c, *b, *d))
+        .collect();
+    print!("{}", breakdown_table(&borrowed));
+}

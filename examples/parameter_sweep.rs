@@ -1,0 +1,62 @@
+//! Sweep one architectural parameter (§5.3 of the paper) and plot the
+//! normalized running time of TreadMarks(I+D) vs AURC.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep -- net_bw
+//! cargo run --release --example parameter_sweep -- mem_lat
+//! ```
+
+#![allow(clippy::type_complexity)]
+
+use ncp2::prelude::*;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "net_bw".into());
+    let (title, x_label, xs, make): (&str, &str, Vec<f64>, fn(f64) -> SysParams) =
+        match which.as_str() {
+            "net_bw" => (
+                "Effect of network bandwidth on Em3d",
+                "MB/s",
+                vec![20.0, 50.0, 100.0, 200.0],
+                |x| SysParams::default().with_net_bandwidth_mbps(x),
+            ),
+            "mem_lat" => (
+                "Effect of memory latency on Em3d",
+                "ns",
+                vec![40.0, 100.0, 150.0, 200.0],
+                |x| SysParams::default().with_mem_latency_ns(x as u64),
+            ),
+            "msg_oh" => (
+                "Effect of messaging overhead on Em3d",
+                "us",
+                vec![1.0, 2.0, 3.0, 4.0],
+                |x| SysParams::default().with_messaging_overhead_us(x),
+            ),
+            other => {
+                eprintln!("unknown sweep {other}; use net_bw|mem_lat|msg_oh");
+                std::process::exit(2);
+            }
+        };
+    let base = run_app(
+        SysParams::default(),
+        Protocol::TreadMarks(OverlapMode::ID),
+        Em3d::default(),
+    )
+    .total_cycles as f64;
+    let mut tm = Vec::new();
+    let mut aurc = Vec::new();
+    for &x in &xs {
+        let r = run_app(
+            make(x),
+            Protocol::TreadMarks(OverlapMode::ID),
+            Em3d::default(),
+        );
+        tm.push(r.total_cycles as f64 / base);
+        let r = run_app(make(x), Protocol::Aurc { prefetch: false }, Em3d::default());
+        aurc.push(r.total_cycles as f64 / base);
+    }
+    println!(
+        "{}",
+        xy_plot(title, x_label, &xs, &[("Em3d-TM", tm), ("Em3d-AURC", aurc)])
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run one application on the simulated 16-node machine under
+//! two protocols and print the paper-style breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ncp2::prelude::*;
+
+fn main() {
+    let params = SysParams::default(); // Table 1 of the paper
+    println!(
+        "Simulating {} nodes, {:.0} MB/s mesh, {} ns memory latency\n",
+        params.nprocs,
+        params.net_bandwidth_mbps(),
+        params.mem_latency_ns()
+    );
+
+    // A sequential run gives the speedup baseline and the reference checksum.
+    let seq = sequential_baseline(&params, Em3d::default());
+    println!(
+        "sequential Em3d: {} cycles, checksum {:#018x}",
+        seq.total_cycles, seq.checksum
+    );
+
+    let mut rows = Vec::new();
+    for protocol in [
+        Protocol::TreadMarks(OverlapMode::Base),
+        Protocol::TreadMarks(OverlapMode::ID),
+    ] {
+        let r = run_app(params.clone(), protocol, Em3d::default());
+        assert_eq!(
+            r.checksum, seq.checksum,
+            "DSM run diverged from sequential!"
+        );
+        println!(
+            "{:<6}: {:>9} cycles  (speedup {:.2} over sequential)",
+            r.protocol,
+            r.total_cycles,
+            r.speedup_over(seq.total_cycles)
+        );
+        rows.push((
+            r.protocol.clone(),
+            r.total_cycles,
+            r.aggregate(),
+            r.diff_pct(),
+        ));
+    }
+    println!();
+    let borrowed: Vec<(&str, u64, _, f64)> = rows
+        .iter()
+        .map(|(l, c, b, d)| (l.as_str(), *c, *b, *d))
+        .collect();
+    print!("{}", breakdown_table(&borrowed));
+    println!("\nThe NCP2 protocol controller's hardware diffs (I+D) shorten the run");
+    println!("while computing bit-identical application results.");
+}

@@ -1,0 +1,95 @@
+//! Bit-for-bit determinism of full application runs: the whole point of the
+//! deterministic scheduler is that two identical configurations produce
+//! identical simulated machines — cycle counts, breakdowns, traffic.
+
+use ncp2::prelude::*;
+
+fn run_once(proto: Protocol) -> RunResult {
+    run_app(
+        SysParams::default().with_nprocs(8),
+        proto,
+        Water {
+            molecules: 24,
+            steps: 2,
+            seed: 0xDE7,
+        },
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for proto in [
+        Protocol::TreadMarks(OverlapMode::Base),
+        Protocol::TreadMarks(OverlapMode::IPD),
+        Protocol::Aurc { prefetch: true },
+    ] {
+        let a = run_once(proto);
+        let b = run_once(proto);
+        assert_eq!(
+            a.total_cycles, b.total_cycles,
+            "{proto}: cycle counts differ"
+        );
+        assert_eq!(a.checksum, b.checksum, "{proto}: checksums differ");
+        assert_eq!(
+            a.net.messages, b.net.messages,
+            "{proto}: message counts differ"
+        );
+        assert_eq!(a.net.bytes, b.net.bytes, "{proto}: traffic differs");
+        for (pid, (x, y)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+            assert_eq!(x, y, "{proto}: node {pid} stats differ");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_timing_but_not_validity() {
+    let a = run_app(
+        SysParams::default().with_nprocs(4),
+        Protocol::TreadMarks(OverlapMode::Base),
+        Em3d {
+            nodes: 384,
+            degree: 3,
+            remote_pct: 10,
+            iters: 2,
+            seed: 1,
+        },
+    );
+    let b = run_app(
+        SysParams::default().with_nprocs(4),
+        Protocol::TreadMarks(OverlapMode::Base),
+        Em3d {
+            nodes: 384,
+            degree: 3,
+            remote_pct: 10,
+            iters: 2,
+            seed: 2,
+        },
+    );
+    assert_ne!(a.checksum, b.checksum, "different graphs must differ");
+    assert!(a.total_cycles > 0 && b.total_cycles > 0);
+}
+
+#[test]
+fn parameter_changes_do_not_change_results() {
+    // Timing parameters must be timing-only: any data effect is a bug.
+    let app = || Radix {
+        keys: 512,
+        radix: 64,
+        passes: 2,
+        seed: 5,
+    };
+    let base = run_app(
+        SysParams::default(),
+        Protocol::TreadMarks(OverlapMode::ID),
+        app(),
+    );
+    for params in [
+        SysParams::default().with_net_bandwidth_mbps(20.0),
+        SysParams::default().with_mem_latency_ns(200),
+        SysParams::default().with_messaging_overhead_us(4.0),
+        SysParams::default().with_mem_bandwidth_mbps(60.0),
+    ] {
+        let r = run_app(params, Protocol::TreadMarks(OverlapMode::ID), app());
+        assert_eq!(r.checksum, base.checksum);
+    }
+}

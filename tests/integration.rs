@@ -1,0 +1,95 @@
+//! Cross-crate integration: the facade exposes a working pipeline from
+//! parameters through protocols, applications and reporting.
+
+use ncp2::prelude::*;
+
+#[test]
+fn facade_runs_an_app_end_to_end() {
+    let params = SysParams::default().with_nprocs(8);
+    let r = run_app(
+        params,
+        Protocol::TreadMarks(OverlapMode::ID),
+        Radix {
+            keys: 1024,
+            radix: 64,
+            passes: 2,
+            seed: 1,
+        },
+    );
+    assert_eq!(r.protocol, "I+D");
+    assert_eq!(r.nprocs, 8);
+    assert!(r.total_cycles > 0);
+    assert!(r.net.messages > 0, "a DSM run must exchange messages");
+    let table = breakdown_table(&[(
+        r.protocol.as_str(),
+        r.total_cycles,
+        r.aggregate(),
+        r.diff_pct(),
+    )]);
+    assert!(table.contains("I+D"));
+}
+
+#[test]
+fn sweep_helpers_change_measured_behavior() {
+    let app = || Em3d {
+        nodes: 512,
+        degree: 3,
+        remote_pct: 10,
+        iters: 2,
+        seed: 7,
+    };
+    let fast = run_app(
+        SysParams::default().with_net_bandwidth_mbps(200.0),
+        Protocol::TreadMarks(OverlapMode::Base),
+        app(),
+    );
+    let slow = run_app(
+        SysParams::default().with_net_bandwidth_mbps(20.0),
+        Protocol::TreadMarks(OverlapMode::Base),
+        app(),
+    );
+    assert!(
+        slow.total_cycles > fast.total_cycles,
+        "a 10x slower network must lengthen the run ({} vs {})",
+        slow.total_cycles,
+        fast.total_cycles
+    );
+    assert_eq!(
+        slow.checksum, fast.checksum,
+        "timing must never change results"
+    );
+}
+
+#[test]
+fn processor_count_scales_runtime_down() {
+    // A compute-heavy workload must show real speedup despite DSM overhead.
+    let app = || Water {
+        molecules: 48,
+        steps: 2,
+        seed: 0x5ca1e,
+    };
+    let seq = sequential_baseline(&SysParams::default(), app());
+    let p8 = run_app(
+        SysParams::default().with_nprocs(8),
+        Protocol::TreadMarks(OverlapMode::ID),
+        app(),
+    );
+    assert_eq!(p8.checksum, seq.checksum);
+    assert!(
+        p8.total_cycles < seq.total_cycles,
+        "8 processors should beat sequential ({} vs {})",
+        p8.total_cycles,
+        seq.total_cycles
+    );
+}
+
+#[test]
+fn stats_pipeline_renders_every_report() {
+    let xs = [1.0, 2.0];
+    let plot = xy_plot("t", "x", &xs, &[("s", vec![1.0, 2.0])]);
+    assert!(plot.contains("2.000"));
+    let bars = normalized_bars(&[("a", 10), ("b", 20)]);
+    assert!(bars.contains("200.0%"));
+    let speed = speedup_table(&["A"], &[2], &[vec![1.5]]);
+    assert!(speed.contains("1.50"));
+}

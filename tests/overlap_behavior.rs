@@ -1,0 +1,204 @@
+//! Qualitative reproduction guards: the paper's headline behaviors must
+//! hold on the default workloads. These are the "shape" assertions of
+//! EXPERIMENTS.md in executable form (kept loose enough to survive
+//! calibration changes, tight enough to catch regressions).
+
+#![allow(clippy::type_complexity)]
+
+use ncp2::prelude::*;
+
+fn run(proto: Protocol, app: impl Workload) -> RunResult {
+    run_app(SysParams::default(), proto, app)
+}
+
+/// §5.1: hardware-supported diffs are the biggest win — I+D beats Base for
+/// every application, and eliminates both twins and processor-side diff
+/// work entirely.
+#[test]
+fn hardware_diffs_always_beat_base() {
+    let apps: Vec<(&str, Box<dyn Workload>, Box<dyn Workload>)> = vec![
+        (
+            "Radix",
+            Box::new(Radix {
+                keys: 4096,
+                radix: 128,
+                passes: 3,
+                seed: 2,
+            }),
+            Box::new(Radix {
+                keys: 4096,
+                radix: 128,
+                passes: 3,
+                seed: 2,
+            }),
+        ),
+        (
+            "Em3d",
+            Box::new(Em3d {
+                nodes: 2048,
+                degree: 3,
+                remote_pct: 10,
+                iters: 4,
+                seed: 3,
+            }),
+            Box::new(Em3d {
+                nodes: 2048,
+                degree: 3,
+                remote_pct: 10,
+                iters: 4,
+                seed: 3,
+            }),
+        ),
+        (
+            "Ocean",
+            Box::new(Ocean { grid: 66, iters: 6 }),
+            Box::new(Ocean { grid: 66, iters: 6 }),
+        ),
+    ];
+    for (name, a, b) in apps {
+        let base = run(Protocol::TreadMarks(OverlapMode::Base), a);
+        let id = run(Protocol::TreadMarks(OverlapMode::ID), b);
+        assert!(
+            id.total_cycles < base.total_cycles,
+            "{name}: I+D ({}) should beat Base ({})",
+            id.total_cycles,
+            base.total_cycles
+        );
+        let base_twins: u64 = base.nodes.iter().map(|n| n.twin_cycles).sum();
+        let id_twins: u64 = id.nodes.iter().map(|n| n.twin_cycles).sum();
+        assert!(
+            base_twins > 0 && id_twins == 0,
+            "{name}: twins must vanish under I+D"
+        );
+        assert_eq!(
+            id.diff_pct(),
+            0.0,
+            "{name}: no processor-side diff work under I+D"
+        );
+        assert!(
+            id.diff_total_cycles() < base.diff_total_cycles(),
+            "{name}: the DMA engine must cut total diff-operation time"
+        );
+    }
+}
+
+/// §5.1: prefetching alone hurts lock-intensive applications (Radix's
+/// clustered traffic, Water/Barnes's short critical sections).
+#[test]
+fn prefetching_alone_hurts_radix() {
+    let app = || Radix {
+        keys: 4096,
+        radix: 128,
+        passes: 3,
+        seed: 2,
+    };
+    let base = run(Protocol::TreadMarks(OverlapMode::Base), app());
+    let p = run(Protocol::TreadMarks(OverlapMode::P), app());
+    assert!(
+        p.total_cycles > base.total_cycles,
+        "P ({}) should hurt Radix vs Base ({})",
+        p.total_cycles,
+        base.total_cycles
+    );
+    let (issued, _) = p.prefetch_totals();
+    assert!(issued > 0, "P mode must actually prefetch");
+}
+
+/// §5.1: combining prefetching with controller offload recovers most of the
+/// losses (I+P <= P for every app we spot-check).
+#[test]
+fn offload_recovers_prefetch_losses() {
+    for app in [0, 1] {
+        let make = |i: usize| -> Box<dyn Workload> {
+            match i {
+                0 => Box::new(Radix {
+                    keys: 4096,
+                    radix: 128,
+                    passes: 3,
+                    seed: 2,
+                }),
+                _ => Box::new(Water {
+                    molecules: 48,
+                    steps: 2,
+                    seed: 9,
+                }),
+            }
+        };
+        let p = run(Protocol::TreadMarks(OverlapMode::P), make(app));
+        let ip = run(Protocol::TreadMarks(OverlapMode::IP), make(app));
+        assert!(
+            ip.total_cycles <= p.total_cycles,
+            "app {app}: I+P ({}) should not lose to P ({})",
+            ip.total_cycles,
+            p.total_cycles
+        );
+    }
+}
+
+/// §5.2: the overlapping TreadMarks outperforms AURC for the lock-based
+/// applications (Radix/Barnes in our reproduction), and AURC's automatic
+/// updates generate the traffic the paper blames for it.
+#[test]
+fn overlapping_treadmarks_beats_aurc_on_lock_apps() {
+    let tm = run(
+        Protocol::TreadMarks(OverlapMode::ID),
+        Barnes {
+            bodies: 128,
+            steps: 2,
+            theta_16: 12,
+            seed: 4,
+        },
+    );
+    let aurc = run(
+        Protocol::Aurc { prefetch: false },
+        Barnes {
+            bodies: 128,
+            steps: 2,
+            theta_16: 12,
+            seed: 4,
+        },
+    );
+    assert!(
+        tm.total_cycles < aurc.total_cycles,
+        "I+D ({}) should beat AURC ({}) on Barnes",
+        tm.total_cycles,
+        aurc.total_cycles
+    );
+    let updates: u64 = aurc.nodes.iter().map(|n| n.au_updates).sum();
+    assert!(updates > 0, "AURC must emit automatic updates");
+    assert_eq!(tm.nodes.iter().map(|n| n.au_updates).sum::<u64>(), 0);
+}
+
+/// §5.3: AURC needs network bandwidth much more than it needs low memory
+/// latency; a starved network hurts both protocols.
+#[test]
+fn low_network_bandwidth_hurts_both_protocols() {
+    let app = || Em3d {
+        nodes: 1024,
+        degree: 3,
+        remote_pct: 10,
+        iters: 3,
+        seed: 6,
+    };
+    for proto in [
+        Protocol::TreadMarks(OverlapMode::ID),
+        Protocol::Aurc { prefetch: false },
+    ] {
+        let fast = run_app(
+            SysParams::default().with_net_bandwidth_mbps(200.0),
+            proto,
+            app(),
+        );
+        let slow = run_app(
+            SysParams::default().with_net_bandwidth_mbps(20.0),
+            proto,
+            app(),
+        );
+        assert!(
+            slow.total_cycles as f64 > 1.2 * fast.total_cycles as f64,
+            "{proto}: 10x less bandwidth should cost >20% ({} vs {})",
+            slow.total_cycles,
+            fast.total_cycles
+        );
+    }
+}

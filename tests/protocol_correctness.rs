@@ -1,0 +1,87 @@
+//! Whole-stack coherence validation: application checksums on the 16-node
+//! DSM must be bit-identical to sequential execution under every protocol
+//! the paper evaluates. (Smaller inputs than `crates/apps` tests; this is
+//! the cross-crate smoke screen.)
+
+use ncp2::prelude::*;
+
+const PROTOCOLS: [Protocol; 8] = [
+    Protocol::TreadMarks(OverlapMode::Base),
+    Protocol::TreadMarks(OverlapMode::I),
+    Protocol::TreadMarks(OverlapMode::ID),
+    Protocol::TreadMarks(OverlapMode::P),
+    Protocol::TreadMarks(OverlapMode::IP),
+    Protocol::TreadMarks(OverlapMode::IPD),
+    Protocol::Aurc { prefetch: false },
+    Protocol::Aurc { prefetch: true },
+];
+
+fn assert_coherent<W: Workload + Clone>(app: W) {
+    let params = SysParams::default();
+    let expected = sequential_baseline(&params, app.clone()).checksum;
+    assert_ne!(expected, 0, "{} produced a zero checksum", app.name());
+    for proto in PROTOCOLS {
+        let got = run_app(params.clone(), proto, app.clone()).checksum;
+        assert_eq!(got, expected, "{} diverged under {}", app.name(), proto);
+    }
+}
+
+#[test]
+fn radix_is_coherent_under_all_protocols() {
+    assert_coherent(Radix {
+        keys: 1024,
+        radix: 64,
+        passes: 2,
+        seed: 0xD1,
+    });
+}
+
+#[test]
+fn em3d_is_coherent_under_all_protocols() {
+    assert_coherent(Em3d {
+        nodes: 384,
+        degree: 3,
+        remote_pct: 15,
+        iters: 2,
+        seed: 0xD2,
+    });
+}
+
+#[test]
+fn water_is_coherent_under_all_protocols() {
+    assert_coherent(Water {
+        molecules: 24,
+        steps: 2,
+        seed: 0xD3,
+    });
+}
+
+#[test]
+fn ocean_is_coherent_under_all_protocols() {
+    assert_coherent(Ocean { grid: 26, iters: 3 });
+}
+
+#[test]
+fn barnes_is_coherent_under_all_protocols() {
+    assert_coherent(Barnes {
+        bodies: 48,
+        steps: 2,
+        theta_16: 12,
+        seed: 0xD4,
+    });
+}
+
+#[test]
+fn tsp_is_coherent_and_optimal() {
+    let app = Tsp {
+        cities: 7,
+        prefix_depth: 2,
+        seed: 0xD5,
+    };
+    let optimal = app.solve_reference() as u64;
+    let params = SysParams::default();
+    for proto in PROTOCOLS {
+        let got = run_app(params.clone(), proto, app.clone()).checksum;
+        assert_eq!(got, optimal, "TSP under {proto} missed the optimal tour");
+    }
+}
