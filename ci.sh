@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# CI gate: static checks first (fast fail), then build, then the full suite.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo xtask lint --scan-only
+cargo build --release
+cargo test -q

@@ -21,6 +21,15 @@ pub trait Workload: Send + Sync + 'static {
     /// processor 0 reads the final state and returns non-zero, so checksums
     /// are independent of the processor count).
     fn run(&self, ctx: &mut Ctx<'_>) -> u64;
+
+    /// Shared address ranges with *intentional* benign races, exempted from
+    /// happens-before race detection. The canonical case is TSP's
+    /// branch-and-bound bound, re-read optimistically outside its lock: a
+    /// stale read only weakens pruning, never correctness. Empty for the
+    /// (default) properly-synchronized workloads.
+    fn racy_ranges(&self) -> Vec<std::ops::Range<u64>> {
+        Vec::new()
+    }
 }
 
 impl Workload for Box<dyn Workload> {
@@ -30,6 +39,10 @@ impl Workload for Box<dyn Workload> {
 
     fn run(&self, ctx: &mut Ctx<'_>) -> u64 {
         self.as_ref().run(ctx)
+    }
+
+    fn racy_ranges(&self) -> Vec<std::ops::Range<u64>> {
+        self.as_ref().racy_ranges()
     }
 }
 
@@ -196,10 +209,23 @@ impl<'a> Ctx<'a> {
 /// Runs `app` under `protocol` on the machine described by `params` and
 /// returns the run statistics (with the workload checksum filled in).
 pub fn run_app<W: Workload>(params: SysParams, protocol: Protocol, app: W) -> RunResult {
+    run_app_with(params, protocol, app, |_| {})
+}
+
+/// Like [`run_app`], but lets `configure` adjust the freshly built
+/// [`Simulation`] before it runs — e.g. to attach a `verify` observer or arm
+/// a fault-injection hook.
+pub fn run_app_with<W: Workload>(
+    params: SysParams,
+    protocol: Protocol,
+    app: W,
+    configure: impl FnOnce(&mut Simulation),
+) -> RunResult {
     let nprocs = params.nprocs;
     let app = Arc::new(app);
     let checksum = Arc::new(AtomicU64::new(0));
-    let sim = Simulation::new(params, protocol);
+    let mut sim = Simulation::new(params, protocol);
+    configure(&mut sim);
     let app2 = Arc::clone(&app);
     let ck = Arc::clone(&checksum);
     let mut result = sim.run(move |pid, port| {

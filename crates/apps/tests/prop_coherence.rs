@@ -4,9 +4,12 @@
 //! residual protocol races; case counts are kept small because each case is
 //! a full simulation.
 
-use ncp2_apps::{run_app, sequential_baseline, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
+use ncp2_apps::{
+    run_app, run_app_with, sequential_baseline, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload,
+};
 use ncp2_core::{OverlapMode, Protocol};
 use ncp2_sim::SysParams;
+use ncp2_verify::VerifyOracle;
 use proptest::prelude::*;
 
 fn protocol(idx: u8) -> Protocol {
@@ -111,5 +114,51 @@ proptest! {
     ) {
         let app = Water { molecules, steps, seed };
         check(app, nprocs, protocol(proto));
+    }
+}
+
+/// Runs `app` with the `ncp2-verify` shadow oracle attached (honoring its
+/// annotated benign races) and asserts the run is violation-free — in
+/// particular, that the happens-before race detector finds zero races.
+fn check_race_free(app: Box<dyn Workload>, nprocs: usize, proto: Protocol) {
+    let params = SysParams::default().with_nprocs(nprocs);
+    let name = app.name();
+    let racy = app.racy_ranges();
+    let result = run_app_with(params.clone(), proto, app, |sim| {
+        let mut oracle = VerifyOracle::new(&params, &proto);
+        for range in racy {
+            oracle.exempt_range(range);
+        }
+        sim.attach_observer(Box::new(oracle));
+    });
+    assert!(
+        result.violations.is_empty(),
+        "{name} under {proto} (nprocs={nprocs}) reported: {:#?}",
+        result.violations
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Correctly-synchronized programs are data-race-free by construction —
+    /// LRC's correctness precondition (§2). Random configurations of every
+    /// workload must come out of the race detector clean.
+    #[test]
+    fn synchronized_programs_have_zero_races(
+        which in 0usize..6,
+        seed in any::<u64>(),
+        nprocs in 2usize..8,
+        proto in 0u8..8
+    ) {
+        let app: Box<dyn Workload> = match which {
+            0 => Box::new(Tsp { cities: 6, prefix_depth: 2, seed }),
+            1 => Box::new(Water { molecules: 8, steps: 1, seed }),
+            2 => Box::new(Radix { keys: 128, radix: 16, passes: 1, seed }),
+            3 => Box::new(Barnes { bodies: 12, steps: 1, theta_16: 8, seed }),
+            4 => Box::new(Em3d { nodes: 64, degree: 2, remote_pct: 20, iters: 1, seed }),
+            _ => Box::new(Ocean { grid: 12, iters: 1 }),
+        };
+        check_race_free(app, nprocs, protocol(proto));
     }
 }

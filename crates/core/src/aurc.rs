@@ -113,6 +113,7 @@ impl Simulation {
                 self.nodes[pid]
                     .aurc_pages
                     .get_mut(&page)
+                    // invariant: the joining access created the entry above
                     .expect("entry")
                     .joined = true;
                 self.nodes[pid].stats.prefetch_joins += 1;
@@ -133,11 +134,25 @@ impl Simulation {
             ProcOp::Read { addr, .. } | ProcOp::Write { addr, .. } => (addr, ()),
             _ => unreachable!(),
         };
+        #[cfg(feature = "verify")]
+        {
+            let bytes = match op {
+                ProcOp::Read { bytes, .. } | ProcOp::Write { bytes, .. } => bytes,
+                _ => 0,
+            };
+            self.emit(crate::observe::ProtocolEvent::Access {
+                pid,
+                addr,
+                bytes,
+                write,
+            });
+        }
         self.charge_mem(pid, addr, write);
         let page = page_of(addr, self.params.page_bytes);
         let page_bytes = self.params.page_bytes;
         let line = addr / self.params.line_bytes;
         let off = (addr % page_bytes) as usize;
+        // invariant: the faulting access classified the page before blocking
         let mode = *self.aurc_modes.get(&page).expect("mode set by access path");
         let was_prefetched = {
             let lp = self.nodes[pid].aurc_pages.entry(page).or_default();
@@ -204,6 +219,15 @@ impl Simulation {
             .burst(now, params.line_words(), &params);
         let page = line * self.params.line_bytes / self.params.page_bytes;
         let msg = Msg::AurcUpdate { page, from: pid };
+        // This bypasses `dispatch` (updates carry their own horizon
+        // bookkeeping), so the send is reported here.
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::MsgSent {
+            src: pid,
+            dst,
+            kind: msg.kind(),
+            demand: !msg.is_prefetch(),
+        });
         let bytes = msg.bytes(self.params.page_bytes, self.params.page_words());
         let params = self.params.clone();
         let arrival = self.net.transfer(t, pid, dst, bytes, &params);
@@ -390,6 +414,11 @@ impl Simulation {
                 }
             }
         }
+        #[cfg(feature = "verify")]
+        {
+            let vt = self.nodes[pid].vt.clone();
+            self.emit(crate::observe::ProtocolEvent::AnnsProcessed { pid, vt });
+        }
         c
     }
 
@@ -427,6 +456,7 @@ impl Simulation {
                 prefetch: true,
             };
             self.dispatch(c, pid, home, msg);
+            // invariant: the prefetch decision read this entry just above
             let lp = self.nodes[pid].aurc_pages.get_mut(&page).expect("entry");
             lp.prefetching = true;
             lp.prefetch_stale = false;

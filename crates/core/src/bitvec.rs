@@ -44,18 +44,23 @@ impl DirtyVec {
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
+    /// Panics if `idx` is out of range: the snooping hardware only raises
+    /// word indices inside the faulting page, so an out-of-range index is a
+    /// protocol bug, never a recoverable state.
     pub fn set(&mut self, idx: usize) {
         assert!(idx < self.words, "word index {idx} out of range");
         let (w, b) = (idx / 64, idx % 64);
+        // invariant: idx < words asserted above, so w < bits.len()
         if self.bits[w] & (1 << b) == 0 {
+            // invariant: same guard as the test above
             self.bits[w] |= 1 << b;
             self.count += 1;
         }
     }
 
-    /// Whether word `idx` is dirty.
+    /// Whether word `idx` is dirty (out-of-range indices are clean).
     pub fn test(&self, idx: usize) -> bool {
+        // invariant: short-circuit keeps idx / 64 inside bits
         idx < self.words && self.bits[idx / 64] & (1 << (idx % 64)) != 0
     }
 

@@ -87,6 +87,12 @@ impl Diff {
     /// Merges `later`'s words over this diff (used when a page is dirtied
     /// again within the same interval after an early diff was forced by an
     /// invalidation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `later` describes a different page or writer — merging
+    /// across identities would corrupt both diffs, so this is a documented
+    /// invariant assert rather than a recoverable error.
     pub fn merge(&mut self, later: &Diff) {
         assert_eq!(
             (self.page, self.owner),
@@ -101,6 +107,12 @@ impl Diff {
     }
 
     /// Applies the diff to `target`, scatter-writing each recorded word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`PageBuf::set_word`]) if a recorded word index lies
+    /// outside `target` — only possible when page copies disagree on size,
+    /// which the protocol never allows.
     pub fn apply(&self, target: &mut PageBuf) {
         for &(idx, val) in &self.words {
             target.set_word(idx as usize, val);

@@ -39,6 +39,7 @@ pub mod controller;
 pub mod diff;
 pub mod interval;
 pub mod msg;
+pub mod observe;
 pub mod page;
 pub mod protocol;
 pub mod stats;
@@ -51,6 +52,7 @@ pub mod vtime;
 pub use controller::Controller;
 pub use diff::Diff;
 pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
+pub use observe::{MsgKind, Observer, ProtocolEvent, Violation};
 pub use page::{PageBuf, PageId, PageState};
 pub use protocol::{OverlapMode, Protocol};
 pub use stats::{NodeStats, RunResult};

@@ -75,6 +75,7 @@ impl PageBuf {
         self.check(offset, size);
         let mut v = 0u64;
         for i in (0..size as usize).rev() {
+            // invariant: check() verified offset + size <= len
             v = (v << 8) | self.data[offset + i] as u64;
         }
         v
@@ -88,18 +89,36 @@ impl PageBuf {
     pub fn write(&mut self, offset: usize, size: u8, value: u64) {
         self.check(offset, size);
         for i in 0..size as usize {
+            // invariant: check() verified offset + size <= len
             self.data[offset + i] = (value >> (8 * i)) as u8;
         }
     }
 
     /// Raw word (4-byte) view, used by diff creation and application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the page. Word indices always come from a
+    /// same-sized copy of the page (twin comparison or a dirty vector), so
+    /// an out-of-range index is a protocol bug, never a recoverable state.
     pub fn word(&self, idx: usize) -> u32 {
-        u32::from_le_bytes(self.data[idx * 4..idx * 4 + 4].try_into().expect("4 bytes"))
+        match self.data.get(idx * 4..idx * 4 + 4) {
+            Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            None => panic!("word {idx} outside {}-word page", self.words()), // lint:allow invariant failure
+        }
     }
 
     /// Stores a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the page (see [`PageBuf::word`]).
     pub fn set_word(&mut self, idx: usize, value: u32) {
-        self.data[idx * 4..idx * 4 + 4].copy_from_slice(&value.to_le_bytes());
+        let words = self.words();
+        match self.data.get_mut(idx * 4..idx * 4 + 4) {
+            Some(b) => b.copy_from_slice(&value.to_le_bytes()),
+            None => panic!("word {idx} outside {words}-word page"), // lint:allow invariant failure
+        }
     }
 
     /// Number of 4-byte words in the page.
@@ -175,6 +194,18 @@ mod tests {
         cur.set_word(15, 1);
         let changed: Vec<usize> = cur.words_differing(&twin).collect();
         assert_eq!(changed, vec![3, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_word_read_panics() {
+        PageBuf::new(16).word(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_word_write_panics() {
+        PageBuf::new(16).set_word(4, 1);
     }
 
     #[test]

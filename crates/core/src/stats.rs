@@ -82,6 +82,10 @@ pub struct RunResult {
     pub checksum: u64,
     /// Protocol event trace (empty unless `SysParams::trace` was set).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Invariant violations reported by an attached observer (always empty
+    /// unless `ncp2-core` is built with the `verify` feature and an observer
+    /// was attached via `Simulation::attach_observer`).
+    pub violations: Vec<crate::observe::Violation>,
 }
 
 impl RunResult {
@@ -150,6 +154,7 @@ mod tests {
             net: TrafficStats::default(),
             checksum: 0,
             trace: Vec::new(),
+            violations: Vec::new(),
         }
     }
 

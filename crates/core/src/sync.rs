@@ -35,6 +35,8 @@ impl Simulation {
     }
 
     pub(crate) fn op_unlock(&mut self, pid: usize, lock: LockId) {
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::LockReleased { pid, lock });
         if matches!(self.protocol, Protocol::Aurc { .. }) {
             self.aurc_flush_wcache(pid, Category::Synch);
         }
@@ -57,6 +59,8 @@ impl Simulation {
             self.aurc_flush_wcache(pid, Category::Synch);
         }
         self.close_interval(pid);
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::BarrierArrived { pid, barrier });
         let anns = self.nodes[pid]
             .store
             .missing_for(&self.nodes[pid].last_barrier_vt.clone());
@@ -101,6 +105,13 @@ impl Simulation {
                 }
             }
         }
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::IntervalClosed {
+            pid,
+            id,
+            vt: self.nodes[pid].vt.clone(),
+            pages: pages.clone(),
+        });
         let ann = IntervalAnnouncement {
             owner: pid,
             id,
@@ -225,6 +236,11 @@ impl Simulation {
             matches!(self.nodes[acquirer].wait, Wait::Lock { lock: l } if l == lock),
             "grant for a lock {lock} processor {acquirer} is not waiting on"
         );
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::LockAcquired {
+            pid: acquirer,
+            lock,
+        });
         let mut end = self.process_anns(acquirer, &anns, t);
         end = self.issue_prefetches(acquirer, end);
         self.nodes[acquirer].held_locks.insert(lock);
@@ -282,7 +298,10 @@ impl Simulation {
         let bs = self
             .barriers
             .remove(&barrier)
+            // invariant: this is the nth arrival, so the state the first
+            // arrival created is still present
             .expect("barrier state exists");
+        // invariant: every arrival merges its vector time before this point
         let merged = bs.merged_vt.expect("at least one arrival");
         let all_anns = bs.anns.all();
         for k in 0..n {

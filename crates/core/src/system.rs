@@ -300,6 +300,13 @@ pub struct Simulation {
     pub(crate) done: usize,
     pub(crate) seq: bool,
     pub(crate) trace: Vec<crate::trace::TraceEvent>,
+    /// Shadow checker receiving protocol events (`verify` feature only).
+    #[cfg(feature = "verify")]
+    pub(crate) observer: Option<Box<dyn crate::observe::Observer>>,
+    /// Mutation hook for oracle self-tests: when armed, exactly one foreign
+    /// write notice is silently discarded during announcement processing.
+    #[cfg(feature = "verify")]
+    pub(crate) drop_notice_armed: bool,
 }
 
 impl Simulation {
@@ -309,6 +316,8 @@ impl Simulation {
     ///
     /// Panics if `params` fails [`SysParams::validate`].
     pub fn new(params: SysParams, protocol: Protocol) -> Self {
+        // invariant: construction-time precondition — a bad machine
+        // description must fail loudly before any cycle is simulated
         params.validate().expect("invalid system parameters");
         let n = params.nprocs;
         Simulation {
@@ -322,8 +331,40 @@ impl Simulation {
             done: 0,
             seq: n == 1,
             trace: Vec::new(),
+            #[cfg(feature = "verify")]
+            observer: None,
+            #[cfg(feature = "verify")]
+            drop_notice_armed: false,
             params,
             protocol,
+        }
+    }
+
+    /// Attaches a shadow observer that receives every protocol event; its
+    /// findings land in [`RunResult::violations`]. Only effective when
+    /// `ncp2-core` is built with the `verify` feature — without it the
+    /// observer is dropped and the simulation carries no hooks at all.
+    #[allow(unused_variables)]
+    pub fn attach_observer(&mut self, observer: Box<dyn crate::observe::Observer>) {
+        #[cfg(feature = "verify")]
+        {
+            self.observer = Some(observer);
+        }
+    }
+
+    /// Arms the oracle-test mutation: the next foreign write notice processed
+    /// anywhere in the machine is dropped without invalidating its page —
+    /// the coverage oracle must flag it.
+    #[cfg(feature = "verify")]
+    pub fn inject_drop_write_notice(&mut self) {
+        self.drop_notice_armed = true;
+    }
+
+    /// Forwards one event to the attached observer, if any.
+    #[cfg(feature = "verify")]
+    pub(crate) fn emit(&mut self, ev: crate::observe::ProtocolEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_event(&ev);
         }
     }
 
@@ -355,6 +396,7 @@ impl Simulation {
             match (next_proc, next_ev) {
                 (Some((pid, pt)), Some(et)) => {
                     if et <= pt {
+                        // invariant: peek_time returned Some just above
                         let ev = self.queue.pop().expect("peeked event");
                         self.handle_event(ev.time, ev.payload, &harness);
                     } else {
@@ -363,6 +405,7 @@ impl Simulation {
                 }
                 (Some((pid, _)), None) => self.step_proc(pid, &harness),
                 (None, Some(_)) => {
+                    // invariant: peek_time returned Some just above
                     let ev = self.queue.pop().expect("peeked event");
                     self.handle_event(ev.time, ev.payload, &harness);
                 }
@@ -374,6 +417,8 @@ impl Simulation {
                         .filter(|(_, nd)| nd.status == ProcStatus::Blocked)
                         .map(|(p, _)| p)
                         .collect();
+                    // invariant: no runnable processor and no event means the
+                    // protocol lost a wakeup — unrecoverable by definition
                     panic!("simulation deadlock: processors {stuck:?} blocked with no events");
                 }
             }
@@ -387,7 +432,16 @@ impl Simulation {
         for nd in &mut self.nodes {
             nd.stats.controller_busy = nd.ctrl.busy();
         }
+        #[cfg(feature = "verify")]
+        let violations = self
+            .observer
+            .take()
+            .map(|mut obs| obs.finish())
+            .unwrap_or_default();
+        #[cfg(not(feature = "verify"))]
+        let violations = Vec::new();
         RunResult {
+            violations,
             protocol: self.protocol.label().to_string(),
             nprocs: self.params.nprocs,
             total_cycles: total,
@@ -553,6 +607,13 @@ impl Simulation {
 
     /// Schedules delivery of `msg` leaving `src` at `t`.
     pub(crate) fn dispatch(&mut self, t: Cycles, src: usize, dst: usize, msg: Msg) {
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::MsgSent {
+            src,
+            dst,
+            kind: msg.kind(),
+            demand: !msg.is_prefetch(),
+        });
         let bytes = msg.bytes(self.params.page_bytes, self.params.page_words());
         self.record(
             t,
@@ -619,6 +680,7 @@ impl Simulation {
             nd.status = ProcStatus::Runnable;
             nd.wait = Wait::None;
         }
+        // invariant: a processor only blocks with its faulting op recorded
         let op = self.nodes[pid].pending_op.expect("wake without pending op");
         match op {
             ProcOp::Read { .. } | ProcOp::Write { .. } => {
@@ -638,6 +700,12 @@ impl Simulation {
     }
 
     fn handle_msg(&mut self, dst: usize, t: Cycles, msg: Msg) {
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::MsgDelivered {
+            dst,
+            kind: msg.kind(),
+            demand: !msg.is_prefetch(),
+        });
         match msg {
             Msg::LockReq { lock, acquirer, vt } => self.on_lock_req(dst, t, lock, acquirer, vt),
             Msg::LockForward { lock, acquirer, vt } => {
@@ -656,11 +724,16 @@ impl Simulation {
                 horizons,
             } => self.on_barrier_arrive(dst, t, barrier, from, vt, anns, horizons),
             Msg::BarrierRelease {
+                barrier,
                 vt,
                 anns,
                 update_horizon,
-                ..
-            } => self.on_barrier_release(dst, t, vt, anns, update_horizon),
+            } => {
+                let _ = barrier; // consumed by the verify hook below
+                #[cfg(feature = "verify")]
+                self.emit(crate::observe::ProtocolEvent::BarrierCompleted { pid: dst, barrier });
+                self.on_barrier_release(dst, t, vt, anns, update_horizon)
+            }
             Msg::DiffReq {
                 page,
                 intervals,

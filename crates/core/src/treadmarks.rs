@@ -69,6 +69,19 @@ impl Simulation {
             ProcOp::Write { addr, .. } => (addr, true),
             _ => unreachable!(),
         };
+        #[cfg(feature = "verify")]
+        {
+            let bytes = match op {
+                ProcOp::Read { bytes, .. } | ProcOp::Write { bytes, .. } => bytes,
+                _ => 0,
+            };
+            self.emit(crate::observe::ProtocolEvent::Access {
+                pid,
+                addr,
+                bytes,
+                write,
+            });
+        }
         self.charge_mem(pid, addr, write);
         let page = page_of(addr, self.params.page_bytes);
         let (page_bytes, hw) = (self.params.page_bytes, self.mode().hw_diffs());
@@ -162,6 +175,17 @@ impl Simulation {
             }
             let diff = Diff::from_dirty_vec(page, pid, open, &tp.data, &tp.dirty);
             tp.dirty.clear();
+            #[cfg(feature = "verify")]
+            {
+                let ev = crate::observe::ProtocolEvent::DiffCreated {
+                    pid,
+                    page,
+                    interval: open,
+                    diff: diff.clone(),
+                    data: tp.data.clone(),
+                };
+                self.emit(ev);
+            }
             let words = diff.word_count();
             self.tm_store_diff(pid, diff);
             let cpu = Controller::dma_cost(&params, words);
@@ -179,6 +203,14 @@ impl Simulation {
             };
             let data = self.tm_page(pid, page).data.clone();
             let diff = Diff::from_twin(page, pid, tivl, &data, &twin);
+            #[cfg(feature = "verify")]
+            self.emit(crate::observe::ProtocolEvent::DiffCreated {
+                pid,
+                page,
+                interval: tivl,
+                diff: diff.clone(),
+                data: data.clone(),
+            });
             self.tm_store_diff(pid, diff);
             let cpu = Controller::sw_diff_scan(&params);
             self.nodes[pid].stats.diff_create_cycles += cpu;
@@ -214,6 +246,7 @@ impl Simulation {
                 v.insert(diff);
             }
         }
+        // invariant: the diff being stored was created from this page entry
         let tp = nd.pages.get_mut(&key.0).expect("page exists");
         if !tp.own_intervals.contains(&key.1) {
             tp.own_intervals.push(key.1);
@@ -239,6 +272,17 @@ impl Simulation {
                 }
                 let diff = Diff::from_dirty_vec(page, pid, id, &tp.data, &tp.dirty);
                 tp.dirty.clear();
+                #[cfg(feature = "verify")]
+                {
+                    let ev = crate::observe::ProtocolEvent::DiffCreated {
+                        pid,
+                        page,
+                        interval: id,
+                        diff: diff.clone(),
+                        data: tp.data.clone(),
+                    };
+                    self.emit(ev);
+                }
                 let words = diff.word_count();
                 self.tm_store_diff(pid, diff);
                 self.advance(pid, Controller::issue_cost(&params), Category::Synch);
@@ -408,6 +452,8 @@ impl Simulation {
             let data = self.nodes[dst]
                 .pages
                 .get(&page)
+                // invariant: a whole-page request only reaches a node that
+                // has served or written the page (entry created on access)
                 .expect("page exists")
                 .data
                 .clone();
@@ -457,10 +503,20 @@ impl Simulation {
             .tm_page(dst, page)
             .twin
             .take()
+            // invariant: lazy diff creation is only requested for pages the
+            // fault handler twinned earlier in the same interval
             .expect("twin for lazy diff");
         debug_assert_eq!(tivl, ivl, "twin interval mismatch");
         let data = self.tm_page(dst, page).data.clone();
         let diff = Diff::from_twin(page, dst, tivl, &data, &twin);
+        #[cfg(feature = "verify")]
+        self.emit(crate::observe::ProtocolEvent::DiffCreated {
+            pid: dst,
+            page,
+            interval: tivl,
+            diff: diff.clone(),
+            data: data.clone(),
+        });
         self.tm_store_diff(dst, diff);
         let cpu = Controller::sw_diff_scan(&params);
         self.nodes[dst].stats.diff_create_cycles += cpu;
@@ -504,6 +560,8 @@ impl Simulation {
         }
         let ready = {
             let Wait::Fault(f) = &mut self.nodes[dst].wait else {
+                // invariant: demand diff replies are only addressed to the
+                // blocked requester (message conservation)
                 panic!("diff reply for page {page} but processor {dst} is not faulting");
             };
             debug_assert_eq!(f.page, page, "diff reply for the wrong page");
@@ -551,6 +609,8 @@ impl Simulation {
         let ps = self.nodes[dst]
             .prefetches
             .remove(&page)
+            // invariant: a prefetch reply matches the outstanding prefetch
+            // record that produced the request
             .expect("prefetch state");
         let end = self.tm_apply_collected(
             dst,
@@ -635,6 +695,18 @@ impl Simulation {
             };
             tp.was_referenced = false;
         }
+        #[cfg(feature = "verify")]
+        {
+            let applied: Vec<(usize, IntervalId)> =
+                diffs.iter().map(|d| (d.owner, d.interval)).collect();
+            let data = self.tm_page(pid, page).data.clone();
+            self.emit(crate::observe::ProtocolEvent::DiffsApplied {
+                pid,
+                page,
+                applied,
+                data,
+            });
+        }
         self.nodes[pid].stats.diffs_applied += diffs.len() as u64;
         self.nodes[pid].stats.diff_apply_cycles += cpu;
         // The controller (or NI) wrote main memory: the processor snoop
@@ -689,6 +761,15 @@ impl Simulation {
                 continue;
             }
             for &page in &ann.pages {
+                #[cfg(feature = "verify")]
+                {
+                    // Oracle self-test mutation: drop this write notice on
+                    // the floor (the page keeps its stale mapping).
+                    if self.drop_notice_armed {
+                        self.drop_notice_armed = false;
+                        continue;
+                    }
+                }
                 // Settle local modifications before losing the page.
                 c = self.tm_force_diff(pid, page, c);
                 let (was_valid, was_prefetched) = {
@@ -715,8 +796,20 @@ impl Simulation {
                 if was_valid {
                     self.nodes[pid].stats.invalidations += 1;
                 }
+                #[cfg(feature = "verify")]
+                self.emit(crate::observe::ProtocolEvent::NoticeRecorded {
+                    pid,
+                    owner: ann.owner,
+                    id: ann.id,
+                    page,
+                });
                 c += params.list_processing;
             }
+        }
+        #[cfg(feature = "verify")]
+        {
+            let vt = self.nodes[pid].vt.clone();
+            self.emit(crate::observe::ProtocolEvent::AnnsProcessed { pid, vt });
         }
         c
     }

@@ -112,6 +112,7 @@ impl Mesh {
         } else if fx == tx && fy == ty + 1 {
             2 * horiz + vert + ty * self.width + fx // north
         } else {
+            // invariant: routes are built hop by hop from neighbors()
             panic!("nodes {from} and {to} are not adjacent");
         }
     }

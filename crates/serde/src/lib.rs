@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace annotates its stats/config/protocol types with
+//! `#[derive(Serialize, Deserialize)]` to mark them as serialization-ready,
+//! but nothing in the tree actually serializes (there is no `serde_json` or
+//! similar consumer). The build environment has no network access to
+//! crates.io, so this tiny proc-macro crate stands in for the real `serde`:
+//! both derives expand to nothing. Swapping back to the real crate is a
+//! one-line change in the workspace `Cargo.toml` and requires no source
+//! edits.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,10 +9,9 @@
 //! despite using threads: there is never more than one runnable workload
 //! thread whose effects the back end observes concurrently.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::ops::{ProcId, ProcOp, ProcReply};
 
@@ -35,7 +34,7 @@ pub enum ProcStatus {
 /// [`ProcPort::call`] directly.
 #[derive(Debug)]
 pub struct ProcPort {
-    op_tx: Sender<ProcOp>,
+    op_tx: SyncSender<ProcOp>,
     reply_rx: Receiver<ProcReply>,
 }
 
@@ -57,7 +56,7 @@ impl ProcPort {
 #[derive(Debug)]
 struct ProcChannel {
     op_rx: Receiver<ProcOp>,
-    reply_tx: Sender<ProcReply>,
+    reply_tx: SyncSender<ProcReply>,
 }
 
 /// Owns the workload threads and the per-processor rendezvous channels.
@@ -99,8 +98,8 @@ impl ProcHarness {
         for pid in 0..n {
             // Capacity 1 lets a thread pre-compute and post its next op
             // without waiting for the back end to be ready to receive it.
-            let (op_tx, op_rx) = bounded(1);
-            let (reply_tx, reply_rx) = bounded(1);
+            let (op_tx, op_rx) = sync_channel(1);
+            let (reply_tx, reply_rx) = sync_channel(1);
             channels.push(ProcChannel { op_rx, reply_tx });
             let body = Arc::clone(&body);
             let handle = std::thread::Builder::new()

@@ -1,0 +1,281 @@
+//! `cargo xtask lint` — the static gate for protocol hot paths.
+//!
+//! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
+//! truncated cycle counter just bends the curves. This gate therefore runs
+//! even when tests are output-identical, enforcing three rules on the
+//! protocol hot paths plus the workspace-wide `cargo fmt --check` and
+//! `cargo clippy -- -D warnings`:
+//!
+//! 1. **No undocumented panic paths.** `.unwrap()`, `todo!` and
+//!    `unimplemented!` are forbidden in hot-path files; `.expect(...)` and
+//!    `panic!(...)` must carry an `// invariant:` justification (on the same
+//!    or a directly preceding line) or an explicit `lint:allow` marker.
+//! 2. **No unchecked indexing in the data plane.** Direct slice indexing of
+//!    the page/bit-vector buffers (`self.data[...]`, `self.bits[...]`) in
+//!    `diff.rs`, `bitvec.rs` and `page.rs` needs the same `invariant:`
+//!    annotation naming the guarding check.
+//! 3. **No truncating casts on cycle counters.** A line mentioning cycles
+//!    must not cast with `as u8/u16/u32/i8/i16/i32` — silent wraparound in
+//!    the timing plane is exactly the class of bug tests cannot see.
+//!
+//! Test modules (`#[cfg(test)]` onward) are exempt.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Protocol hot paths: message handlers and synchronization machinery.
+const HANDLER_FILES: &[&str] = &[
+    "crates/core/src/system.rs",
+    "crates/core/src/treadmarks.rs",
+    "crates/core/src/aurc.rs",
+    "crates/core/src/sync.rs",
+    "crates/net/src/lib.rs",
+    "crates/net/src/router.rs",
+    "crates/net/src/topology.rs",
+];
+
+/// Data-plane files where unchecked indexing is additionally policed.
+const INDEX_FILES: &[&str] = &[
+    "crates/core/src/diff.rs",
+    "crates/core/src/bitvec.rs",
+    "crates/core/src/page.rs",
+];
+
+/// Crates whose sources are scanned for truncating cycle casts.
+const CYCLE_CAST_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/net/src",
+    "crates/mem/src",
+    "crates/stats/src",
+];
+
+const TRUNCATING_CASTS: &[&str] = &[
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, flags) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("usage: cargo xtask lint [--scan-only]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cmd != "lint" {
+        eprintln!("unknown xtask `{cmd}`; available: lint");
+        return ExitCode::FAILURE;
+    }
+    let scan_only = flags.iter().any(|f| f == "--scan-only");
+
+    let root = workspace_root();
+    let mut findings = Vec::new();
+    scan_tree(&root, &mut findings);
+
+    if !findings.is_empty() {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        for f in &findings {
+            eprintln!(
+                "  {}:{}: [{}] {}",
+                f.file.display(),
+                f.line,
+                f.rule,
+                f.text.trim()
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("xtask lint: static scan clean");
+
+    if scan_only {
+        return ExitCode::SUCCESS;
+    }
+    for (what, cmdline) in [
+        ("cargo fmt --check", &["fmt", "--all", "--", "--check"][..]),
+        (
+            "cargo clippy -D warnings",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ][..],
+        ),
+    ] {
+        let status = Command::new(env!("CARGO"))
+            .args(cmdline)
+            .current_dir(&root)
+            .status();
+        match status {
+            Ok(s) if s.success() => println!("xtask lint: {what} clean"),
+            Ok(_) => {
+                eprintln!("xtask lint: {what} failed");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask lint: could not run {what}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks up from the xtask manifest to the workspace root.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").is_file() && p.join("crates").is_dir())
+        .unwrap_or(&manifest)
+        .to_path_buf()
+}
+
+fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
+    for rel in HANDLER_FILES {
+        scan_file(root, rel, false, findings);
+    }
+    for rel in INDEX_FILES {
+        scan_file(root, rel, true, findings);
+    }
+    for dir in CYCLE_CAST_DIRS {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                scan_cycle_casts(root, &path, findings);
+            }
+        }
+    }
+}
+
+/// Returns the source of `path` with any trailing `#[cfg(test)]` module cut
+/// off (test code may panic freely), or `None` if unreadable.
+fn non_test_source(path: &Path) -> Option<String> {
+    let src = std::fs::read_to_string(path).ok()?;
+    let cut = src.find("#[cfg(test)]").unwrap_or(src.len());
+    Some(src[..cut].to_string())
+}
+
+/// True when the line (or the annotation block directly above it) justifies
+/// a flagged pattern.
+fn annotated(lines: &[&str], idx: usize) -> bool {
+    let has = |s: &str| s.contains("invariant:") || s.contains("lint:allow");
+    if has(lines[idx]) {
+        return true;
+    }
+    // Walk up through a contiguous comment block.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if has(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn scan_file(root: &Path, rel: &str, index_rules: bool, findings: &mut Vec<Finding>) {
+    let path = root.join(rel);
+    let Some(src) = non_test_source(&path) else {
+        return;
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let code = strip_comment(line);
+        if code.trim().is_empty() {
+            continue;
+        }
+        for pat in [".unwrap()", "todo!(", "unimplemented!("] {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: i + 1,
+                    rule: "forbidden-panic",
+                    text: format!("`{pat}` in a protocol hot path: {}", line.trim()),
+                });
+            }
+        }
+        for pat in [".expect(", "panic!("] {
+            if code.contains(pat) && !annotated(&lines, i) {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: i + 1,
+                    rule: "undocumented-panic",
+                    text: format!(
+                        "`{pat}` without an `// invariant:` justification: {}",
+                        line.trim()
+                    ),
+                });
+            }
+        }
+        if index_rules {
+            for pat in ["self.data[", "self.bits[", ".try_into().expect"] {
+                if code.contains(pat) && !annotated(&lines, i) {
+                    findings.push(Finding {
+                        file: path.clone(),
+                        line: i + 1,
+                        rule: "unchecked-index",
+                        text: format!(
+                            "unchecked data-plane indexing `{pat}` needs an \
+                             `// invariant:` naming its guard: {}",
+                            line.trim()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn scan_cycle_casts(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Some(src) = non_test_source(path) else {
+        return;
+    };
+    for (i, line) in src.lines().enumerate() {
+        let code = strip_comment(line);
+        if !code.to_ascii_lowercase().contains("cycle") {
+            continue;
+        }
+        if line.contains("lint:allow") {
+            continue;
+        }
+        for pat in TRUNCATING_CASTS {
+            if code.contains(pat) {
+                let rel = path.strip_prefix(root).unwrap_or(path);
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: "truncating-cycle-cast",
+                    text: format!("`{}` on a cycle quantity: {}", pat.trim(), line.trim()),
+                });
+            }
+        }
+    }
+}
+
+/// Drops a trailing `//` comment (naive: does not parse string literals, but
+/// the scanned patterns never appear inside strings in these files).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}

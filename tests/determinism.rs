@@ -4,41 +4,63 @@
 
 use ncp2::prelude::*;
 
-fn run_once(proto: Protocol) -> RunResult {
-    run_app(
-        SysParams::default().with_nprocs(8),
-        proto,
-        Water {
-            molecules: 24,
-            steps: 2,
-            seed: 0xDE7,
-        },
-    )
-}
-
-#[test]
-fn identical_runs_are_bit_identical() {
+/// Runs `app` twice under each protocol and asserts the two runs agree on
+/// every statistic we publish — total cycles, checksum, network traffic and
+/// the full per-node breakdowns.
+fn assert_bit_identical<W: Workload + Clone>(app: W, nprocs: usize) {
     for proto in [
         Protocol::TreadMarks(OverlapMode::Base),
         Protocol::TreadMarks(OverlapMode::IPD),
         Protocol::Aurc { prefetch: true },
     ] {
-        let a = run_once(proto);
-        let b = run_once(proto);
+        let name = app.name();
+        let run = || run_app(SysParams::default().with_nprocs(nprocs), proto, app.clone());
+        let a = run();
+        let b = run();
         assert_eq!(
             a.total_cycles, b.total_cycles,
-            "{proto}: cycle counts differ"
+            "{name} under {proto}: cycle counts differ"
         );
-        assert_eq!(a.checksum, b.checksum, "{proto}: checksums differ");
+        assert_eq!(
+            a.checksum, b.checksum,
+            "{name} under {proto}: checksums differ"
+        );
         assert_eq!(
             a.net.messages, b.net.messages,
-            "{proto}: message counts differ"
+            "{name} under {proto}: message counts differ"
         );
-        assert_eq!(a.net.bytes, b.net.bytes, "{proto}: traffic differs");
+        assert_eq!(
+            a.net.bytes, b.net.bytes,
+            "{name} under {proto}: traffic differs"
+        );
         for (pid, (x, y)) in a.nodes.iter().zip(&b.nodes).enumerate() {
-            assert_eq!(x, y, "{proto}: node {pid} stats differ");
+            assert_eq!(x, y, "{name} under {proto}: node {pid} stats differ");
         }
     }
+}
+
+#[test]
+fn identical_water_runs_are_bit_identical() {
+    assert_bit_identical(
+        Water {
+            molecules: 24,
+            steps: 2,
+            seed: 0xDE7,
+        },
+        8,
+    );
+}
+
+#[test]
+fn identical_tsp_runs_are_bit_identical() {
+    assert_bit_identical(
+        Tsp {
+            cities: 8,
+            prefix_depth: 2,
+            seed: 0x757,
+        },
+        8,
+    );
 }
 
 #[test]
