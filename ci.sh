@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# CI gate: static checks first (fast fail), then build, then the full suite.
+# CI gate: static checks first (fast fail), then build, then the full test
+# suite, then the observability smoke + bench-regression trajectory.
 set -eux
 
 cargo fmt --all -- --check
@@ -7,3 +8,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo xtask lint --scan-only
 cargo build --release
 cargo test -q
+
+# Observability smoke: one observed run must pass its own conservation /
+# determinism self-check and produce parseable exports.
+OBS_OUT="${OBS_OUT:-target/obs-smoke}"
+cargo run --release --bin obs_report -- \
+    --app TSP --mode I+P+D --nprocs 4 --out-dir "$OBS_OUT" --selfcheck
+
+# Bench trajectory: regenerate the tier-1 suite and gate on regressions
+# against the committed baseline (seeded on first run; refreshed in place
+# after a pass so the baseline tracks the trajectory).
+cargo run --release --bin obs_report -- --bench "$OBS_OUT/bench_new.json"
+cargo xtask bench-diff BENCH_tier1.json "$OBS_OUT/bench_new.json" --update

@@ -25,7 +25,7 @@ fn main() {
                     app,
                     opts.paper_size,
                 );
-                r.speedup_over(s)
+                r.speedup_over(s).unwrap_or(0.0)
             })
             .collect();
         cells.push(row);

@@ -1,9 +1,14 @@
 //! Figure 2: normalized execution-time breakdown of every application under
 //! non-overlapping TreadMarks on 16 processors, with the diff-operation
 //! percentage annotated on each bar.
+//!
+//! Runs with observability enabled and also writes the machine-readable
+//! reports to `results/fig02_metrics.json` (bench-file format, see
+//! `ncp2-obs`) so the figure's numbers can be diffed across revisions.
 
 use ncp2::prelude::*;
 use ncp2_bench::harness::{self, Opts};
+use ncp2_obs::{write_bench, MetricsReport};
 
 fn main() {
     let opts = Opts::parse();
@@ -13,8 +18,9 @@ fn main() {
         "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>6}",
         "app", "busy%", "data%", "synch%", "ipc%", "others%", "diff%"
     );
+    let mut reports = Vec::new();
     for app in opts.apps() {
-        let r = harness::run(
+        let r = harness::run_obs(
             &params,
             Protocol::TreadMarks(OverlapMode::Base),
             app,
@@ -31,5 +37,11 @@ fn main() {
             100.0 * b.fraction(Category::Other),
             r.diff_pct(),
         );
+        reports.push(MetricsReport::from_run(&format!("{app}/Base"), &r));
+    }
+    let out = "results/fig02_metrics.json";
+    match std::fs::write(out, write_bench(&reports)) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\ncould not write {out}: {e}"),
     }
 }

@@ -1,0 +1,292 @@
+//! `obs_report` — run one application with observability enabled and render
+//! the metrics report; optionally export Perfetto/CSV artifacts, run the
+//! determinism/conservation self-check, or produce the bench file consumed
+//! by `cargo xtask bench-diff`.
+//!
+//! ```sh
+//! # Print the report table for one run.
+//! cargo run --release --bin obs_report -- --app TSP --mode I+P+D
+//!
+//! # Export metrics.json + trace.json (Perfetto) + trace.csv.
+//! cargo run --release --bin obs_report -- --app Water --mode AURC --out-dir /tmp/obs
+//!
+//! # CI self-check: byte-determinism + conservation + parse-back.
+//! cargo run --release --bin obs_report -- --app TSP --mode I+P+D --nprocs 4 --selfcheck
+//!
+//! # Regenerate the tier-1 bench trajectory file.
+//! cargo run --release --bin obs_report -- --bench bench_new.json
+//! ```
+
+use std::path::PathBuf;
+
+use ncp2::apps::run_app_with;
+use ncp2::prelude::*;
+use ncp2_bench::harness::{self, protocol_from_label, ALL_MODE_LABELS};
+use ncp2_obs::report::parse_metrics;
+use ncp2_obs::{perfetto_json, write_bench, MetricsReport};
+
+struct Args {
+    app: String,
+    mode: String,
+    nprocs: usize,
+    paper_size: bool,
+    out_dir: Option<PathBuf>,
+    selfcheck: bool,
+    bench: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_report [--app NAME] [--mode LABEL] [--nprocs N] [--paper-size]\n\
+         \x20                 [--out-dir DIR] [--selfcheck] [--bench FILE]\n\
+         modes: {}",
+        ALL_MODE_LABELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        app: "TSP".into(),
+        mode: "I+P+D".into(),
+        nprocs: SysParams::default().nprocs,
+        paper_size: false,
+        out_dir: None,
+        selfcheck: false,
+        bench: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--app" => a.app = args.next().unwrap_or_else(|| usage()),
+            "--mode" => a.mode = args.next().unwrap_or_else(|| usage()),
+            "--nprocs" => {
+                a.nprocs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--paper-size" => a.paper_size = true,
+            "--out-dir" => a.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--selfcheck" => a.selfcheck = true,
+            "--bench" => a.bench = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    const APPS: [&str; 6] = ["TSP", "Water", "Radix", "Barnes", "Em3d", "Ocean"];
+    match APPS.iter().find(|n| n.eq_ignore_ascii_case(&a.app)) {
+        Some(canonical) => a.app = canonical.to_string(),
+        None => {
+            eprintln!("unknown app '{}'; known: {}", a.app, APPS.join(", "));
+            std::process::exit(2);
+        }
+    }
+    a
+}
+
+/// One observed run at the given size, with protocol tracing on so the
+/// Perfetto export carries instant events too.
+fn observed_run(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> RunResult {
+    let protocol = protocol_from_label(mode).unwrap_or_else(|| {
+        eprintln!(
+            "unknown mode '{mode}'; known: {}",
+            ALL_MODE_LABELS.join(", ")
+        );
+        std::process::exit(2);
+    });
+    let mut params = SysParams::default().with_nprocs(nprocs);
+    params.trace = true;
+    run_app_with(
+        params,
+        protocol,
+        harness::build_app(app, paper_size),
+        |sim| sim.enable_obs(),
+    )
+}
+
+/// The tier-1 bench suite: the six applications at oracle-test sizes, under
+/// a representative protocol spread, on 4 processors. Small enough for CI,
+/// broad enough that a protocol-wide slowdown cannot hide.
+fn bench_reports() -> Vec<MetricsReport> {
+    const BENCH_MODES: [&str; 3] = ["Base", "I+P+D", "AURC+P"];
+    let params = SysParams::default().with_nprocs(4);
+    let mut reports = Vec::new();
+    for mode in BENCH_MODES {
+        let protocol = match protocol_from_label(mode) {
+            Some(p) => p,
+            None => unreachable!("BENCH_MODES holds known labels"),
+        };
+        let obs = |sim: &mut Simulation| sim.enable_obs();
+        let runs: Vec<(&str, RunResult)> = vec![
+            (
+                "TSP",
+                run_app_with(
+                    params.clone(),
+                    protocol,
+                    Tsp {
+                        cities: 6,
+                        prefix_depth: 2,
+                        seed: 11,
+                    },
+                    obs,
+                ),
+            ),
+            (
+                "Water",
+                run_app_with(
+                    params.clone(),
+                    protocol,
+                    Water {
+                        molecules: 8,
+                        steps: 1,
+                        seed: 12,
+                    },
+                    obs,
+                ),
+            ),
+            (
+                "Radix",
+                run_app_with(
+                    params.clone(),
+                    protocol,
+                    Radix {
+                        keys: 256,
+                        radix: 16,
+                        passes: 2,
+                        seed: 13,
+                    },
+                    obs,
+                ),
+            ),
+            (
+                "Barnes",
+                run_app_with(
+                    params.clone(),
+                    protocol,
+                    Barnes {
+                        bodies: 16,
+                        steps: 1,
+                        theta_16: 8,
+                        seed: 14,
+                    },
+                    obs,
+                ),
+            ),
+            (
+                "Em3d",
+                run_app_with(
+                    params.clone(),
+                    protocol,
+                    Em3d {
+                        nodes: 96,
+                        degree: 2,
+                        remote_pct: 25,
+                        iters: 2,
+                        seed: 15,
+                    },
+                    obs,
+                ),
+            ),
+            (
+                "Ocean",
+                run_app_with(params.clone(), protocol, Ocean { grid: 16, iters: 2 }, obs),
+            ),
+        ];
+        for (name, r) in runs {
+            reports.push(MetricsReport::from_run(&format!("{name}/{mode}"), &r));
+        }
+    }
+    reports
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let a = parse_args();
+
+    if let Some(bench_path) = &a.bench {
+        let reports = bench_reports();
+        write_file(bench_path, &write_bench(&reports));
+        println!("wrote {} runs to {}", reports.len(), bench_path.display());
+        return;
+    }
+
+    let name = format!("{}/{}", a.app, a.mode);
+    let r = observed_run(&a.app, &a.mode, a.nprocs, a.paper_size);
+    let report = MetricsReport::from_run(&name, &r);
+    print!("{}", report.render_table());
+
+    let mut failed = false;
+    if !r.violations.is_empty() {
+        eprintln!("violations: {:#?}", r.violations);
+        failed = true;
+    }
+
+    if let Some(dir) = &a.out_dir {
+        let metrics = report.to_json();
+        let trace = perfetto_json(&r);
+        let csv = ncp2::core::trace_csv(&r.trace);
+        write_file(&dir.join("metrics.json"), &metrics);
+        write_file(&dir.join("trace.json"), &trace);
+        write_file(&dir.join("trace.csv"), &csv);
+        println!(
+            "\nwrote metrics.json, trace.json, trace.csv to {}",
+            dir.display()
+        );
+    }
+
+    if a.selfcheck {
+        // 1. Conservation must have held (violations would have tripped above,
+        //    but check the report's own flag too).
+        if !report.conservation_ok {
+            eprintln!("selfcheck: span-conservation invariant FAILED");
+            failed = true;
+        }
+        // 2. Determinism: a second identical run must produce byte-identical
+        //    metrics and Perfetto exports.
+        let r2 = observed_run(&a.app, &a.mode, a.nprocs, a.paper_size);
+        let report2 = MetricsReport::from_run(&name, &r2);
+        if report2.to_json() != report.to_json() {
+            eprintln!("selfcheck: metrics.json differs between identical runs");
+            failed = true;
+        }
+        if perfetto_json(&r2) != perfetto_json(&r) {
+            eprintln!("selfcheck: trace.json differs between identical runs");
+            failed = true;
+        }
+        // 3. The deterministic JSON must parse back to the same report.
+        match parse_metrics(&report.to_json()) {
+            Ok(parsed) => {
+                if parsed.total_cycles != report.total_cycles
+                    || parsed.name != report.name
+                    || !parsed.conservation_ok
+                {
+                    eprintln!("selfcheck: parsed metrics disagree with the report");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("selfcheck: metrics.json does not parse: {e}");
+                failed = true;
+            }
+        }
+        if !failed {
+            println!("\nselfcheck passed: conservation ok, exports deterministic");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

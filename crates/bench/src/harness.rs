@@ -84,9 +84,39 @@ impl Opts {
     }
 }
 
+/// Every protocol label accepted by `--mode`, in the paper's order.
+pub const ALL_MODE_LABELS: [&str; 8] = ["Base", "I", "I+D", "P", "I+P", "I+P+D", "AURC", "AURC+P"];
+
+/// Parses a protocol from its figure label (see [`ALL_MODE_LABELS`]).
+pub fn protocol_from_label(label: &str) -> Option<Protocol> {
+    let l = label.to_ascii_uppercase();
+    for m in MODES {
+        if m.label().eq_ignore_ascii_case(&l) {
+            return Some(Protocol::TreadMarks(m));
+        }
+    }
+    match l.as_str() {
+        "AURC" => Some(Protocol::Aurc { prefetch: false }),
+        "AURC+P" => Some(Protocol::Aurc { prefetch: true }),
+        _ => None,
+    }
+}
+
 /// Runs one app under one protocol and returns the result.
 pub fn run(params: &SysParams, protocol: Protocol, app: &str, paper_size: bool) -> RunResult {
     run_app(params.clone(), protocol, build_app(app, paper_size))
+}
+
+/// Like [`run`], but with observability recording enabled, so the result
+/// carries the span/flight/engine timeline (`RunResult::obs`) consumed by
+/// `ncp2-obs` reports and the Perfetto exporter.
+pub fn run_obs(params: &SysParams, protocol: Protocol, app: &str, paper_size: bool) -> RunResult {
+    ncp2::apps::run_app_with(
+        params.clone(),
+        protocol,
+        build_app(app, paper_size),
+        |sim| sim.enable_obs(),
+    )
 }
 
 /// Sequential (1-processor, protocol-free) cycle count for speedups.

@@ -20,6 +20,7 @@ use ncp2_sim::{Category, Cycles, ProcOp, ProcReply};
 use crate::interval::IntervalAnnouncement;
 use crate::msg::Msg;
 use crate::page::{page_of, PageId};
+use crate::span::SpanKind;
 use crate::system::{AurcMode, InsertOutcome, Simulation, Wait};
 
 impl Simulation {
@@ -161,6 +162,8 @@ impl Simulation {
         };
         if was_prefetched {
             self.nodes[pid].stats.prefetch_hits += 1;
+            let now = self.nodes[pid].time;
+            self.obs_prefetch_used(pid, page, now);
         }
         let reply = {
             let buf = self.master_page(page);
@@ -209,7 +212,7 @@ impl Simulation {
     /// paper's optimistic assumption; the §5.3 sweep raises it).
     fn aurc_emit_update(&mut self, pid: usize, line: u64, dst: usize, cat: Category) {
         let oh = self.params.au_messaging_overhead;
-        self.advance(pid, oh, cat);
+        self.advance(pid, oh, cat, SpanKind::UpdateFlush);
         // The outgoing line crosses the sender's PCI bus to the NI.
         let now = self.nodes[pid].time;
         let params = self.params.clone();
@@ -230,7 +233,9 @@ impl Simulation {
         });
         let bytes = msg.bytes(self.params.page_bytes, self.params.page_words());
         let params = self.params.clone();
-        let arrival = self.net.transfer(t, pid, dst, bytes, &params);
+        let tr = self.net.transfer_timed(t, pid, dst, bytes, &params);
+        self.obs_flight(pid, dst, msg.kind(), bytes, false, t, tr.start, tr.arrival);
+        let arrival = tr.arrival;
         self.nodes[pid].out_horizon[dst] = self.nodes[pid].out_horizon[dst].max(arrival);
         self.queue.push(
             arrival,
@@ -256,7 +261,12 @@ impl Simulation {
             let now = self.nodes[pid].time;
             self.record(now, pid, crate::trace::TraceKind::Fault { page });
             self.nodes[pid].stats.faults += 1;
-            self.advance(pid, self.params.interrupt, Category::Other);
+            self.advance(
+                pid,
+                self.params.interrupt,
+                Category::Other,
+                SpanKind::Interrupt,
+            );
         }
         let msg = Msg::AurcPageReq {
             page,
@@ -279,7 +289,7 @@ impl Simulation {
         let params = self.params.clone();
         // AURC has no protocol controller: the home processor services every
         // fetch — including useless prefetches, the paper's AURC+P poison.
-        let c0 = self.interrupt_proc(dst, t, params.interrupt, Category::Ipc);
+        let c0 = self.interrupt_proc(dst, t, params.interrupt, Category::Ipc, SpanKind::Service);
         let horizon = self.nodes[dst]
             .home_horizon
             .get(&page)
@@ -294,7 +304,13 @@ impl Simulation {
             .mem
             .pci
             .burst(mem_read, params.page_words(), &params);
-        let c1 = self.interrupt_proc(dst, mem_end, params.messaging_overhead, Category::Ipc);
+        let c1 = self.interrupt_proc(
+            dst,
+            mem_end,
+            params.messaging_overhead,
+            Category::Ipc,
+            SpanKind::MsgSetup,
+        );
         self.dispatch(c1, dst, requester, Msg::AurcPageReply { page, prefetch });
     }
 
@@ -337,6 +353,18 @@ impl Simulation {
                 true
             }
         };
+        if prefetch {
+            self.record(
+                mem_end,
+                dst,
+                crate::trace::TraceKind::PrefetchCompleted { page },
+            );
+            self.obs_prefetch_done(dst, page, mem_end);
+            if joined {
+                // Zero prefetch-to-use distance: a fault was already waiting.
+                self.obs_prefetch_used(dst, page, mem_end);
+            }
+        }
         if joined {
             debug_assert!(
                 matches!(self.nodes[dst].wait, Wait::AurcFault { page: p } if p == page)

@@ -42,6 +42,7 @@ pub mod msg;
 pub mod observe;
 pub mod page;
 pub mod protocol;
+pub mod span;
 pub mod stats;
 pub mod sync;
 pub mod system;
@@ -55,6 +56,7 @@ pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
 pub use observe::{MsgKind, Observer, ProtocolEvent, Violation};
 pub use page::{PageBuf, PageId, PageState};
 pub use protocol::{OverlapMode, Protocol};
+pub use span::{CtrlCmd, Engine, EngineSpan, Flight, ObsLog, Span, SpanKind};
 pub use stats::{NodeStats, RunResult};
 pub use system::Simulation;
 pub use trace::{trace_csv, TraceEvent, TraceKind};

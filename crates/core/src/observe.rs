@@ -251,6 +251,14 @@ pub enum Violation {
         /// Human-readable description.
         detail: String,
     },
+    /// Per-category span time does not sum to the node's breakdown totals
+    /// (reported by the `obs` layer's conservation check).
+    SpanConservation {
+        /// The node whose accounting is off.
+        node: usize,
+        /// Human-readable description.
+        detail: String,
+    },
     /// The same foreign diff was applied twice to one node's page copy.
     DuplicateDiffApplication {
         /// The processor applying the diff.
@@ -307,6 +315,9 @@ impl fmt::Display for Violation {
             }
             Violation::MessageConservation { detail } => {
                 write!(f, "message conservation: {detail}")
+            }
+            Violation::SpanConservation { node, detail } => {
+                write!(f, "span conservation at P{node}: {detail}")
             }
             Violation::DuplicateDiffApplication {
                 pid,

@@ -1,0 +1,442 @@
+//! Simulated-time spans: the data model behind the `obs` feature.
+//!
+//! When `ncp2-core` is built with the `obs` feature and
+//! [`Simulation::enable_obs`](crate::Simulation::enable_obs) is called, the
+//! simulation records three kinds of timed regions over **simulated cycles**
+//! (never wall clock):
+//!
+//! * **Conserved processor spans** ([`Span`]) — one span per breakdown
+//!   charge. Every call that adds cycles to a node's [`Breakdown`] emits
+//!   exactly one span of the same duration and category, so per-node,
+//!   per-category span time sums *exactly* to the node's breakdown totals.
+//!   [`ObsLog::conservation_errors`] checks this invariant and
+//!   [`Simulation::finish`] reports any mismatch as a
+//!   [`Violation::SpanConservation`](crate::observe::Violation).
+//! * **Engine spans** ([`EngineSpan`]) — occupancy of the protocol
+//!   controller's core/DMA datapath and message front end, labelled with the
+//!   command that ran ([`CtrlCmd`]).
+//! * **Message flights** ([`Flight`]) — injection, network entry (after link
+//!   contention) and arrival of every protocol message.
+//!
+//! Spans are tagged with the node's current *barrier epoch* (incremented
+//! each time the node is released from a barrier) so breakdowns can be
+//! inspected per phase. A barrier's own wait time is attributed to the epoch
+//! it closes; the epoch advances at the wake that ends the wait.
+//!
+//! The types here are always compiled (so [`RunResult`](crate::RunResult)
+//! can carry an `Option<ObsLog>` unconditionally); only the recording sites
+//! inside the simulation are gated behind the `obs` feature, mirroring the
+//! `verify` hook pattern.
+//!
+//! [`Breakdown`]: ncp2_sim::Breakdown
+
+use std::collections::HashMap;
+
+use ncp2_sim::{Category, Cycles};
+use serde::{Deserialize, Serialize};
+
+use crate::observe::MsgKind;
+use crate::stats::NodeStats;
+
+/// What a conserved processor span was spent on. The kind is finer than the
+/// five [`Category`] buckets: several kinds map into one category (e.g.
+/// `DiffCreate` cycles are `Data` when taken on a write fault but `Ipc` when
+/// taken while servicing a remote request), so each [`Span`] carries both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Useful application computation.
+    Compute,
+    /// The 1-cycle hit portion of a shared-memory reference.
+    MemHit,
+    /// TLB / cache-miss / write-buffer stall of a memory reference.
+    MemStall,
+    /// Trap / interrupt entry overhead.
+    Interrupt,
+    /// Twin creation (page copy) on the processor.
+    Twin,
+    /// Diff generation (twin comparison or issue of a DMA gather).
+    DiffCreate,
+    /// Diff application to a local page copy.
+    DiffApply,
+    /// Interval / write-notice / list processing.
+    NoticeMgmt,
+    /// Sequential-mode synchronization stand-in operations.
+    SyncOp,
+    /// Per-message software overhead or controller command issue.
+    MsgSetup,
+    /// AURC automatic-update emission (write-cache flush / eviction).
+    UpdateFlush,
+    /// Servicing a remote request (handler body charged as IPC).
+    Service,
+    /// Blocked collecting diffs / fetching a page on an access fault.
+    FaultStall,
+    /// Blocked waiting for an in-flight prefetch it joined.
+    PrefetchStall,
+    /// Blocked waiting for a lock grant.
+    LockStall,
+    /// Blocked waiting for a barrier release.
+    BarrierStall,
+}
+
+impl SpanKind {
+    /// Every kind, in rendering order.
+    pub const ALL: [SpanKind; 16] = [
+        SpanKind::Compute,
+        SpanKind::MemHit,
+        SpanKind::MemStall,
+        SpanKind::Interrupt,
+        SpanKind::Twin,
+        SpanKind::DiffCreate,
+        SpanKind::DiffApply,
+        SpanKind::NoticeMgmt,
+        SpanKind::SyncOp,
+        SpanKind::MsgSetup,
+        SpanKind::UpdateFlush,
+        SpanKind::Service,
+        SpanKind::FaultStall,
+        SpanKind::PrefetchStall,
+        SpanKind::LockStall,
+        SpanKind::BarrierStall,
+    ];
+
+    /// Stable snake_case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::MemHit => "mem_hit",
+            SpanKind::MemStall => "mem_stall",
+            SpanKind::Interrupt => "interrupt",
+            SpanKind::Twin => "twin",
+            SpanKind::DiffCreate => "diff_create",
+            SpanKind::DiffApply => "diff_apply",
+            SpanKind::NoticeMgmt => "notice_mgmt",
+            SpanKind::SyncOp => "sync_op",
+            SpanKind::MsgSetup => "msg_setup",
+            SpanKind::UpdateFlush => "update_flush",
+            SpanKind::Service => "service",
+            SpanKind::FaultStall => "fault_stall",
+            SpanKind::PrefetchStall => "prefetch_stall",
+            SpanKind::LockStall => "lock_stall",
+            SpanKind::BarrierStall => "barrier_stall",
+        }
+    }
+}
+
+/// Which controller engine executed an [`EngineSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// The controller's RISC core + DMA datapath.
+    CtrlCore,
+    /// The message / network-interface front end.
+    CtrlIo,
+}
+
+impl Engine {
+    /// Stable label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::CtrlCore => "ctrl.core",
+            Engine::CtrlIo => "ctrl.io",
+        }
+    }
+}
+
+/// The command class a controller engine ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CtrlCmd {
+    /// Twin creation (page copy).
+    Twin,
+    /// Diff generation (software scan or DMA bit-vector gather).
+    DiffCreate,
+    /// Diff application (software or DMA scatter).
+    DiffApply,
+    /// Interval-table walk for a prefetch request.
+    ListWalk,
+    /// Message setup on behalf of the node.
+    Send,
+}
+
+impl CtrlCmd {
+    /// Stable snake_case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CtrlCmd::Twin => "twin",
+            CtrlCmd::DiffCreate => "diff_create",
+            CtrlCmd::DiffApply => "diff_apply",
+            CtrlCmd::ListWalk => "list_walk",
+            CtrlCmd::Send => "send",
+        }
+    }
+}
+
+/// One conserved processor span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The node whose breakdown the span's duration was charged to.
+    pub node: usize,
+    /// The node's barrier epoch at emission.
+    pub epoch: u64,
+    /// What the time was spent on.
+    pub kind: SpanKind,
+    /// The breakdown category the duration was charged under.
+    pub cat: Category,
+    /// Start, simulated cycles.
+    pub start: Cycles,
+    /// End, simulated cycles (`end - start` is the charged duration).
+    pub end: Cycles,
+}
+
+/// One controller-engine occupancy interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSpan {
+    /// The node whose controller ran the command.
+    pub node: usize,
+    /// Which engine.
+    pub engine: Engine,
+    /// What it ran.
+    pub cmd: CtrlCmd,
+    /// Occupancy start, simulated cycles.
+    pub start: Cycles,
+    /// Occupancy end, simulated cycles.
+    pub end: Cycles,
+}
+
+/// One protocol message's journey through the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flight {
+    /// Sender.
+    pub src: usize,
+    /// Receiver.
+    pub dst: usize,
+    /// Message class.
+    pub kind: MsgKind,
+    /// Wire size, bytes.
+    pub bytes: u64,
+    /// Part of a prefetch transaction (low network priority).
+    pub prefetch: bool,
+    /// When the sender handed the message to the network.
+    pub inject: Cycles,
+    /// When the head entered the network (after link contention).
+    pub start: Cycles,
+    /// When the tail reached the receiver's network interface.
+    pub arrival: Cycles,
+}
+
+/// Everything recorded during one observed run.
+#[derive(Debug, Clone, Default)]
+pub struct ObsLog {
+    /// Conserved processor spans, in emission order.
+    pub spans: Vec<Span>,
+    /// Controller-engine occupancy intervals, in emission order.
+    pub engine: Vec<EngineSpan>,
+    /// Message flights, in injection order.
+    pub flights: Vec<Flight>,
+    /// `(node, distance)` for every completed prefetch that was later used:
+    /// cycles between prefetch completion and the first access that hit it
+    /// (0 when a fault joined the prefetch in flight).
+    pub prefetch_use: Vec<(usize, Cycles)>,
+    /// Final barrier-epoch count per node.
+    pub epochs: Vec<u64>,
+}
+
+impl ObsLog {
+    /// Checks the conservation invariant: per-node, per-category span time
+    /// must sum exactly to the node's breakdown totals. Returns one
+    /// `(node, detail)` entry per mismatching node/category pair.
+    pub fn conservation_errors(&self, nodes: &[NodeStats]) -> Vec<(usize, String)> {
+        let ncat = Category::ALL.len();
+        let mut sums = vec![0u64; nodes.len() * ncat];
+        for s in &self.spans {
+            let ci = Category::ALL
+                .iter()
+                .position(|&c| c == s.cat)
+                .unwrap_or(ncat - 1);
+            if s.node < nodes.len() {
+                sums[s.node * ncat + ci] += s.end - s.start;
+            }
+        }
+        let mut errors = Vec::new();
+        for (node, st) in nodes.iter().enumerate() {
+            for (ci, &cat) in Category::ALL.iter().enumerate() {
+                let spanned = sums[node * ncat + ci];
+                let charged = st.breakdown.get(cat);
+                if spanned != charged {
+                    errors.push((
+                        node,
+                        format!(
+                            "category {}: spans sum to {spanned} cycles but the \
+                             breakdown charged {charged}",
+                            cat.label()
+                        ),
+                    ));
+                }
+            }
+        }
+        errors
+    }
+}
+
+/// The live recorder owned by the simulation while the `obs` feature is
+/// active. Tracks per-node epochs and outstanding prefetch completions on
+/// top of the raw [`ObsLog`].
+#[derive(Debug, Default)]
+pub struct ObsRecorder {
+    log: ObsLog,
+    cur_epoch: Vec<u64>,
+    /// Completion time of prefetches not yet consumed by an access, keyed by
+    /// `(node, page)`.
+    prefetch_done: HashMap<(usize, u64), Cycles>,
+}
+
+impl ObsRecorder {
+    /// A fresh recorder for `nprocs` nodes.
+    pub fn new(nprocs: usize) -> Self {
+        ObsRecorder {
+            log: ObsLog::default(),
+            cur_epoch: vec![0; nprocs],
+            prefetch_done: HashMap::new(),
+        }
+    }
+
+    /// Records one conserved processor span; zero-duration charges are
+    /// dropped (they contribute nothing to the breakdown either).
+    pub fn span(&mut self, node: usize, kind: SpanKind, cat: Category, start: Cycles, dur: Cycles) {
+        if dur == 0 {
+            return;
+        }
+        let epoch = self.cur_epoch.get(node).copied().unwrap_or(0);
+        self.log.spans.push(Span {
+            node,
+            epoch,
+            kind,
+            cat,
+            start,
+            end: start + dur,
+        });
+    }
+
+    /// Records one controller-engine occupancy interval.
+    pub fn engine(
+        &mut self,
+        node: usize,
+        engine: Engine,
+        cmd: CtrlCmd,
+        start: Cycles,
+        end: Cycles,
+    ) {
+        if end <= start {
+            return;
+        }
+        self.log.engine.push(EngineSpan {
+            node,
+            engine,
+            cmd,
+            start,
+            end,
+        });
+    }
+
+    /// Records one message flight.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flight(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        bytes: u64,
+        prefetch: bool,
+        inject: Cycles,
+        start: Cycles,
+        arrival: Cycles,
+    ) {
+        self.log.flights.push(Flight {
+            src,
+            dst,
+            kind,
+            bytes,
+            prefetch,
+            inject,
+            start,
+            arrival,
+        });
+    }
+
+    /// Notes that a prefetch of `page` completed at `node` at time `t`.
+    pub fn prefetch_done(&mut self, node: usize, page: u64, t: Cycles) {
+        self.prefetch_done.insert((node, page), t);
+    }
+
+    /// Notes that an access at `node` consumed a completed prefetch of
+    /// `page` at time `t`; records the completion-to-use distance.
+    pub fn prefetch_used(&mut self, node: usize, page: u64, t: Cycles) {
+        if let Some(done) = self.prefetch_done.remove(&(node, page)) {
+            self.log.prefetch_use.push((node, t.saturating_sub(done)));
+        }
+    }
+
+    /// Advances `node`'s barrier epoch.
+    pub fn epoch_advance(&mut self, node: usize) {
+        if let Some(e) = self.cur_epoch.get_mut(node) {
+            *e += 1;
+        }
+    }
+
+    /// Finalizes the log.
+    pub fn into_log(mut self) -> ObsLog {
+        self.log.epochs = self.cur_epoch;
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), SpanKind::ALL.len());
+    }
+
+    #[test]
+    fn recorder_drops_zero_spans_and_tags_epochs() {
+        let mut r = ObsRecorder::new(2);
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 0);
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 10);
+        r.epoch_advance(0);
+        r.span(0, SpanKind::Service, Category::Ipc, 10, 5);
+        let log = r.into_log();
+        assert_eq!(log.spans.len(), 2);
+        assert_eq!(log.spans[0].epoch, 0);
+        assert_eq!(log.spans[1].epoch, 1);
+        assert_eq!(log.epochs, vec![1, 0]);
+    }
+
+    #[test]
+    fn prefetch_distance_is_completion_to_use() {
+        let mut r = ObsRecorder::new(1);
+        r.prefetch_done(0, 7, 100);
+        r.prefetch_used(0, 7, 160);
+        // A use with no completion on record is ignored.
+        r.prefetch_used(0, 9, 500);
+        let log = r.into_log();
+        assert_eq!(log.prefetch_use, vec![(0, 60)]);
+    }
+
+    #[test]
+    fn conservation_check_catches_mismatches() {
+        let mut r = ObsRecorder::new(1);
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 10);
+        let log = r.into_log();
+        let mut good = NodeStats::default();
+        good.breakdown.add(Category::Busy, 10);
+        assert!(log.conservation_errors(&[good]).is_empty());
+        let mut bad = good;
+        bad.breakdown.add(Category::Busy, 1);
+        let errs = log.conservation_errors(&[bad]);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].1.contains("busy"), "{}", errs[0].1);
+    }
+}

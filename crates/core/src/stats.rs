@@ -86,6 +86,10 @@ pub struct RunResult {
     /// unless `ncp2-core` is built with the `verify` feature and an observer
     /// was attached via `Simulation::attach_observer`).
     pub violations: Vec<crate::observe::Violation>,
+    /// Span/flight/engine timeline (`None` unless `ncp2-core` is built with
+    /// the `obs` feature and recording was enabled via
+    /// `Simulation::enable_obs`).
+    pub obs: Option<crate::span::ObsLog>,
 }
 
 impl RunResult {
@@ -120,16 +124,16 @@ impl RunResult {
     }
 
     /// Running time of `self` relative to `base` in percent (the paper's
-    /// normalized bars: 100 = same, lower = faster).
-    pub fn normalized_to(&self, base: &RunResult) -> f64 {
-        assert!(base.total_cycles > 0, "baseline ran for zero cycles");
-        100.0 * self.total_cycles as f64 / base.total_cycles as f64
+    /// normalized bars: 100 = same, lower = faster). `None` when the
+    /// baseline ran for zero cycles (degenerate config).
+    pub fn normalized_to(&self, base: &RunResult) -> Option<f64> {
+        (base.total_cycles > 0).then(|| 100.0 * self.total_cycles as f64 / base.total_cycles as f64)
     }
 
     /// Speedup of this run over a sequential run taking `seq_cycles`.
-    pub fn speedup_over(&self, seq_cycles: Cycles) -> f64 {
-        assert!(self.total_cycles > 0, "run took zero cycles");
-        seq_cycles as f64 / self.total_cycles as f64
+    /// `None` when this run took zero cycles (degenerate config).
+    pub fn speedup_over(&self, seq_cycles: Cycles) -> Option<f64> {
+        (self.total_cycles > 0).then(|| seq_cycles as f64 / self.total_cycles as f64)
     }
 }
 
@@ -155,6 +159,7 @@ mod tests {
             checksum: 0,
             trace: Vec::new(),
             violations: Vec::new(),
+            obs: None,
         }
     }
 
@@ -169,8 +174,17 @@ mod tests {
     fn normalization_and_speedup() {
         let base = run(1000, vec![node(100, 0)]);
         let fast = run(600, vec![node(100, 0)]);
-        assert!((fast.normalized_to(&base) - 60.0).abs() < 1e-12);
-        assert!((fast.speedup_over(6000) - 10.0).abs() < 1e-12);
+        assert!((fast.normalized_to(&base).unwrap() - 60.0).abs() < 1e-12);
+        assert!((fast.speedup_over(6000).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_runs_yield_none_not_panic() {
+        let zero = run(0, vec![node(0, 0)]);
+        let ok = run(10, vec![node(10, 0)]);
+        assert_eq!(ok.normalized_to(&zero), None);
+        assert_eq!(zero.speedup_over(100), None);
+        assert!(ok.normalized_to(&ok).is_some());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use ncp2_sim::{Category, Cycles};
 use crate::interval::IntervalAnnouncement;
 use crate::msg::Msg;
 use crate::protocol::Protocol;
+use crate::span::SpanKind;
 use crate::system::{BarrierState, Simulation, Wait};
 use crate::vtime::VectorTime;
 
@@ -23,7 +24,12 @@ impl Simulation {
 
     pub(crate) fn op_lock(&mut self, pid: usize, lock: LockId) {
         let manager = lock as usize % self.params.nprocs;
-        self.advance(pid, self.params.list_processing, Category::Synch);
+        self.advance(
+            pid,
+            self.params.list_processing,
+            Category::Synch,
+            SpanKind::NoticeMgmt,
+        );
         let msg = Msg::LockReq {
             lock,
             acquirer: pid,
@@ -68,6 +74,7 @@ impl Simulation {
             pid,
             self.params.list_processing * (anns.len() as Cycles + 1),
             Category::Synch,
+            SpanKind::NoticeMgmt,
         );
         let horizons = match self.protocol {
             Protocol::Aurc { .. } => self.nodes[pid].out_horizon.clone(),
@@ -136,6 +143,7 @@ impl Simulation {
             t,
             self.params.interrupt + self.params.list_processing,
             Category::Ipc,
+            SpanKind::Service,
         );
         let last = match self.lock_last.get(&lock) {
             Some(&l) => l,
@@ -173,7 +181,13 @@ impl Simulation {
     ) {
         let can_grant = self.nodes[holder].owned_locks.contains(&lock)
             && !self.nodes[holder].held_locks.contains(&lock);
-        let c = self.interrupt_proc(holder, t, self.params.interrupt, Category::Ipc);
+        let c = self.interrupt_proc(
+            holder,
+            t,
+            self.params.interrupt,
+            Category::Ipc,
+            SpanKind::Service,
+        );
         if can_grant {
             self.nodes[holder].owned_locks.remove(&lock);
             self.grant_lock(holder, c, lock, acquirer, &vt, true);
@@ -205,11 +219,11 @@ impl Simulation {
         let work = self.params.list_processing * (anns.len() as Cycles + 1);
         let (mut t, cat) = if servicing {
             (
-                self.interrupt_proc(holder, t, work, Category::Ipc),
+                self.interrupt_proc(holder, t, work, Category::Ipc, SpanKind::Service),
                 Category::Ipc,
             )
         } else {
-            self.advance(holder, work, Category::Synch);
+            self.advance(holder, work, Category::Synch, SpanKind::NoticeMgmt);
             (self.nodes[holder].time, Category::Synch)
         };
         let update_horizon = match self.protocol {
@@ -272,6 +286,7 @@ impl Simulation {
             t,
             self.params.interrupt + self.params.list_processing * (anns.len() as Cycles + 1),
             Category::Ipc,
+            SpanKind::Service,
         );
         let bs = self
             .barriers

@@ -24,6 +24,7 @@ use crate::interval::IntervalStore;
 use crate::msg::Msg;
 use crate::page::{page_of, PageBuf, PageId, PageState};
 use crate::protocol::Protocol;
+use crate::span::{CtrlCmd, Engine, SpanKind};
 use crate::stats::{NodeStats, RunResult};
 use crate::vtime::{IntervalId, VectorTime};
 
@@ -307,6 +308,10 @@ pub struct Simulation {
     /// write notice is silently discarded during announcement processing.
     #[cfg(feature = "verify")]
     pub(crate) drop_notice_armed: bool,
+    /// Span/flight/engine recorder (`obs` feature only, armed via
+    /// [`Simulation::enable_obs`]).
+    #[cfg(feature = "obs")]
+    pub(crate) obs: Option<crate::span::ObsRecorder>,
 }
 
 impl Simulation {
@@ -335,6 +340,8 @@ impl Simulation {
             observer: None,
             #[cfg(feature = "verify")]
             drop_notice_armed: false,
+            #[cfg(feature = "obs")]
+            obs: None,
             params,
             protocol,
         }
@@ -359,6 +366,146 @@ impl Simulation {
     pub fn inject_drop_write_notice(&mut self) {
         self.drop_notice_armed = true;
     }
+
+    /// Arms span/flight/engine recording over simulated time; the resulting
+    /// timeline lands in [`RunResult::obs`] and its conservation invariant
+    /// (per-node, per-category span time equals the node's `Breakdown`) is
+    /// checked at [`RunResult::violations`]. Only effective when `ncp2-core`
+    /// is built with the `obs` feature — without it this is a no-op and every
+    /// recording site compiles away, exactly like the `verify` hooks.
+    pub fn enable_obs(&mut self) {
+        #[cfg(feature = "obs")]
+        {
+            self.obs = Some(crate::span::ObsRecorder::new(self.params.nprocs));
+        }
+    }
+
+    // ----- obs recording (compiled away without the `obs` feature) --------
+
+    /// Records one conserved processor span.
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_span(
+        &mut self,
+        node: usize,
+        kind: SpanKind,
+        cat: Category,
+        start: Cycles,
+        dur: Cycles,
+    ) {
+        if let Some(r) = self.obs.as_mut() {
+            r.span(node, kind, cat, start, dur);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_span(
+        &mut self,
+        _node: usize,
+        _kind: SpanKind,
+        _cat: Category,
+        _start: Cycles,
+        _dur: Cycles,
+    ) {
+    }
+
+    /// Records one controller-engine occupancy interval.
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_engine(
+        &mut self,
+        node: usize,
+        engine: Engine,
+        cmd: CtrlCmd,
+        start: Cycles,
+        end: Cycles,
+    ) {
+        if let Some(r) = self.obs.as_mut() {
+            r.engine(node, engine, cmd, start, end);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_engine(
+        &mut self,
+        _node: usize,
+        _engine: Engine,
+        _cmd: CtrlCmd,
+        _start: Cycles,
+        _end: Cycles,
+    ) {
+    }
+
+    /// Records one message flight.
+    #[cfg(feature = "obs")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn obs_flight(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: crate::observe::MsgKind,
+        bytes: u64,
+        prefetch: bool,
+        inject: Cycles,
+        start: Cycles,
+        arrival: Cycles,
+    ) {
+        if let Some(r) = self.obs.as_mut() {
+            r.flight(src, dst, kind, bytes, prefetch, inject, start, arrival);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn obs_flight(
+        &mut self,
+        _src: usize,
+        _dst: usize,
+        _kind: crate::observe::MsgKind,
+        _bytes: u64,
+        _prefetch: bool,
+        _inject: Cycles,
+        _start: Cycles,
+        _arrival: Cycles,
+    ) {
+    }
+
+    /// Notes a completed prefetch (for prefetch-to-use distances).
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_prefetch_done(&mut self, node: usize, page: PageId, t: Cycles) {
+        if let Some(r) = self.obs.as_mut() {
+            r.prefetch_done(node, page, t);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_prefetch_done(&mut self, _node: usize, _page: PageId, _t: Cycles) {}
+
+    /// Notes an access consuming a completed prefetch.
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_prefetch_used(&mut self, node: usize, page: PageId, t: Cycles) {
+        if let Some(r) = self.obs.as_mut() {
+            r.prefetch_used(node, page, t);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_prefetch_used(&mut self, _node: usize, _page: PageId, _t: Cycles) {}
+
+    /// Advances a node's barrier epoch.
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_epoch(&mut self, node: usize) {
+        if let Some(r) = self.obs.as_mut() {
+            r.epoch_advance(node);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_epoch(&mut self, _node: usize) {}
 
     /// Forwards one event to the attached observer, if any.
     #[cfg(feature = "verify")]
@@ -433,22 +580,33 @@ impl Simulation {
             nd.stats.controller_busy = nd.ctrl.busy();
         }
         #[cfg(feature = "verify")]
-        let violations = self
+        let mut violations = self
             .observer
             .take()
             .map(|mut obs| obs.finish())
             .unwrap_or_default();
         #[cfg(not(feature = "verify"))]
-        let violations = Vec::new();
+        let mut violations: Vec<crate::observe::Violation> = Vec::new();
+        let nodes: Vec<NodeStats> = self.nodes.iter().map(|nd| nd.stats).collect();
+        #[cfg(feature = "obs")]
+        let obs = self.obs.take().map(|r| r.into_log());
+        #[cfg(not(feature = "obs"))]
+        let obs: Option<crate::span::ObsLog> = None;
+        if let Some(log) = &obs {
+            for (node, detail) in log.conservation_errors(&nodes) {
+                violations.push(crate::observe::Violation::SpanConservation { node, detail });
+            }
+        }
         RunResult {
             violations,
             protocol: self.protocol.label().to_string(),
             nprocs: self.params.nprocs,
             total_cycles: total,
-            nodes: self.nodes.iter().map(|nd| nd.stats).collect(),
+            nodes,
             net: self.net.stats(),
             checksum: 0,
             trace: std::mem::take(&mut self.trace),
+            obs,
         }
     }
 
@@ -458,7 +616,7 @@ impl Simulation {
         let op = harness.next_op(pid);
         match op {
             ProcOp::Compute(c) => {
-                self.advance(pid, c, Category::Busy);
+                self.advance(pid, c, Category::Busy, SpanKind::Compute);
                 harness.reply(pid, ProcReply::Ack);
             }
             ProcOp::Read { .. } | ProcOp::Write { .. } => {
@@ -472,7 +630,7 @@ impl Simulation {
             ProcOp::Lock(l) => {
                 self.nodes[pid].pending_op = Some(op);
                 if self.seq {
-                    self.advance(pid, 10, Category::Synch);
+                    self.advance(pid, 10, Category::Synch, SpanKind::SyncOp);
                     self.nodes[pid].pending_op = None;
                     harness.reply(pid, ProcReply::Ack);
                 } else {
@@ -481,7 +639,7 @@ impl Simulation {
             }
             ProcOp::Unlock(l) => {
                 if self.seq {
-                    self.advance(pid, 10, Category::Synch);
+                    self.advance(pid, 10, Category::Synch, SpanKind::SyncOp);
                 } else {
                     self.op_unlock(pid, l);
                 }
@@ -490,7 +648,7 @@ impl Simulation {
             ProcOp::Barrier(b) => {
                 self.nodes[pid].pending_op = Some(op);
                 if self.seq {
-                    self.advance(pid, 10, Category::Synch);
+                    self.advance(pid, 10, Category::Synch, SpanKind::SyncOp);
                     self.nodes[pid].pending_op = None;
                     harness.reply(pid, ProcReply::Ack);
                 } else {
@@ -542,11 +700,13 @@ impl Simulation {
 
     // ----- shared helpers -----------------------------------------------
 
-    /// Advances `pid`'s clock by `c` cycles of `cat`.
-    pub(crate) fn advance(&mut self, pid: usize, c: Cycles, cat: Category) {
+    /// Advances `pid`'s clock by `c` cycles of `cat`, spent on `kind`.
+    pub(crate) fn advance(&mut self, pid: usize, c: Cycles, cat: Category, kind: SpanKind) {
         let nd = &mut self.nodes[pid];
+        let start = nd.time;
         nd.time += c;
         nd.stats.breakdown.add(cat, c);
+        self.obs_span(pid, kind, cat, start, c);
     }
 
     /// Runs the hardware timing of one data reference and charges the
@@ -565,6 +725,14 @@ impl Simulation {
         nd.time = out.done;
         nd.stats.breakdown.add(Category::Busy, hit_cycles);
         nd.stats.breakdown.add(Category::Other, other);
+        self.obs_span(pid, SpanKind::MemHit, Category::Busy, now, hit_cycles);
+        self.obs_span(
+            pid,
+            SpanKind::MemStall,
+            Category::Other,
+            now + hit_cycles,
+            other,
+        );
     }
 
     /// Charges `dur` cycles of unexpected service work to processor `pid`
@@ -580,18 +748,24 @@ impl Simulation {
         now: Cycles,
         dur: Cycles,
         cat: Category,
+        kind: SpanKind,
     ) -> Cycles {
         let nd = &mut self.nodes[pid];
         match nd.status {
             ProcStatus::Runnable => {
+                let start = nd.time;
                 nd.time += dur;
                 nd.stats.breakdown.add(cat, dur);
+                self.obs_span(pid, kind, cat, start, dur);
             }
             ProcStatus::Blocked => {
+                // Overlapped with the wait; the span (reclassified to IPC)
+                // is emitted at wake.
                 nd.ipc_during_wait += dur;
             }
             ProcStatus::Done => {
                 nd.stats.breakdown.add(cat, dur);
+                self.obs_span(pid, kind, cat, now, dur);
             }
         }
         now + dur
@@ -630,16 +804,45 @@ impl Simulation {
             Priority::Normal
         };
         let params = self.params.clone();
-        let arrival = self.net.transfer(t, src, dst, bytes, &params);
-        self.queue.push(arrival, prio, Ev::Msg { dst, msg });
+        let tr = self.net.transfer_timed(t, src, dst, bytes, &params);
+        self.obs_flight(
+            src,
+            dst,
+            msg.kind(),
+            bytes,
+            msg.is_prefetch(),
+            t,
+            tr.start,
+            tr.arrival,
+        );
+        self.queue.push(tr.arrival, prio, Ev::Msg { dst, msg });
     }
 
     /// Sends a message with the setup performed by the **protocol
     /// controller** (I-modes): occupies the controller, not the processor.
     pub(crate) fn ctrl_send(&mut self, t: Cycles, src: usize, dst: usize, msg: Msg) {
         let oh = self.params.messaging_overhead;
-        let (_, end) = self.nodes[src].ctrl.run_io(t, oh);
+        let (s, end) = self.nodes[src].ctrl.run_io(t, oh);
+        self.note_ctrl(src, Engine::CtrlIo, CtrlCmd::Send, s, end);
         self.dispatch(end, src, dst, msg);
+    }
+
+    /// Notes a controller command: one `ControllerCommand` trace event plus
+    /// an engine-occupancy interval for the obs timeline.
+    pub(crate) fn note_ctrl(
+        &mut self,
+        node: usize,
+        engine: Engine,
+        cmd: CtrlCmd,
+        start: Cycles,
+        end: Cycles,
+    ) {
+        self.record(
+            start,
+            node,
+            crate::trace::TraceKind::ControllerCommand { cmd },
+        );
+        self.obs_engine(node, engine, cmd, start, end);
     }
 
     /// Blocks `pid` with the given wait reason.
@@ -668,17 +871,41 @@ impl Simulation {
 
     fn handle_wake(&mut self, pid: usize, t: Cycles, harness: &ProcHarness) {
         let cat = self.nodes[pid].wait.category();
+        let stall_kind = match self.nodes[pid].wait {
+            Wait::None => SpanKind::SyncOp,
+            Wait::Fault(_) | Wait::AurcFault { .. } => SpanKind::FaultStall,
+            Wait::PrefetchJoin { .. } => SpanKind::PrefetchStall,
+            Wait::Lock { .. } => SpanKind::LockStall,
+            Wait::Barrier => SpanKind::BarrierStall,
+        };
+        let was_barrier = matches!(self.nodes[pid].wait, Wait::Barrier);
+        let (wait_start, stall, reclass);
         {
             let nd = &mut self.nodes[pid];
             debug_assert_eq!(nd.status, ProcStatus::Blocked, "wake of non-blocked {pid}");
             let wait_dur = t.saturating_sub(nd.wait_start);
-            let reclass = nd.ipc_during_wait.min(wait_dur);
-            nd.stats.breakdown.add(cat, wait_dur - reclass);
+            reclass = nd.ipc_during_wait.min(wait_dur);
+            stall = wait_dur - reclass;
+            wait_start = nd.wait_start;
+            nd.stats.breakdown.add(cat, stall);
             nd.stats.breakdown.add(Category::Ipc, reclass);
             nd.ipc_during_wait = 0;
             nd.time = nd.wait_start.max(t);
             nd.status = ProcStatus::Runnable;
             nd.wait = Wait::None;
+        }
+        self.obs_span(pid, stall_kind, cat, wait_start, stall);
+        self.obs_span(
+            pid,
+            SpanKind::Service,
+            Category::Ipc,
+            wait_start + stall,
+            reclass,
+        );
+        if was_barrier {
+            // The barrier wait belongs to the epoch it closes; the next
+            // epoch begins with the processor's release.
+            self.obs_epoch(pid);
         }
         // invariant: a processor only blocks with its faulting op recorded
         let op = self.nodes[pid].pending_op.expect("wake without pending op");
@@ -787,18 +1014,18 @@ impl Simulation {
         if offload {
             let issue = Controller::issue_cost(&self.params);
             if servicing {
-                *t = self.interrupt_proc(src, *t, issue, cat);
+                *t = self.interrupt_proc(src, *t, issue, cat, SpanKind::MsgSetup);
             } else {
-                self.advance(src, issue, cat);
+                self.advance(src, issue, cat, SpanKind::MsgSetup);
                 *t = self.nodes[src].time;
             }
             self.ctrl_send(*t, src, dst, msg);
         } else {
             let oh = self.params.messaging_overhead;
             if servicing {
-                *t = self.interrupt_proc(src, *t, oh, cat);
+                *t = self.interrupt_proc(src, *t, oh, cat, SpanKind::MsgSetup);
             } else {
-                self.advance(src, oh, cat);
+                self.advance(src, oh, cat, SpanKind::MsgSetup);
                 *t = self.nodes[src].time;
             }
             self.dispatch(*t, src, dst, msg);
@@ -894,7 +1121,7 @@ mod tests {
     fn interrupt_proc_preempts_runnable_processors() {
         let mut s = sim(2);
         s.nodes[1].time = 1000;
-        let done = s.interrupt_proc(1, 500, 100, Category::Ipc);
+        let done = s.interrupt_proc(1, 500, 100, Category::Ipc, SpanKind::Service);
         assert_eq!(done, 600, "service completes at event time + duration");
         assert_eq!(s.nodes[1].time, 1100, "the processor is pushed back");
         assert_eq!(s.nodes[1].stats.breakdown.ipc, 100);
@@ -905,7 +1132,7 @@ mod tests {
         let mut s = sim(2);
         s.nodes[1].status = ncp2_sim::ProcStatus::Blocked;
         s.nodes[1].wait_start = 400;
-        let done = s.interrupt_proc(1, 500, 100, Category::Ipc);
+        let done = s.interrupt_proc(1, 500, 100, Category::Ipc, SpanKind::Service);
         assert_eq!(done, 600);
         assert_eq!(
             s.nodes[1].ipc_during_wait, 100,
@@ -920,8 +1147,8 @@ mod tests {
     #[test]
     fn advance_tags_categories() {
         let mut s = sim(1);
-        s.advance(0, 10, Category::Busy);
-        s.advance(0, 5, Category::Synch);
+        s.advance(0, 10, Category::Busy, SpanKind::Compute);
+        s.advance(0, 5, Category::Synch, SpanKind::SyncOp);
         assert_eq!(s.nodes[0].time, 15);
         assert_eq!(s.nodes[0].stats.breakdown.busy, 10);
         assert_eq!(s.nodes[0].stats.breakdown.synch, 5);

@@ -2,13 +2,17 @@
 //!
 //! When [`ncp2_sim::SysParams::trace`] is set, the simulation records one
 //! [`TraceEvent`] per protocol-level action (message injections, faults,
-//! page fetches, lock grants, barrier releases, prefetch issues). The trace
-//! is returned on [`crate::RunResult::trace`] and renders to CSV for
-//! timeline inspection — the moral equivalent of the protocol traces the
-//! paper's back end produced for debugging.
+//! page fetches, diff creation/application, lock grants, barrier releases,
+//! prefetch issues/completions, controller commands). The trace is returned
+//! on [`crate::RunResult::trace`] and renders to CSV for timeline inspection
+//! — the moral equivalent of the protocol traces the paper's back end
+//! produced for debugging. The same event stream feeds the `ncp2-obs`
+//! Perfetto exporter, so CSV and Perfetto views always agree.
 
 use ncp2_sim::Cycles;
 use serde::{Deserialize, Serialize};
+
+use crate::span::CtrlCmd;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,6 +36,20 @@ pub enum TraceKind {
         /// The page.
         page: u64,
     },
+    /// A diff was generated over a dirty page.
+    DiffCreated {
+        /// The page.
+        page: u64,
+        /// Modified words captured by the diff.
+        words: u64,
+    },
+    /// Collected diffs were applied to a local page copy.
+    DiffApplied {
+        /// The page.
+        page: u64,
+        /// Total modified words applied.
+        words: u64,
+    },
     /// A lock was acquired (grant processed, processor about to wake).
     LockAcquired {
         /// The lock.
@@ -43,6 +61,16 @@ pub enum TraceKind {
     PrefetchIssued {
         /// Target page.
         page: u64,
+    },
+    /// A previously issued prefetch finished installing its page.
+    PrefetchCompleted {
+        /// The page.
+        page: u64,
+    },
+    /// The protocol controller executed a command on the node's behalf.
+    ControllerCommand {
+        /// The command class.
+        cmd: CtrlCmd,
     },
 }
 
@@ -57,7 +85,12 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// Renders a trace as CSV (`time,node,kind,arg1,arg2`).
+/// Renders a trace as CSV (`time,node,kind,arg1,arg2,prefetch`).
+///
+/// The `prefetch` column is 1 for events belonging to a prefetch
+/// transaction (prefetch-tagged messages, prefetch issues/completions) and
+/// 0 otherwise; `msg_sent` rows carry the destination in `arg1` and the
+/// *unmodified* byte count in `arg2`.
 ///
 /// ```
 /// use ncp2_core::trace::{trace_csv, TraceEvent, TraceKind};
@@ -67,25 +100,33 @@ pub struct TraceEvent {
 /// assert!(csv.contains("5,1,fault,9,"));
 /// ```
 pub fn trace_csv(events: &[TraceEvent]) -> String {
-    let mut out = String::from("time,node,kind,arg1,arg2\n");
+    let mut out = String::from("time,node,kind,arg1,arg2,prefetch\n");
     for e in events {
-        let (kind, a1, a2) = match e.kind {
+        let (kind, a1, a2, pf) = match e.kind {
             TraceKind::MsgSent {
                 dst,
                 bytes,
                 prefetch,
-            } => (
-                "msg_sent",
-                dst as u64,
-                if prefetch { bytes | 1 << 63 } else { bytes },
-            ),
-            TraceKind::Fault { page } => ("fault", page, 0),
-            TraceKind::PageFetched { page } => ("page_fetched", page, 0),
-            TraceKind::LockAcquired { lock } => ("lock_acquired", lock as u64, 0),
-            TraceKind::BarrierReleased => ("barrier_released", 0, 0),
-            TraceKind::PrefetchIssued { page } => ("prefetch_issued", page, 0),
+            } => ("msg_sent".into(), dst as u64, bytes, prefetch),
+            TraceKind::Fault { page } => ("fault".into(), page, 0, false),
+            TraceKind::PageFetched { page } => ("page_fetched".into(), page, 0, false),
+            TraceKind::DiffCreated { page, words } => ("diff_created".into(), page, words, false),
+            TraceKind::DiffApplied { page, words } => ("diff_applied".into(), page, words, false),
+            TraceKind::LockAcquired { lock } => ("lock_acquired".into(), lock as u64, 0, false),
+            TraceKind::BarrierReleased => ("barrier_released".into(), 0, 0, false),
+            TraceKind::PrefetchIssued { page } => ("prefetch_issued".into(), page, 0, true),
+            TraceKind::PrefetchCompleted { page } => ("prefetch_completed".into(), page, 0, true),
+            TraceKind::ControllerCommand { cmd } => (format!("ctrl_{}", cmd.label()), 0, 0, false),
         };
-        out.push_str(&format!("{},{},{},{},{}\n", e.time, e.node, kind, a1, a2));
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            e.time,
+            e.node,
+            kind,
+            a1,
+            a2,
+            u64::from(pf)
+        ));
     }
     out
 }
@@ -119,8 +160,59 @@ mod tests {
         ];
         let csv = trace_csv(&events);
         assert_eq!(csv.lines().count(), 4);
-        assert!(csv.contains("2,3,lock_acquired,7,0"));
-        assert!(csv.contains("3,2,msg_sent,1,64"));
+        assert!(csv.contains("2,3,lock_acquired,7,0,0"));
+        assert!(csv.contains("3,2,msg_sent,1,64,0"));
+    }
+
+    #[test]
+    fn prefetch_flag_is_its_own_column_not_bit_63() {
+        let events = vec![
+            TraceEvent {
+                time: 4,
+                node: 0,
+                kind: TraceKind::MsgSent {
+                    dst: 2,
+                    bytes: 4096,
+                    prefetch: true,
+                },
+            },
+            TraceEvent {
+                time: 9,
+                node: 0,
+                kind: TraceKind::PrefetchCompleted { page: 3 },
+            },
+        ];
+        let csv = trace_csv(&events);
+        assert!(csv.contains("4,0,msg_sent,2,4096,1"), "{csv}");
+        assert!(csv.contains("9,0,prefetch_completed,3,0,1"), "{csv}");
+        assert!(!csv.contains(&(4096u64 | 1 << 63).to_string()));
+    }
+
+    #[test]
+    fn new_event_kinds_render() {
+        let events = vec![
+            TraceEvent {
+                time: 1,
+                node: 1,
+                kind: TraceKind::DiffCreated { page: 5, words: 12 },
+            },
+            TraceEvent {
+                time: 2,
+                node: 1,
+                kind: TraceKind::DiffApplied { page: 5, words: 12 },
+            },
+            TraceEvent {
+                time: 3,
+                node: 1,
+                kind: TraceKind::ControllerCommand {
+                    cmd: CtrlCmd::DiffCreate,
+                },
+            },
+        ];
+        let csv = trace_csv(&events);
+        assert!(csv.contains("1,1,diff_created,5,12,0"));
+        assert!(csv.contains("2,1,diff_applied,5,12,0"));
+        assert!(csv.contains("3,1,ctrl_diff_create,0,0,0"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::diff::Diff;
 use crate::interval::IntervalAnnouncement;
 use crate::msg::Msg;
 use crate::page::{page_of, word_index, PageBuf, PageId, PageState};
+use crate::span::{CtrlCmd, Engine, SpanKind};
 use crate::system::{FaultWait, PrefetchState, Simulation, Wait};
 use crate::vtime::{IntervalId, VectorTime};
 
@@ -116,6 +117,8 @@ impl Simulation {
         }
         if was_prefetched {
             self.nodes[pid].stats.prefetch_hits += 1;
+            let now = self.nodes[pid].time;
+            self.obs_prefetch_used(pid, page, now);
         }
         reply
     }
@@ -123,12 +126,23 @@ impl Simulation {
     /// Software write fault: trap, settle any stale twin into its diff,
     /// create the new twin, unprotect.
     fn tm_write_fault(&mut self, pid: usize, page: PageId) {
-        self.advance(pid, self.params.interrupt, Category::Other);
+        self.advance(
+            pid,
+            self.params.interrupt,
+            Category::Other,
+            SpanKind::Interrupt,
+        );
         self.nodes[pid].stats.write_faults += 1;
         let t0 = self.nodes[pid].time;
         let after_old_diff = self.tm_force_diff(pid, page, t0);
         let end = self.tm_make_twin(pid, page, after_old_diff);
-        self.advance(pid, end - t0, Category::Data);
+        self.advance(
+            pid,
+            after_old_diff - t0,
+            Category::Data,
+            SpanKind::DiffCreate,
+        );
+        self.advance(pid, end - after_old_diff, Category::Data, SpanKind::Twin);
         let open = self.open_interval_id(pid);
         let tp = self.tm_page(pid, page);
         let snapshot = tp.data.clone();
@@ -150,6 +164,7 @@ impl Simulation {
         self.nodes[pid].stats.twin_cycles += cpu;
         if self.mode().offload() {
             let (s, e) = self.nodes[pid].ctrl.run(t, cpu);
+            self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::Twin, s, e);
             let (_, me) = self.nodes[pid].mem.dram.access(s, words, &params);
             let (_, pe) = self.nodes[pid].mem.pci.burst(s, words, &params);
             e.max(me).max(pe)
@@ -188,12 +203,13 @@ impl Simulation {
             }
             let words = diff.word_count();
             self.tm_store_diff(pid, diff);
+            self.record(t, pid, crate::trace::TraceKind::DiffCreated { page, words });
             let cpu = Controller::dma_cost(&params, words);
             let (s, e) = self.nodes[pid].ctrl.run(t, cpu);
+            self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
             let gather = params.mem_scattered(words.max(1));
             let (_, _me) = self.nodes[pid].mem.dram.resource.reserve(s, gather);
             let (_, _pe) = self.nodes[pid].mem.pci.burst(s, words.max(1), &params);
-            let _ = e;
             self.nodes[pid].stats.diff_create_cycles += cpu;
             self.nodes[pid].stats.diffs_created += 1;
             t + Controller::issue_cost(&params)
@@ -211,17 +227,19 @@ impl Simulation {
                 diff: diff.clone(),
                 data: data.clone(),
             });
+            let words = diff.word_count();
             self.tm_store_diff(pid, diff);
+            self.record(t, pid, crate::trace::TraceKind::DiffCreated { page, words });
             let cpu = Controller::sw_diff_scan(&params);
             self.nodes[pid].stats.diff_create_cycles += cpu;
             self.nodes[pid].stats.diffs_created += 1;
             if mode.offload() {
                 let (s, e) = self.nodes[pid].ctrl.run(t, cpu);
+                self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
                 let (_, _me) = self.nodes[pid]
                     .mem
                     .dram
                     .access(s, params.page_words(), &params);
-                let _ = e;
                 t + Controller::issue_cost(&params)
             } else {
                 self.nodes[pid].stats.diff_proc_cycles += cpu;
@@ -285,10 +303,21 @@ impl Simulation {
                 }
                 let words = diff.word_count();
                 self.tm_store_diff(pid, diff);
-                self.advance(pid, Controller::issue_cost(&params), Category::Synch);
+                self.advance(
+                    pid,
+                    Controller::issue_cost(&params),
+                    Category::Synch,
+                    SpanKind::MsgSetup,
+                );
                 let now = self.nodes[pid].time;
+                self.record(
+                    now,
+                    pid,
+                    crate::trace::TraceKind::DiffCreated { page, words },
+                );
                 let cpu = Controller::dma_cost(&params, words);
-                let (s, _e) = self.nodes[pid].ctrl.run(now, cpu);
+                let (s, e) = self.nodes[pid].ctrl.run(now, cpu);
+                self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
                 let gather = params.mem_scattered(words.max(1));
                 let (_, _me) = self.nodes[pid].mem.dram.resource.reserve(s, gather);
                 let (_, _pe) = self.nodes[pid].mem.pci.burst(s, words.max(1), &params);
@@ -298,7 +327,12 @@ impl Simulation {
                 // Write-protect so the next interval's writes re-fault and
                 // settle this twin lazily.
                 tp.state = PageState::ReadOnly;
-                self.advance(pid, params.list_processing, Category::Synch);
+                self.advance(
+                    pid,
+                    params.list_processing,
+                    Category::Synch,
+                    SpanKind::NoticeMgmt,
+                );
             }
         }
     }
@@ -310,7 +344,12 @@ impl Simulation {
         let now = self.nodes[pid].time;
         self.record(now, pid, crate::trace::TraceKind::Fault { page });
         self.nodes[pid].stats.faults += 1;
-        self.advance(pid, self.params.interrupt, Category::Other);
+        self.advance(
+            pid,
+            self.params.interrupt,
+            Category::Other,
+            SpanKind::Interrupt,
+        );
         let pending = self.tm_page(pid, page).pending.clone();
         assert!(
             !pending.is_empty(),
@@ -320,6 +359,7 @@ impl Simulation {
             pid,
             self.params.list_processing * pending.len() as Cycles,
             Category::Data,
+            SpanKind::NoticeMgmt,
         );
         let requests = self.tm_build_requests(pid, page, &pending, false);
         let outstanding = requests.len();
@@ -408,7 +448,8 @@ impl Simulation {
         // Interval processing: on the controller for prefetches under the
         // I-modes (simple table lookups), on the processor otherwise.
         let mut c = if prefetch && mode.offload() {
-            let (_, e) = self.nodes[dst].ctrl.run(t, params.list_processing * k);
+            let (s, e) = self.nodes[dst].ctrl.run(t, params.list_processing * k);
+            self.note_ctrl(dst, Engine::CtrlCore, CtrlCmd::ListWalk, s, e);
             e
         } else {
             self.interrupt_proc(
@@ -416,6 +457,7 @@ impl Simulation {
                 t,
                 params.interrupt + params.list_processing * k,
                 Category::Ipc,
+                SpanKind::Service,
             )
         };
         self.tm_page(dst, page);
@@ -483,8 +525,13 @@ impl Simulation {
         if mode.offload() {
             self.ctrl_send(c, dst, requester, msg);
         } else {
-            let mut tc = self.interrupt_proc(dst, c, params.messaging_overhead, Category::Ipc);
-            let _ = &mut tc;
+            let tc = self.interrupt_proc(
+                dst,
+                c,
+                params.messaging_overhead,
+                Category::Ipc,
+                SpanKind::MsgSetup,
+            );
             self.dispatch(tc, dst, requester, msg);
         }
     }
@@ -517,12 +564,15 @@ impl Simulation {
             diff: diff.clone(),
             data: data.clone(),
         });
+        let words = diff.word_count();
         self.tm_store_diff(dst, diff);
+        self.record(t, dst, crate::trace::TraceKind::DiffCreated { page, words });
         let cpu = Controller::sw_diff_scan(&params);
         self.nodes[dst].stats.diff_create_cycles += cpu;
         self.nodes[dst].stats.diffs_created += 1;
         if self.mode().offload() {
             let (s, e) = self.nodes[dst].ctrl.run(t, cpu);
+            self.note_ctrl(dst, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
             let (_, me) = self.nodes[dst]
                 .mem
                 .dram
@@ -534,7 +584,7 @@ impl Simulation {
             e.max(me).max(pe)
         } else {
             self.nodes[dst].stats.diff_proc_cycles += cpu;
-            let c = self.interrupt_proc(dst, t, cpu, Category::Ipc);
+            let c = self.interrupt_proc(dst, t, cpu, Category::Ipc, SpanKind::DiffCreate);
             let (_, me) = self.nodes[dst]
                 .mem
                 .dram
@@ -621,7 +671,15 @@ impl Simulation {
             &ps.requested,
             true,
         );
+        self.record(
+            end,
+            dst,
+            crate::trace::TraceKind::PrefetchCompleted { page },
+        );
+        self.obs_prefetch_done(dst, page, end);
         if ps.joined {
+            // Zero prefetch-to-use distance: a fault was already waiting.
+            self.obs_prefetch_used(dst, page, end);
             self.schedule_wake(dst, end);
         } else {
             self.tm_page(dst, page).prefetched_unused = true;
@@ -707,6 +765,14 @@ impl Simulation {
                 data,
             });
         }
+        if !diffs.is_empty() {
+            let words: u64 = diffs.iter().map(|d| d.word_count()).sum();
+            self.record(
+                start,
+                pid,
+                crate::trace::TraceKind::DiffApplied { page, words },
+            );
+        }
         self.nodes[pid].stats.diffs_applied += diffs.len() as u64;
         self.nodes[pid].stats.diff_apply_cycles += cpu;
         // The controller (or NI) wrote main memory: the processor snoop
@@ -720,13 +786,20 @@ impl Simulation {
         let scattered = params.mem_scattered(mem_words.max(1));
         if mode.offload() {
             let (s, e) = self.nodes[pid].ctrl.run(start, cpu);
+            self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffApply, s, e);
             let (_, me) = self.nodes[pid].mem.dram.resource.reserve(s, scattered);
             let (_, pe) = self.nodes[pid].mem.pci.burst(s, mem_words.max(1), &params);
             e.max(me).max(pe)
         } else if prefetch_ctx {
             // P mode: the processor is interrupted to apply the prefetch.
             self.nodes[pid].stats.diff_proc_cycles += cpu;
-            let c = self.interrupt_proc(pid, start, params.interrupt + cpu, Category::Other);
+            let c = self.interrupt_proc(
+                pid,
+                start,
+                params.interrupt + cpu,
+                Category::Other,
+                SpanKind::DiffApply,
+            );
             let (_, me) = self.nodes[pid].mem.dram.resource.reserve(c, scattered);
             me
         } else {

@@ -95,3 +95,54 @@ fn traced_and_untraced_runs_have_identical_timing() {
         "tracing must be timing-neutral"
     );
 }
+
+#[test]
+fn new_event_kinds_fire_under_the_right_modes() {
+    // Base: diffs are created and applied by the processors themselves.
+    let base = run_traced(Protocol::TreadMarks(OverlapMode::Base));
+    let count = |r: &ncp2_core::RunResult, pred: fn(&TraceKind) -> bool| {
+        r.trace.iter().filter(|e| pred(&e.kind)).count()
+    };
+    assert!(
+        count(&base, |k| matches!(k, TraceKind::DiffCreated { .. })) > 0,
+        "writes under locks force diffs"
+    );
+    assert!(count(&base, |k| matches!(k, TraceKind::DiffApplied { .. })) > 0);
+    assert_eq!(
+        count(&base, |k| matches!(k, TraceKind::ControllerCommand { .. })),
+        0,
+        "Base has no protocol controller"
+    );
+
+    // I+D: the controller executes twin/diff/send commands on the nodes'
+    // behalf, and every command is traced.
+    let id = run_traced(Protocol::TreadMarks(OverlapMode::ID));
+    assert!(count(&id, |k| matches!(k, TraceKind::ControllerCommand { .. })) > 0);
+
+    // I+P+D: completions never outnumber issues (prefetches still in
+    // flight when the run ends are the only legal imbalance), every
+    // completion is preceded by its own issue, and the trace agrees with
+    // the per-node counters.
+    let ipd = run_traced(Protocol::TreadMarks(OverlapMode::IPD));
+    let issued = count(&ipd, |k| matches!(k, TraceKind::PrefetchIssued { .. }));
+    assert!(issued > 0, "the shared page is invalid at lock acquire");
+    for e in &ipd.trace {
+        let TraceKind::PrefetchCompleted { page } = e.kind else {
+            continue;
+        };
+        assert!(
+            ipd.trace.iter().any(|i| i.node == e.node
+                && i.time <= e.time
+                && matches!(i.kind, TraceKind::PrefetchIssued { page: p } if p == page)),
+            "completion of page {page} at P{} without a prior issue",
+            e.node
+        );
+    }
+    let completed = count(&ipd, |k| matches!(k, TraceKind::PrefetchCompleted { .. }));
+    assert!(completed <= issued);
+    let counted: u64 = ipd.nodes.iter().map(|n| n.prefetches).sum();
+    assert_eq!(
+        issued as u64, counted,
+        "trace and stats agree on prefetches"
+    );
+}

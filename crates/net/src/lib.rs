@@ -31,5 +31,5 @@
 pub mod router;
 pub mod topology;
 
-pub use router::{Network, TrafficStats};
+pub use router::{Network, TrafficStats, Transfer};
 pub use topology::Mesh;

@@ -37,6 +37,16 @@ impl TrafficStats {
     }
 }
 
+/// Timing of one message transfer: when its head entered the network (after
+/// any link contention) and when its tail reached the destination interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Head entered the network (`== inject time` when uncontended).
+    pub start: Cycles,
+    /// Tail drained at the destination's network interface.
+    pub arrival: Cycles,
+}
+
 /// The interconnect: a [`Mesh`] plus per-directed-link reservations.
 ///
 /// The wormhole approximation: a message's head may enter the network once
@@ -92,13 +102,30 @@ impl Network {
         bytes: u64,
         params: &SysParams,
     ) -> Cycles {
+        self.transfer_timed(now, src, dst, bytes, params).arrival
+    }
+
+    /// Like [`transfer`](Network::transfer) but also reports when the head
+    /// entered the network, so observers can separate link-contention
+    /// blocking from flight time.
+    pub fn transfer_timed(
+        &mut self,
+        now: Cycles,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        params: &SysParams,
+    ) -> Transfer {
         let serialization = params.net_serialize(bytes);
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         if src == dst {
             let arrival = now + serialization;
             self.stats.total_latency += arrival - now;
-            return arrival;
+            return Transfer {
+                start: now,
+                arrival,
+            };
         }
         let path = self.mesh.route(src, dst);
         let ready = path.iter().map(|&l| self.link_free[l]).max().unwrap_or(0);
@@ -110,7 +137,7 @@ impl Network {
         }
         self.stats.total_blocking += start - now;
         self.stats.total_latency += arrival - now;
-        arrival
+        Transfer { start, arrival }
     }
 
     /// Traffic counters since construction.
@@ -181,6 +208,16 @@ mod tests {
         assert_eq!(s.messages, 2);
         assert_eq!(s.bytes, 150);
         assert!(s.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn transfer_timed_reports_contention_start() {
+        let mut net = Network::new(16);
+        let first = net.transfer_timed(0, 0, 3, 4096, &p());
+        assert_eq!(first.start, 0);
+        let second = net.transfer_timed(0, 1, 2, 8, &p());
+        assert_eq!(second.start, first.arrival);
+        assert!(second.arrival > second.start);
     }
 
     #[test]

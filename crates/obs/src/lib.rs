@@ -1,0 +1,35 @@
+//! # ncp2-obs — observability over simulated time
+//!
+//! Consumes the span/flight/engine timeline recorded by `ncp2-core`'s `obs`
+//! feature (see [`ncp2_core::span`]) and turns it into artifacts a human (or
+//! a CI gate) can read:
+//!
+//! * [`hist::LogHistogram`] — HDR-style log-bucketed latency histograms with
+//!   deterministic quantiles;
+//! * [`report::MetricsReport`] — a per-run summary (breakdown categories,
+//!   protocol counters, histogram percentiles, per-barrier-epoch timeline)
+//!   with a byte-deterministic JSON encoding;
+//! * [`perfetto::perfetto_json`] — a Chrome/Perfetto `trace_event` export
+//!   with one track per processor, controller engine and network link;
+//! * [`diff`] — the `cargo xtask bench-diff` regression pipeline: write a
+//!   bench file of reports, compare two files, flag regressions.
+//!
+//! Everything here is pure data transformation over **simulated cycles**:
+//! no wall-clock sources, no host-dependent iteration orders, so repeated
+//! runs of the same configuration produce byte-identical output.
+//!
+//! Depending on this crate enables `ncp2-core`'s `obs` feature for the
+//! consumer (the recording sites compile in); recording still costs nothing
+//! until [`Simulation::enable_obs`](ncp2_core::Simulation::enable_obs) is
+//! called.
+
+pub mod diff;
+pub mod hist;
+pub mod json;
+pub mod perfetto;
+pub mod report;
+
+pub use diff::{compare, parse_bench, write_bench, Regression};
+pub use hist::LogHistogram;
+pub use perfetto::perfetto_json;
+pub use report::{HistSummary, MetricsReport};

@@ -1,0 +1,164 @@
+//! The span-conservation invariant, end to end: for every application under
+//! every protocol mode, per-node per-category span time must sum *exactly*
+//! to that node's breakdown totals — i.e. every charged cycle is covered by
+//! exactly one observability span and vice versa.
+//!
+//! This is the contract that makes the Perfetto timeline trustworthy: what
+//! you see in the trace is what the figures add up.
+
+use ncp2_apps::{run_app_with, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
+use ncp2_core::{OverlapMode, Protocol, RunResult};
+use ncp2_sim::{Category, SysParams};
+
+const ALL_MODES: [Protocol; 8] = [
+    Protocol::TreadMarks(OverlapMode::Base),
+    Protocol::TreadMarks(OverlapMode::I),
+    Protocol::TreadMarks(OverlapMode::ID),
+    Protocol::TreadMarks(OverlapMode::P),
+    Protocol::TreadMarks(OverlapMode::IP),
+    Protocol::TreadMarks(OverlapMode::IPD),
+    Protocol::Aurc { prefetch: false },
+    Protocol::Aurc { prefetch: true },
+];
+
+fn observed_run<W: Workload>(app: W, nprocs: usize, protocol: Protocol) -> RunResult {
+    let params = SysParams::default().with_nprocs(nprocs);
+    run_app_with(params, protocol, app, |sim| sim.enable_obs())
+}
+
+fn assert_conserved<W: Workload + Clone>(app: W, nprocs: usize) {
+    for protocol in ALL_MODES {
+        let name = app.name();
+        let r = observed_run(app.clone(), nprocs, protocol);
+        assert!(
+            r.violations.is_empty(),
+            "{name} under {protocol}: {:#?}",
+            r.violations
+        );
+        let log = r.obs.as_ref().expect("obs was enabled");
+        // Re-check independently of the Violation plumbing, with full detail.
+        let errors = log.conservation_errors(&r.nodes);
+        assert!(errors.is_empty(), "{name} under {protocol}: {errors:?}");
+        // And assert the equality directly, so this test cannot rot if the
+        // checker itself changes.
+        let ncat = Category::ALL.len();
+        let mut sums = vec![0u64; nprocs * ncat];
+        for s in &log.spans {
+            let ci = Category::ALL
+                .iter()
+                .position(|&c| c == s.cat)
+                .expect("span category");
+            sums[s.node * ncat + ci] += s.end - s.start;
+        }
+        for (node, st) in r.nodes.iter().enumerate() {
+            for (ci, &cat) in Category::ALL.iter().enumerate() {
+                assert_eq!(
+                    sums[node * ncat + ci],
+                    st.breakdown.get(cat),
+                    "{name} under {protocol}: P{node} category {}",
+                    cat.label()
+                );
+            }
+        }
+        // Epoch tags line up with the barrier counters: each node ended on
+        // as many epochs as barriers it was released from.
+        for (node, st) in r.nodes.iter().enumerate() {
+            assert_eq!(
+                log.epochs[node], st.barriers,
+                "{name} under {protocol}: P{node} epoch/barrier mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn tsp_spans_conserve_breakdowns() {
+    assert_conserved(
+        Tsp {
+            cities: 6,
+            prefix_depth: 2,
+            seed: 11,
+        },
+        4,
+    );
+}
+
+#[test]
+fn water_spans_conserve_breakdowns() {
+    assert_conserved(
+        Water {
+            molecules: 8,
+            steps: 1,
+            seed: 12,
+        },
+        4,
+    );
+}
+
+#[test]
+fn radix_spans_conserve_breakdowns() {
+    assert_conserved(
+        Radix {
+            keys: 256,
+            radix: 16,
+            passes: 2,
+            seed: 13,
+        },
+        4,
+    );
+}
+
+#[test]
+fn barnes_spans_conserve_breakdowns() {
+    assert_conserved(
+        Barnes {
+            bodies: 16,
+            steps: 1,
+            theta_16: 8,
+            seed: 14,
+        },
+        4,
+    );
+}
+
+#[test]
+fn em3d_spans_conserve_breakdowns() {
+    assert_conserved(
+        Em3d {
+            nodes: 96,
+            degree: 2,
+            remote_pct: 25,
+            iters: 2,
+            seed: 15,
+        },
+        4,
+    );
+}
+
+#[test]
+fn ocean_spans_conserve_breakdowns() {
+    assert_conserved(Ocean { grid: 16, iters: 2 }, 4);
+}
+
+/// Observability must be timing-neutral: the same run with and without
+/// recording produces identical cycle counts and checksums.
+#[test]
+fn enabling_obs_does_not_change_timing() {
+    let app = Tsp {
+        cities: 6,
+        prefix_depth: 2,
+        seed: 11,
+    };
+    let params = SysParams::default().with_nprocs(4);
+    let plain = run_app_with(
+        params.clone(),
+        Protocol::TreadMarks(OverlapMode::IPD),
+        app.clone(),
+        |_| {},
+    );
+    let observed = observed_run(app, 4, Protocol::TreadMarks(OverlapMode::IPD));
+    assert_eq!(plain.total_cycles, observed.total_cycles);
+    assert_eq!(plain.checksum, observed.checksum);
+    assert!(plain.obs.is_none());
+    assert!(observed.obs.is_some());
+}

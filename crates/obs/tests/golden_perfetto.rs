@@ -1,0 +1,149 @@
+//! Golden tests for the exporters: the Perfetto trace and metrics JSON must
+//! be well-formed for every application and byte-identical across repeated
+//! runs of the same configuration — the property `ci.sh` and the committed
+//! `BENCH_tier1.json` trajectory depend on.
+
+use ncp2_apps::{run_app_with, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
+use ncp2_core::{OverlapMode, Protocol, RunResult};
+use ncp2_obs::json::parse;
+use ncp2_obs::{perfetto_json, MetricsReport};
+use ncp2_sim::SysParams;
+
+fn observed_traced_run<W: Workload>(app: W, protocol: Protocol) -> RunResult {
+    let params = SysParams {
+        trace: true,
+        ..SysParams::default().with_nprocs(4)
+    };
+    run_app_with(params, protocol, app, |sim| sim.enable_obs())
+}
+
+fn tiny_tsp() -> Tsp {
+    Tsp {
+        cities: 6,
+        prefix_depth: 2,
+        seed: 11,
+    }
+}
+
+#[test]
+fn tiny_tsp_export_is_bit_identical_across_runs() {
+    let proto = Protocol::TreadMarks(OverlapMode::IPD);
+    let r1 = observed_traced_run(tiny_tsp(), proto);
+    let r2 = observed_traced_run(tiny_tsp(), proto);
+    assert_eq!(perfetto_json(&r1), perfetto_json(&r2));
+    assert_eq!(
+        MetricsReport::from_run("TSP/I+P+D", &r1).to_json(),
+        MetricsReport::from_run("TSP/I+P+D", &r2).to_json()
+    );
+}
+
+#[test]
+fn tiny_tsp_export_parses_and_names_every_track() {
+    let r = observed_traced_run(tiny_tsp(), Protocol::TreadMarks(OverlapMode::IPD));
+    let doc = perfetto_json(&r);
+    let v = parse(&doc).expect("well-formed JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every event carries the mandatory fields; metadata names the tracks.
+    let mut saw_cpu = false;
+    let mut saw_link = false;
+    let mut saw_span = false;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        assert!(e.get("pid").and_then(|p| p.as_u64()).is_some());
+        match ph {
+            "M" => {
+                let name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .expect("metadata name");
+                saw_cpu |= name == "cpu";
+                saw_link |= name.starts_with("link ");
+            }
+            "X" => {
+                assert!(e.get("ts").and_then(|t| t.as_u64()).is_some());
+                assert!(e.get("dur").and_then(|d| d.as_u64()).is_some());
+                saw_span = true;
+            }
+            "i" => {
+                assert!(e.get("ts").and_then(|t| t.as_u64()).is_some());
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(saw_cpu && saw_link && saw_span);
+}
+
+#[test]
+fn exports_are_well_formed_for_all_six_applications() {
+    let proto = Protocol::TreadMarks(OverlapMode::IPD);
+    let runs: Vec<(&str, RunResult)> = vec![
+        ("TSP", observed_traced_run(tiny_tsp(), proto)),
+        (
+            "Water",
+            observed_traced_run(
+                Water {
+                    molecules: 8,
+                    steps: 1,
+                    seed: 12,
+                },
+                proto,
+            ),
+        ),
+        (
+            "Radix",
+            observed_traced_run(
+                Radix {
+                    keys: 256,
+                    radix: 16,
+                    passes: 2,
+                    seed: 13,
+                },
+                proto,
+            ),
+        ),
+        (
+            "Barnes",
+            observed_traced_run(
+                Barnes {
+                    bodies: 16,
+                    steps: 1,
+                    theta_16: 8,
+                    seed: 14,
+                },
+                proto,
+            ),
+        ),
+        (
+            "Em3d",
+            observed_traced_run(
+                Em3d {
+                    nodes: 96,
+                    degree: 2,
+                    remote_pct: 25,
+                    iters: 2,
+                    seed: 15,
+                },
+                proto,
+            ),
+        ),
+        (
+            "Ocean",
+            observed_traced_run(Ocean { grid: 16, iters: 2 }, proto),
+        ),
+    ];
+    for (name, r) in &runs {
+        let doc = perfetto_json(r);
+        parse(&doc).unwrap_or_else(|e| panic!("{name}: Perfetto export unparseable: {e}"));
+        let report = MetricsReport::from_run(&format!("{name}/I+P+D"), r);
+        assert!(report.conservation_ok, "{name}: conservation failed");
+        let back = ncp2_obs::report::parse_metrics(&report.to_json())
+            .unwrap_or_else(|e| panic!("{name}: metrics.json unparseable: {e}"));
+        assert_eq!(back.total_cycles, r.total_cycles, "{name}");
+        assert_eq!(back.nprocs, 4, "{name}");
+    }
+}

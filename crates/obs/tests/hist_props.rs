@@ -1,0 +1,75 @@
+//! Property tests for the log-bucketed histogram: every observation is
+//! counted exactly once, quantiles are monotone, and the bucketing error is
+//! bounded by one sub-bucket (~1/16 relative).
+
+use ncp2_obs::LogHistogram;
+use proptest::prelude::*;
+
+fn hist_of(vals: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in vals {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Every observation lands in exactly one bucket: the total count equals
+    /// the number of observations, and the exact maximum is preserved, for
+    /// arbitrary u64 inputs (including the extremes of the range).
+    #[test]
+    fn observations_are_counted_exactly_once(
+        vals in prop::collection::vec(any::<u64>(), 1..200)
+    ) {
+        let h = hist_of(&vals);
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.max(), *vals.iter().max().expect("non-empty"));
+    }
+
+    /// Quantiles never decrease as p grows, and the endpoints behave: p=1
+    /// is the exact maximum, p=0 is no larger than any other quantile.
+    #[test]
+    fn quantiles_are_monotone(
+        vals in prop::collection::vec(any::<u64>(), 1..200)
+    ) {
+        let h = hist_of(&vals);
+        let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let qs: Vec<u64> = ps.iter().map(|&p| h.quantile(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert_eq!(*qs.last().expect("non-empty"), h.max());
+    }
+
+    /// A reported quantile brackets the true order statistic from above,
+    /// within one sub-bucket of relative error (hi <= v + v/16).
+    #[test]
+    fn quantile_error_is_one_sub_bucket(
+        vals in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        p_mil in 0u64..1001
+    ) {
+        let h = hist_of(&vals);
+        let p = p_mil as f64 / 1000.0;
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let q = h.quantile(p);
+        prop_assert!(q >= exact, "q={q} below exact {exact}");
+        prop_assert!(q <= exact + exact / 16 + 1, "q={q} too far above exact {exact}");
+    }
+
+    /// Merging two histograms is indistinguishable from observing the
+    /// concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100)
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+}

@@ -1,8 +1,11 @@
-//! `cargo xtask lint` — the static gate for protocol hot paths.
+//! Workspace automation: the `lint` static gate and the `bench-diff`
+//! performance-regression gate.
+//!
+//! # `cargo xtask lint`
 //!
 //! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
 //! truncated cycle counter just bends the curves. This gate therefore runs
-//! even when tests are output-identical, enforcing three rules on the
+//! even when tests are output-identical, enforcing four rules on the
 //! protocol hot paths plus the workspace-wide `cargo fmt --check` and
 //! `cargo clippy -- -D warnings`:
 //!
@@ -17,8 +20,20 @@
 //! 3. **No truncating casts on cycle counters.** A line mentioning cycles
 //!    must not cast with `as u8/u16/u32/i8/i16/i32` — silent wraparound in
 //!    the timing plane is exactly the class of bug tests cannot see.
+//! 4. **No wall-clock time in simulated-time crates.** `std::time` sources
+//!    (`Instant`, `SystemTime`) are forbidden in `crates/core`, `crates/sim`
+//!    and `crates/obs` — every timestamp there must be simulated cycles, or
+//!    determinism (and the byte-identical observability exports) dies.
 //!
 //! Test modules (`#[cfg(test)]` onward) are exempt.
+//!
+//! # `cargo xtask bench-diff old.json new.json`
+//!
+//! Compares two bench files produced by `obs_report --bench` and fails when
+//! any run's total cycles, breakdown category or latency percentile grew
+//! past the threshold (default 5%, with a 100-cycle absolute floor). With
+//! `--update`, a passing (or missing) baseline is rewritten with the new
+//! numbers, which is how `BENCH_tier1.json` tracks the trajectory.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -48,10 +63,23 @@ const CYCLE_CAST_DIRS: &[&str] = &[
     "crates/net/src",
     "crates/mem/src",
     "crates/stats/src",
+    "crates/obs/src",
 ];
 
 const TRUNCATING_CASTS: &[&str] = &[
     " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+
+/// Crates that must never read wall-clock time: the simulation and
+/// everything that post-processes its (deterministic) output.
+const SIMULATED_TIME_DIRS: &[&str] = &["crates/core/src", "crates/sim/src", "crates/obs/src"];
+
+/// Wall-clock sources forbidden in [`SIMULATED_TIME_DIRS`].
+const WALL_CLOCK_PATTERNS: &[&str] = &[
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "Instant::now(",
+    "SystemTime::now(",
 ];
 
 struct Finding {
@@ -61,18 +89,25 @@ struct Finding {
     text: String,
 }
 
+const USAGE: &str = "usage: cargo xtask lint [--scan-only]\n\
+     \x20      cargo xtask bench-diff OLD.json NEW.json [--threshold PCT] [--update]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, flags) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            eprintln!("usage: cargo xtask lint [--scan-only]");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    if cmd != "lint" {
-        eprintln!("unknown xtask `{cmd}`; available: lint");
-        return ExitCode::FAILURE;
+    match cmd {
+        "lint" => {}
+        "bench-diff" => return bench_diff(flags),
+        _ => {
+            eprintln!("unknown xtask `{cmd}`; available: lint, bench-diff\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     }
     let scan_only = flags.iter().any(|f| f == "--scan-only");
 
@@ -131,6 +166,103 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `bench-diff` subcommand: compare two bench files, flag regressions,
+/// optionally update the baseline.
+fn bench_diff(flags: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = 5.0f64;
+    let mut update = false;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold needs a numeric percentage\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--update" => update = true,
+            _ => paths.push(f),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let new_text = match std::fs::read_to_string(new_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new_runs = match ncp2_obs::parse_bench(&new_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-diff: {new_path} is not a bench file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let old_text = match std::fs::read_to_string(old_path) {
+        Ok(t) => t,
+        Err(_) if update => {
+            // No baseline yet: seed it from the new numbers.
+            if let Err(e) = std::fs::write(old_path, &new_text) {
+                eprintln!("bench-diff: cannot seed baseline {old_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bench-diff: no baseline at {old_path}; seeded from {new_path}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("bench-diff: cannot read baseline {old_path}: {e} (pass --update to seed)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let old_runs = match ncp2_obs::parse_bench(&old_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-diff: {old_path} is not a bench file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (removed, added) = ncp2_obs::diff::membership_changes(&old_runs, &new_runs);
+    for r in &removed {
+        println!("bench-diff: run '{r}' disappeared from the suite");
+    }
+    for a in &added {
+        println!("bench-diff: new run '{a}'");
+    }
+
+    let regressions = ncp2_obs::compare(&old_runs, &new_runs, threshold);
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench-diff: {} regression(s) beyond {threshold}%:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-diff: {} run(s) within {threshold}% of baseline",
+        new_runs.len()
+    );
+    if update {
+        if let Err(e) = std::fs::write(old_path, &new_text) {
+            eprintln!("bench-diff: cannot update baseline {old_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench-diff: baseline {old_path} updated");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Walks up from the xtask manifest to the workspace root.
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -156,6 +288,44 @@ fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
             let path = entry.path();
             if path.extension().is_some_and(|e| e == "rs") {
                 scan_cycle_casts(root, &path, findings);
+            }
+        }
+    }
+    for dir in SIMULATED_TIME_DIRS {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                scan_wall_clock(root, &path, findings);
+            }
+        }
+    }
+}
+
+/// Rule 4: wall-clock sources are forbidden in simulated-time crates.
+fn scan_wall_clock(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Some(src) = non_test_source(path) else {
+        return;
+    };
+    for (i, line) in src.lines().enumerate() {
+        let code = strip_comment(line);
+        if line.contains("lint:allow") {
+            continue;
+        }
+        for pat in WALL_CLOCK_PATTERNS {
+            if code.contains(pat) {
+                let rel = path.strip_prefix(root).unwrap_or(path);
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: "wall-clock-in-sim",
+                    text: format!(
+                        "`{pat}` in a simulated-time crate (use cycles): {}",
+                        line.trim()
+                    ),
+                });
             }
         }
     }

@@ -37,7 +37,7 @@ fn main() {
             "{:<6}: {:>9} cycles  (speedup {:.2} over sequential)",
             r.protocol,
             r.total_cycles,
-            r.speedup_over(seq.total_cycles)
+            r.speedup_over(seq.total_cycles).unwrap_or(0.0)
         );
         rows.push((
             r.protocol.clone(),
