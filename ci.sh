@@ -15,8 +15,10 @@ OBS_OUT="${OBS_OUT:-target/obs-smoke}"
 cargo run --release --bin obs_report -- \
     --app TSP --mode I+P+D --nprocs 4 --out-dir "$OBS_OUT" --selfcheck
 
-# Bench trajectory: regenerate the tier-1 suite and gate on regressions
-# against the committed baseline (seeded on first run; refreshed in place
-# after a pass so the baseline tracks the trajectory).
-cargo run --release --bin obs_report -- --bench "$OBS_OUT/bench_new.json"
+# Bench trajectory: regenerate the tier-1 suite through the parallel
+# experiment engine — cache disabled so the numbers reflect the code as
+# built, never a stale cached result — and gate on regressions against the
+# committed baseline (seeded on first run; refreshed in place after a pass
+# so the baseline tracks the trajectory).
+cargo run --release --bin obs_report -- --bench "$OBS_OUT/bench_new.json" --no-cache --quiet
 cargo xtask bench-diff BENCH_tier1.json "$OBS_OUT/bench_new.json" --update

@@ -2,24 +2,49 @@
 //! pairwise sharing on/off and the combining write-cache size.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
     let app = opts.only_app.clone().unwrap_or_else(|| "Ocean".into());
     let params = SysParams::default();
+    let pairwise_axis = [("pairwise on", true), ("pairwise off", false)];
+    let cache_axis = [1usize, 2, 4, 8, 16];
+
+    let mut grid = Grid::new();
+    let pairwise_ix: Vec<usize> = pairwise_axis
+        .iter()
+        .map(|&(_, pairwise)| {
+            let mut p = params.clone();
+            p.aurc_pairwise = pairwise;
+            grid.run(
+                &p,
+                Protocol::Aurc { prefetch: false },
+                &app,
+                opts.paper_size,
+            )
+        })
+        .collect();
+    let cache_ix: Vec<usize> = cache_axis
+        .iter()
+        .map(|&entries| {
+            let mut p = params.clone();
+            p.write_cache_entries = entries;
+            grid.run(
+                &p,
+                Protocol::Aurc { prefetch: false },
+                &app,
+                opts.paper_size,
+            )
+        })
+        .collect();
+    let records = opts.engine().run(&grid);
 
     println!("== Ablation: AURC pairwise sharing ({app}) ==");
     let mut rows = Vec::new();
-    for (label, pairwise) in [("pairwise on", true), ("pairwise off", false)] {
-        let mut p = params.clone();
-        p.aurc_pairwise = pairwise;
-        let r = harness::run(
-            &p,
-            Protocol::Aurc { prefetch: false },
-            &app,
-            opts.paper_size,
-        );
+    for ((label, _), &ix) in pairwise_axis.iter().zip(&pairwise_ix) {
+        let r = &records[ix].result;
         let fetches: u64 = r.nodes.iter().map(|n| n.page_fetches).sum();
         let updates: u64 = r.nodes.iter().map(|n| n.au_updates).sum();
         rows.push((
@@ -32,15 +57,8 @@ fn main() {
 
     println!("\n== Ablation: write-cache (update combining) size ({app}) ==");
     let mut rows = Vec::new();
-    for entries in [1usize, 2, 4, 8, 16] {
-        let mut p = params.clone();
-        p.write_cache_entries = entries;
-        let r = harness::run(
-            &p,
-            Protocol::Aurc { prefetch: false },
-            &app,
-            opts.paper_size,
-        );
+    for (&entries, &ix) in cache_axis.iter().zip(&cache_ix) {
+        let r = &records[ix].result;
         let updates: u64 = r.nodes.iter().map(|n| n.au_updates).sum();
         let combined: u64 = r.nodes.iter().map(|n| n.au_combined).sum();
         rows.push((

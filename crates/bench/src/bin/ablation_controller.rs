@@ -6,37 +6,67 @@
 //! * DMA scan speed (how fast must the custom engine be to keep its edge?).
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
     let app = opts.only_app.clone().unwrap_or_else(|| "Em3d".into());
     let params = SysParams::default();
-
-    println!("== Ablation: diff engine placement ({app}) ==");
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let engines = [
         ("proc (Base)", OverlapMode::Base),
         ("ctrl sw (I)", OverlapMode::I),
         ("ctrl DMA (I+D)", OverlapMode::ID),
-    ] {
-        let r = harness::run(&params, Protocol::TreadMarks(mode), &app, opts.paper_size);
-        rows.push((label.to_string(), r.total_cycles));
-    }
-    let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
-    print!("{}", normalized_bars(&borrowed));
+    ];
+    let thresholds = [4usize, 16, 32, 128, 100_000];
+    let scan_factors = [1u64, 2, 4, 8];
+
+    let mut grid = Grid::new();
+    let engine_ix: Vec<usize> = engines
+        .iter()
+        .map(|&(_, mode)| grid.run(&params, Protocol::TreadMarks(mode), &app, opts.paper_size))
+        .collect();
+    let threshold_ix: Vec<usize> = thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut p = params.clone();
+            p.page_req_threshold = threshold;
+            grid.run(
+                &p,
+                Protocol::TreadMarks(OverlapMode::Base),
+                &app,
+                opts.paper_size,
+            )
+        })
+        .collect();
+    let scan_ix: Vec<usize> = scan_factors
+        .iter()
+        .map(|&factor| {
+            let mut p = params.clone();
+            p.dma_scan_base = 200 * factor;
+            p.dma_scan_full = 2100 * factor;
+            grid.run(
+                &p,
+                Protocol::TreadMarks(OverlapMode::ID),
+                &app,
+                opts.paper_size,
+            )
+        })
+        .collect();
+    let records = opts.engine().run(&grid);
+
+    println!("== Ablation: diff engine placement ({app}) ==");
+    let rows: Vec<(&str, u64)> = engines
+        .iter()
+        .zip(&engine_ix)
+        .map(|(&(label, _), &ix)| (label, records[ix].result.total_cycles))
+        .collect();
+    print!("{}", normalized_bars(&rows));
 
     println!("\n== Ablation: whole-page fallback threshold ({app}, Base) ==");
     let mut rows = Vec::new();
-    for threshold in [4usize, 16, 32, 128, 100_000] {
-        let mut p = params.clone();
-        p.page_req_threshold = threshold;
-        let r = harness::run(
-            &p,
-            Protocol::TreadMarks(OverlapMode::Base),
-            &app,
-            opts.paper_size,
-        );
+    for (&threshold, &ix) in thresholds.iter().zip(&threshold_ix) {
+        let r = &records[ix].result;
         let fetches: u64 = r.nodes.iter().map(|n| n.page_fetches).sum();
         rows.push((
             format!("thresh {threshold:>6} ({fetches} page fetches)"),
@@ -48,17 +78,11 @@ fn main() {
 
     println!("\n== Ablation: DMA scan speed ({app}, I+D) ==");
     let mut rows = Vec::new();
-    for factor in [1u64, 2, 4, 8] {
-        let mut p = params.clone();
-        p.dma_scan_base = 200 * factor;
-        p.dma_scan_full = 2100 * factor;
-        let r = harness::run(
-            &p,
-            Protocol::TreadMarks(OverlapMode::ID),
-            &app,
-            opts.paper_size,
-        );
-        rows.push((format!("{factor}x slower scan"), r.total_cycles));
+    for (&factor, &ix) in scan_factors.iter().zip(&scan_ix) {
+        rows.push((
+            format!("{factor}x slower scan"),
+            records[ix].result.total_cycles,
+        ));
     }
     let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
     print!("{}", normalized_bars(&borrowed));

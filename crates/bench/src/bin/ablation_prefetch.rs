@@ -6,7 +6,8 @@
 
 use ncp2::prelude::*;
 use ncp2::sim::PrefetchStrategy;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
@@ -16,32 +17,51 @@ fn main() {
         ("capped-4", PrefetchStrategy::Capped(4)),
         ("capped-16", PrefetchStrategy::Capped(16)),
     ];
-    for app in opts.apps() {
-        for mode in [OverlapMode::P, OverlapMode::IP] {
-            println!("== Prefetch strategies — {app} under {} ==", mode.label());
-            let base = harness::run(
+    let apps = opts.apps();
+    let modes = [OverlapMode::P, OverlapMode::IP];
+
+    // One grid for the whole study; the Base reference is shared between the
+    // P and I+P sections of each app (the engine dedupes the repeat anyway).
+    let mut grid = Grid::new();
+    let mut section_ix = Vec::new();
+    for app in &apps {
+        for &mode in &modes {
+            let base_ix = grid.run(
                 &SysParams::default(),
                 Protocol::TreadMarks(OverlapMode::Base),
                 app,
                 opts.paper_size,
             );
-            let mut rows = vec![("no prefetch (Base)".to_string(), base.total_cycles)];
-            for (name, strategy) in strategies {
-                let params = SysParams {
-                    prefetch_strategy: strategy,
-                    ..SysParams::default()
-                };
-                let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
-                let (issued, useless) = r.prefetch_totals();
-                let joins: u64 = r.nodes.iter().map(|n| n.prefetch_joins).sum();
-                rows.push((
-                    format!("{name} ({issued} issued, {useless} useless, {joins} joins)"),
-                    r.total_cycles,
-                ));
-            }
-            let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
-            print!("{}", normalized_bars(&borrowed));
-            println!();
+            let strat_ix: Vec<usize> = strategies
+                .iter()
+                .map(|&(_, strategy)| {
+                    let params = SysParams {
+                        prefetch_strategy: strategy,
+                        ..SysParams::default()
+                    };
+                    grid.run(&params, Protocol::TreadMarks(mode), app, opts.paper_size)
+                })
+                .collect();
+            section_ix.push((app, mode, base_ix, strat_ix));
         }
+    }
+    let records = opts.engine().run(&grid);
+
+    for (app, mode, base_ix, strat_ix) in section_ix {
+        println!("== Prefetch strategies — {app} under {} ==", mode.label());
+        let base = &records[base_ix].result;
+        let mut rows = vec![("no prefetch (Base)".to_string(), base.total_cycles)];
+        for (&(name, _), &ix) in strategies.iter().zip(&strat_ix) {
+            let r = &records[ix].result;
+            let (issued, useless) = r.prefetch_totals();
+            let joins: u64 = r.nodes.iter().map(|n| n.prefetch_joins).sum();
+            rows.push((
+                format!("{name} ({issued} issued, {useless} useless, {joins} joins)"),
+                r.total_cycles,
+            ));
+        }
+        let borrowed: Vec<(&str, u64)> = rows.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+        print!("{}", normalized_bars(&borrowed));
+        println!();
     }
 }

@@ -6,11 +6,19 @@
 //! ```
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts, MODES};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::{self, Opts};
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
+    let apps = opts.apps();
+    let protos = harness::all_protocols();
+
+    let mut grid = Grid::new();
+    let start = grid.product(&params, &apps, &protos, opts.paper_size);
+    let records = opts.engine().run(&grid);
+
     println!(
         "app,protocol,nprocs,cycles,busy,data,synch,ipc,others,diff_pct,\
          faults,write_faults,page_fetches,diffs_created,diffs_applied,\
@@ -18,12 +26,9 @@ fn main() {
          barriers,invalidations,au_updates,au_combined,net_messages,net_bytes,\
          net_mean_blocking,checksum"
     );
-    let mut protos: Vec<Protocol> = MODES.iter().map(|&m| Protocol::TreadMarks(m)).collect();
-    protos.push(Protocol::Aurc { prefetch: false });
-    protos.push(Protocol::Aurc { prefetch: true });
-    for app in opts.apps() {
-        for &proto in &protos {
-            let r = harness::run(&params, proto, app, opts.paper_size);
+    for (ai, app) in apps.iter().enumerate() {
+        for pi in 0..protos.len() {
+            let r = &records[start + ai * protos.len() + pi].result;
             let b = r.aggregate();
             let sum = |f: fn(&ncp2::core::NodeStats) -> u64| -> u64 { r.nodes.iter().map(f).sum() };
             println!(

@@ -2,34 +2,51 @@
 //! for 2..16 processors, relative to a 1-processor protocol-free run.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
     let apps = opts.apps();
     let procs = [2usize, 4, 8, 12, 16];
     let params = SysParams::default();
-    let mut cells: Vec<Vec<f64>> = Vec::new();
-    let seq: Vec<u64> = apps
+
+    let mut grid = Grid::new();
+    let seq_ix: Vec<usize> = apps
         .iter()
-        .map(|a| harness::seq_cycles(&params, a, opts.paper_size))
+        .map(|app| grid.sequential(&params, app, opts.paper_size))
         .collect();
+    let mut run_ix: Vec<Vec<usize>> = Vec::new();
     for &p in &procs {
-        let row: Vec<f64> = apps
-            .iter()
-            .zip(&seq)
-            .map(|(app, &s)| {
-                let r = harness::run(
-                    &params.clone().with_nprocs(p),
-                    Protocol::TreadMarks(OverlapMode::Base),
-                    app,
-                    opts.paper_size,
-                );
-                r.speedup_over(s).unwrap_or(0.0)
-            })
-            .collect();
-        cells.push(row);
+        let pp = params.clone().with_nprocs(p);
+        run_ix.push(
+            apps.iter()
+                .map(|app| {
+                    grid.run(
+                        &pp,
+                        Protocol::TreadMarks(OverlapMode::Base),
+                        app,
+                        opts.paper_size,
+                    )
+                })
+                .collect(),
+        );
     }
+    let records = opts.engine().run(&grid);
+
+    let cells: Vec<Vec<f64>> = run_ix
+        .iter()
+        .map(|row_ix| {
+            row_ix
+                .iter()
+                .zip(&seq_ix)
+                .map(|(&r, &s)| {
+                    let seq = records[s].result.total_cycles;
+                    records[r].result.speedup_over(seq).unwrap_or(0.0)
+                })
+                .collect()
+        })
+        .collect();
     println!("== Fig 1: speedups under TreadMarks (Base) ==");
     print!("{}", speedup_table(&apps, &procs, &cells));
 }

@@ -5,37 +5,66 @@
 //! best per app, as the paper's 'best overlapping' does), and the ratio.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
+    let apps = opts.apps();
+    // Base first, then the controller modes the paper's "best overlapping"
+    // minimizes over.
+    let contenders = [
+        OverlapMode::I,
+        OverlapMode::ID,
+        OverlapMode::IP,
+        OverlapMode::IPD,
+    ];
+
+    let mut grid = Grid::new();
+    let seq_ix: Vec<usize> = apps
+        .iter()
+        .map(|app| grid.sequential(&params, app, opts.paper_size))
+        .collect();
+    let base_ix: Vec<usize> = apps
+        .iter()
+        .map(|app| {
+            grid.run(
+                &params,
+                Protocol::TreadMarks(OverlapMode::Base),
+                app,
+                opts.paper_size,
+            )
+        })
+        .collect();
+    let mode_ix = grid.product(
+        &params,
+        &apps,
+        &contenders
+            .iter()
+            .map(|&m| Protocol::TreadMarks(m))
+            .collect::<Vec<_>>(),
+        opts.paper_size,
+    );
+    let records = opts.engine().run(&grid);
+
     println!(
         "{:<8} {:>9} {:>10} {:>12} {:>9} {:>8}",
         "app", "seq Mcyc", "Base spdup", "best overlap", "spdup", "ratio"
     );
-    for app in opts.apps() {
-        let seq = harness::seq_cycles(&params, app, opts.paper_size);
-        let base = harness::run(
-            &params,
-            Protocol::TreadMarks(OverlapMode::Base),
-            app,
-            opts.paper_size,
-        );
-        // The paper's "best overlapping" = min over controller modes.
+    for (ai, app) in apps.iter().enumerate() {
+        let seq = records[seq_ix[ai]].result.total_cycles;
+        let base = records[base_ix[ai]].result.total_cycles;
         let mut best = ("I", u64::MAX);
-        for mode in [
-            OverlapMode::I,
-            OverlapMode::ID,
-            OverlapMode::IP,
-            OverlapMode::IPD,
-        ] {
-            let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
-            if r.total_cycles < best.1 {
-                best = (mode.label(), r.total_cycles);
+        for (mi, mode) in contenders.iter().enumerate() {
+            let cycles = records[mode_ix + ai * contenders.len() + mi]
+                .result
+                .total_cycles;
+            if cycles < best.1 {
+                best = (mode.label(), cycles);
             }
         }
-        let s_base = seq as f64 / base.total_cycles as f64;
+        let s_base = seq as f64 / base as f64;
         let s_best = seq as f64 / best.1 as f64;
         println!(
             "{:<8} {:>9.1} {:>10.2} {:>12} {:>9.2} {:>7.2}x",

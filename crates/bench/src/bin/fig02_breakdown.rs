@@ -7,25 +7,33 @@
 //! `ncp2-obs`) so the figure's numbers can be diffed across revisions.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
-use ncp2_obs::{write_bench, MetricsReport};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
+use ncp2_obs::write_bench;
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
+
+    let mut grid = Grid::new();
+    for app in opts.apps() {
+        grid.run_obs(
+            &params,
+            Protocol::TreadMarks(OverlapMode::Base),
+            app,
+            opts.paper_size,
+        );
+    }
+    let records = opts.engine().run(&grid);
+
     println!("== Fig 2: TreadMarks (Base) breakdown on 16 processors ==");
     println!(
         "{:<8} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>6}",
         "app", "busy%", "data%", "synch%", "ipc%", "others%", "diff%"
     );
     let mut reports = Vec::new();
-    for app in opts.apps() {
-        let r = harness::run_obs(
-            &params,
-            Protocol::TreadMarks(OverlapMode::Base),
-            app,
-            opts.paper_size,
-        );
+    for (app, rec) in opts.apps().iter().zip(&records) {
+        let r = &rec.result;
         let b = r.aggregate();
         println!(
             "{:<8} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>5.1}%",
@@ -37,7 +45,8 @@ fn main() {
             100.0 * b.fraction(Category::Other),
             r.diff_pct(),
         );
-        reports.push(MetricsReport::from_run(&format!("{app}/Base"), &r));
+        // invariant: run_obs jobs always carry a report.
+        reports.push(rec.report.clone().expect("observed run carries a report"));
     }
     let out = "results/fig02_metrics.json";
     match std::fs::write(out, write_bench(&reports)) {

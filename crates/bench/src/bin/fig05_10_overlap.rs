@@ -4,39 +4,37 @@
 //! diff-operation reduction quoted in §5.1.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts, MODES};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::{self, Opts};
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
-    for app in opts.apps() {
-        let mut rows = Vec::new();
-        let mut diff_cycles = Vec::new();
-        for mode in MODES {
-            let r = harness::run(&params, Protocol::TreadMarks(mode), app, opts.paper_size);
-            diff_cycles.push((mode.label(), r.diff_total_cycles()));
-            rows.push(harness::row(&r));
-        }
+    let apps = opts.apps();
+
+    let mut grid = Grid::new();
+    let start = grid.product(&params, &apps, &harness::tm_protocols(), opts.paper_size);
+    let records = opts.engine().run(&grid);
+
+    let modes = harness::MODES;
+    for (ai, app) in apps.iter().enumerate() {
+        let row_of = |mi: usize| &records[start + ai * modes.len() + mi].result;
+        let rows: Vec<_> = (0..modes.len())
+            .map(|mi| harness::row(row_of(mi)))
+            .collect();
         harness::print_breakdown(
             &format!("Fig 5-10: TreadMarks overlap modes — {app}"),
             &rows,
         );
-        let base = diff_cycles[0].1.max(1);
-        let id = diff_cycles[2].1;
+        let base = row_of(0).diff_total_cycles().max(1);
+        let id = row_of(2).diff_total_cycles();
         println!(
             "   diff-op time (twin+create+apply): Base {base} cycles, I+D {id} cycles \
              => reduced {:.0}%",
             100.0 * (1.0 - id as f64 / base as f64)
         );
-        let (issued, useless) = {
-            let r = harness::run(
-                &params,
-                Protocol::TreadMarks(OverlapMode::P),
-                app,
-                opts.paper_size,
-            );
-            r.prefetch_totals()
-        };
+        // The P column of the same grid (no extra run needed).
+        let (issued, useless) = row_of(3).prefetch_totals();
         if issued > 0 {
             println!(
                 "   P-mode prefetches: {issued} issued, {useless} useless ({:.0}%)",

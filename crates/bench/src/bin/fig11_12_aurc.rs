@@ -2,21 +2,27 @@
 //! normalized to I+D per application, with breakdowns.
 
 use ncp2::prelude::*;
+use ncp2_bench::engine::Grid;
 use ncp2_bench::harness::{self, Opts};
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
-    for app in opts.apps() {
-        let mut rows = Vec::new();
-        for proto in [
-            Protocol::TreadMarks(OverlapMode::ID),
-            Protocol::Aurc { prefetch: false },
-            Protocol::Aurc { prefetch: true },
-        ] {
-            let r = harness::run(&params, proto, app, opts.paper_size);
-            rows.push(harness::row(&r));
-        }
+    let apps = opts.apps();
+    let protos = [
+        Protocol::TreadMarks(OverlapMode::ID),
+        Protocol::Aurc { prefetch: false },
+        Protocol::Aurc { prefetch: true },
+    ];
+
+    let mut grid = Grid::new();
+    let start = grid.product(&params, &apps, &protos, opts.paper_size);
+    let records = opts.engine().run(&grid);
+
+    for (ai, app) in apps.iter().enumerate() {
+        let rows: Vec<_> = (0..protos.len())
+            .map(|pi| harness::row(&records[start + ai * protos.len() + pi].result))
+            .collect();
         harness::print_breakdown(
             &format!("Fig 11-12: overlapping TreadMarks vs AURC — {app}"),
             &rows,

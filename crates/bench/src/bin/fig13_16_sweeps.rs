@@ -4,7 +4,8 @@
 //! default parameters, exactly as in §5.3.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 struct Sweep {
     title: &'static str,
@@ -15,10 +16,8 @@ struct Sweep {
     expensive_updates: bool,
 }
 
-fn main() {
-    let opts = Opts::parse();
-    let app = opts.only_app.clone().unwrap_or_else(|| "Em3d".to_string());
-    let sweeps = [
+fn sweeps() -> [Sweep; 4] {
+    [
         Sweep {
             title: "Fig 13: effect of messaging overhead (AURC updates pay full overhead)",
             x_label: "us",
@@ -47,38 +46,61 @@ fn main() {
             make: |bw| SysParams::default().with_mem_bandwidth_mbps(bw),
             expensive_updates: false,
         },
-    ];
-    // Baseline: I+D at the defaults.
-    let base = harness::run(
+    ]
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let app = opts.only_app.clone().unwrap_or_else(|| "Em3d".to_string());
+    let sweeps = sweeps();
+
+    // The whole sensitivity study is one grid: the I+D baseline at the
+    // defaults, then per sweep and per x both protocols' points.
+    let mut grid = Grid::new();
+    let base_ix = grid.run(
         &SysParams::default(),
         Protocol::TreadMarks(OverlapMode::ID),
         &app,
         opts.paper_size,
-    )
-    .total_cycles as f64;
-    for sweep in sweeps {
-        let mut tm = Vec::new();
-        let mut aurc = Vec::new();
+    );
+    let mut point_ix: Vec<Vec<(usize, usize)>> = Vec::new();
+    for sweep in &sweeps {
+        let mut pts = Vec::new();
         for &x in &sweep.xs {
-            let mut params = (sweep.make)(x);
-            let r = harness::run(
+            let params = (sweep.make)(x);
+            let tm = grid.run(
                 &params,
                 Protocol::TreadMarks(OverlapMode::ID),
                 &app,
                 opts.paper_size,
             );
-            tm.push(r.total_cycles as f64 / base);
-            if sweep.expensive_updates {
-                params = params.with_expensive_updates();
-            }
-            let r = harness::run(
-                &params,
+            let aurc_params = if sweep.expensive_updates {
+                params.with_expensive_updates()
+            } else {
+                params
+            };
+            let aurc = grid.run(
+                &aurc_params,
                 Protocol::Aurc { prefetch: false },
                 &app,
                 opts.paper_size,
             );
-            aurc.push(r.total_cycles as f64 / base);
+            pts.push((tm, aurc));
         }
+        point_ix.push(pts);
+    }
+    let records = opts.engine().run(&grid);
+
+    let base = records[base_ix].result.total_cycles as f64;
+    for (sweep, pts) in sweeps.iter().zip(&point_ix) {
+        let tm: Vec<f64> = pts
+            .iter()
+            .map(|&(t, _)| records[t].result.total_cycles as f64 / base)
+            .collect();
+        let aurc: Vec<f64> = pts
+            .iter()
+            .map(|&(_, a)| records[a].result.total_cycles as f64 / base)
+            .collect();
         let tm_name = format!("{app}-TM");
         let aurc_name = format!("{app}-AURC");
         println!(

@@ -13,15 +13,16 @@
 //! # CI self-check: byte-determinism + conservation + parse-back.
 //! cargo run --release --bin obs_report -- --app TSP --mode I+P+D --nprocs 4 --selfcheck
 //!
-//! # Regenerate the tier-1 bench trajectory file.
-//! cargo run --release --bin obs_report -- --bench bench_new.json
+//! # Regenerate the tier-1 bench trajectory file (runs through the parallel
+//! # engine; always cache-bypassing so the baseline reflects current code).
+//! cargo run --release --bin obs_report -- --bench bench_new.json --jobs 4
 //! ```
 
 use std::path::PathBuf;
 
-use ncp2::apps::run_app_with;
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, protocol_from_label, ALL_MODE_LABELS};
+use ncp2_bench::engine::{tier1_grid, Engine, Grid, Job, RunRecord, WorkloadSpec};
+use ncp2_bench::harness::{protocol_from_label, ALL_MODE_LABELS};
 use ncp2_obs::report::parse_metrics;
 use ncp2_obs::{perfetto_json, write_bench, MetricsReport};
 
@@ -33,12 +34,16 @@ struct Args {
     out_dir: Option<PathBuf>,
     selfcheck: bool,
     bench: Option<PathBuf>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: obs_report [--app NAME] [--mode LABEL] [--nprocs N] [--paper-size]\n\
          \x20                 [--out-dir DIR] [--selfcheck] [--bench FILE]\n\
+         \x20                 [--jobs N] [--no-cache] [--quiet]\n\
          modes: {}",
         ALL_MODE_LABELS.join(", ")
     );
@@ -54,6 +59,9 @@ fn parse_args() -> Args {
         out_dir: None,
         selfcheck: false,
         bench: None,
+        jobs: None,
+        no_cache: false,
+        quiet: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -70,6 +78,15 @@ fn parse_args() -> Args {
             "--out-dir" => a.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--selfcheck" => a.selfcheck = true,
             "--bench" => a.bench = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--jobs" => {
+                a.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-cache" => a.no_cache = true,
+            "--quiet" => a.quiet = true,
             _ => usage(),
         }
     }
@@ -84,9 +101,24 @@ fn parse_args() -> Args {
     a
 }
 
-/// One observed run at the given size, with protocol tracing on so the
-/// Perfetto export carries instant events too.
-fn observed_run(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> RunResult {
+fn engine(a: &Args) -> Engine {
+    let mut e = Engine::new();
+    if let Some(jobs) = a.jobs {
+        e = e.with_jobs(jobs);
+    }
+    if a.no_cache {
+        e = e.no_cache();
+    }
+    if a.quiet {
+        e = e.silent();
+    }
+    e
+}
+
+/// The job for one observed run at the given size, with protocol tracing on
+/// so the Perfetto export carries instant events too. (Trace jobs always
+/// execute fresh — the cache does not persist raw timelines.)
+fn observed_job(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> Job {
     let protocol = protocol_from_label(mode).unwrap_or_else(|| {
         eprintln!(
             "unknown mode '{mode}'; known: {}",
@@ -96,107 +128,31 @@ fn observed_run(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> RunRe
     });
     let mut params = SysParams::default().with_nprocs(nprocs);
     params.trace = true;
-    run_app_with(
+    Job {
+        label: format!("{app}/{mode}"),
         params,
         protocol,
-        harness::build_app(app, paper_size),
-        |sim| sim.enable_obs(),
-    )
+        workload: WorkloadSpec::named(app, paper_size),
+        obs: true,
+    }
 }
 
 /// The tier-1 bench suite: the six applications at oracle-test sizes, under
 /// a representative protocol spread, on 4 processors. Small enough for CI,
-/// broad enough that a protocol-wide slowdown cannot hide.
-fn bench_reports() -> Vec<MetricsReport> {
+/// broad enough that a protocol-wide slowdown cannot hide. Runs through the
+/// parallel engine with the cache forced off: the baseline file must always
+/// reflect the code as built, never a stale cached result.
+fn bench_reports(a: &Args) -> Vec<MetricsReport> {
     const BENCH_MODES: [&str; 3] = ["Base", "I+P+D", "AURC+P"];
-    let params = SysParams::default().with_nprocs(4);
-    let mut reports = Vec::new();
-    for mode in BENCH_MODES {
-        let protocol = match protocol_from_label(mode) {
-            Some(p) => p,
-            None => unreachable!("BENCH_MODES holds known labels"),
-        };
-        let obs = |sim: &mut Simulation| sim.enable_obs();
-        let runs: Vec<(&str, RunResult)> = vec![
-            (
-                "TSP",
-                run_app_with(
-                    params.clone(),
-                    protocol,
-                    Tsp {
-                        cities: 6,
-                        prefix_depth: 2,
-                        seed: 11,
-                    },
-                    obs,
-                ),
-            ),
-            (
-                "Water",
-                run_app_with(
-                    params.clone(),
-                    protocol,
-                    Water {
-                        molecules: 8,
-                        steps: 1,
-                        seed: 12,
-                    },
-                    obs,
-                ),
-            ),
-            (
-                "Radix",
-                run_app_with(
-                    params.clone(),
-                    protocol,
-                    Radix {
-                        keys: 256,
-                        radix: 16,
-                        passes: 2,
-                        seed: 13,
-                    },
-                    obs,
-                ),
-            ),
-            (
-                "Barnes",
-                run_app_with(
-                    params.clone(),
-                    protocol,
-                    Barnes {
-                        bodies: 16,
-                        steps: 1,
-                        theta_16: 8,
-                        seed: 14,
-                    },
-                    obs,
-                ),
-            ),
-            (
-                "Em3d",
-                run_app_with(
-                    params.clone(),
-                    protocol,
-                    Em3d {
-                        nodes: 96,
-                        degree: 2,
-                        remote_pct: 25,
-                        iters: 2,
-                        seed: 15,
-                    },
-                    obs,
-                ),
-            ),
-            (
-                "Ocean",
-                run_app_with(params.clone(), protocol, Ocean { grid: 16, iters: 2 }, obs),
-            ),
-        ];
-        for (name, r) in runs {
-            reports.push(MetricsReport::from_run(&format!("{name}/{mode}"), &r));
-        }
-    }
-    reports
+    let grid = tier1_grid(&BENCH_MODES);
+    let records = engine(a).no_cache().run(&grid);
+    records
+        .into_iter()
+        .map(|rec| {
+            // invariant: every tier-1 grid job is observed, so a report exists.
+            rec.report.expect("tier-1 jobs carry a report")
+        })
+        .collect()
 }
 
 fn write_file(path: &std::path::Path, contents: &str) {
@@ -216,15 +172,27 @@ fn main() {
     let a = parse_args();
 
     if let Some(bench_path) = &a.bench {
-        let reports = bench_reports();
+        let reports = bench_reports(&a);
         write_file(bench_path, &write_bench(&reports));
         println!("wrote {} runs to {}", reports.len(), bench_path.display());
         return;
     }
 
-    let name = format!("{}/{}", a.app, a.mode);
-    let r = observed_run(&a.app, &a.mode, a.nprocs, a.paper_size);
-    let report = MetricsReport::from_run(&name, &r);
+    let run_observed = || -> RunRecord {
+        let mut grid = Grid::new();
+        grid.add(observed_job(&a.app, &a.mode, a.nprocs, a.paper_size));
+        engine(&a)
+            .silent()
+            .run(&grid)
+            .pop()
+            // invariant: run() returns exactly one record per job.
+            .expect("one job in, one record out")
+    };
+
+    let rec = run_observed();
+    let r = &rec.result;
+    // invariant: observed_job sets obs, so the record carries a report.
+    let report = rec.report.clone().expect("observed job carries a report");
     print!("{}", report.render_table());
 
     let mut failed = false;
@@ -235,7 +203,7 @@ fn main() {
 
     if let Some(dir) = &a.out_dir {
         let metrics = report.to_json();
-        let trace = perfetto_json(&r);
+        let trace = perfetto_json(r);
         let csv = ncp2::core::trace_csv(&r.trace);
         write_file(&dir.join("metrics.json"), &metrics);
         write_file(&dir.join("trace.json"), &trace);
@@ -254,14 +222,16 @@ fn main() {
             failed = true;
         }
         // 2. Determinism: a second identical run must produce byte-identical
-        //    metrics and Perfetto exports.
-        let r2 = observed_run(&a.app, &a.mode, a.nprocs, a.paper_size);
-        let report2 = MetricsReport::from_run(&name, &r2);
+        //    metrics and Perfetto exports. (Trace jobs never hit the cache,
+        //    so this genuinely re-simulates.)
+        let rec2 = run_observed();
+        // invariant: observed_job sets obs, so the record carries a report.
+        let report2 = rec2.report.expect("observed job carries a report");
         if report2.to_json() != report.to_json() {
             eprintln!("selfcheck: metrics.json differs between identical runs");
             failed = true;
         }
-        if perfetto_json(&r2) != perfetto_json(&r) {
+        if perfetto_json(&rec2.result) != perfetto_json(r) {
             eprintln!("selfcheck: trace.json differs between identical runs");
             failed = true;
         }

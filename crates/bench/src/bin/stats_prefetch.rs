@@ -3,22 +3,30 @@
 //! under P, I+P and AURC+P.
 
 use ncp2::prelude::*;
-use ncp2_bench::harness::{self, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
     let params = SysParams::default();
+    let apps = opts.apps();
+    let protos = [
+        Protocol::TreadMarks(OverlapMode::P),
+        Protocol::TreadMarks(OverlapMode::IP),
+        Protocol::Aurc { prefetch: true },
+    ];
+
+    let mut grid = Grid::new();
+    let start = grid.product(&params, &apps, &protos, opts.paper_size);
+    let records = opts.engine().run(&grid);
+
     println!(
         "{:<8} {:<7} {:>8} {:>8} {:>9} {:>7} {:>6}",
         "app", "proto", "issued", "useless", "useless%", "joins", "hits"
     );
-    for app in opts.apps() {
-        for proto in [
-            Protocol::TreadMarks(OverlapMode::P),
-            Protocol::TreadMarks(OverlapMode::IP),
-            Protocol::Aurc { prefetch: true },
-        ] {
-            let r = harness::run(&params, proto, app, opts.paper_size);
+    for (ai, app) in apps.iter().enumerate() {
+        for pi in 0..protos.len() {
+            let r = &records[start + ai * protos.len() + pi].result;
             let (issued, useless) = r.prefetch_totals();
             let joins: u64 = r.nodes.iter().map(|n| n.prefetch_joins).sum();
             let hits: u64 = r.nodes.iter().map(|n| n.prefetch_hits).sum();

@@ -4,10 +4,13 @@
 //! ```sh
 //! cargo run --release -p ncp2-bench --bin trace_dump -- --app Radix > trace.csv
 //! ```
+//!
+//! Trace runs always execute fresh: the cache never stores raw timelines.
 
 use ncp2::core::trace_csv;
 use ncp2::prelude::*;
-use ncp2_bench::harness::{build_app, Opts};
+use ncp2_bench::engine::Grid;
+use ncp2_bench::harness::Opts;
 
 fn main() {
     let opts = Opts::parse();
@@ -16,11 +19,17 @@ fn main() {
         trace: true,
         ..SysParams::default()
     };
-    let r = run_app(
-        params,
+
+    let mut grid = Grid::new();
+    let ix = grid.run(
+        &params,
         Protocol::TreadMarks(OverlapMode::ID),
-        build_app(&app, opts.paper_size),
+        &app,
+        opts.paper_size,
     );
+    let records = opts.engine().run(&grid);
+    let r = &records[ix].result;
+
     eprintln!(
         "{} under {}: {} cycles, {} trace events",
         app,

@@ -1,0 +1,634 @@
+//! Parallel experiment engine: a work-queue scheduler over independent
+//! simulation grid points, with content-hashed result caching.
+//!
+//! The paper's evaluation is a large grid — applications × protocol modes ×
+//! processor counts × parameter sweeps — and every point is an independent,
+//! deterministic simulation. The engine exploits exactly that: a [`Grid`] of
+//! fully declarative [`Job`]s is executed by a bounded pool of
+//! `std::thread` workers (one fresh `System` per job, so determinism is
+//! untouched), and results are returned **in grid order**, never completion
+//! order. A second run of an unchanged grid point is loaded from
+//! `results/cache/` instead of re-simulated (see [`crate::cache`]).
+//!
+//! ## Cache-key scheme
+//!
+//! [`Job::cache_key`] feeds a fixed [`StableHasher`] with: the cache format
+//! version, the `ncp2-bench` crate version, every `SysParams` field
+//! (exhaustively — see `SysParams::stable_hash`), the protocol (including
+//! its overlap mode), the observability flag, and the complete workload
+//! configuration. Two jobs share a key **iff** they would run the identical
+//! simulation. The key deliberately does not see source-code edits beyond
+//! the version string, so anything that must observe a protocol change —
+//! CI, golden tests, baseline regeneration — runs with the cache disabled
+//! (`--no-cache` / [`Engine::no_cache`]); the cache exists to make
+//! *unchanged* grid points free during iterative figure work.
+//!
+//! Jobs with `params.trace` set are never cached: their value is the raw
+//! event timeline, which the cache does not persist.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ncp2::apps::run_app_with;
+use ncp2::prelude::*;
+use ncp2::sim::StableHasher;
+use ncp2_obs::MetricsReport;
+
+use crate::cache;
+use crate::harness::build_app;
+
+/// Fully declarative workload description — everything the engine needs to
+/// rebuild (and hash) the exact workload of a grid point.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// One of the six applications by figure name, at the scaled default or
+    /// paper size (see `harness::build_app`).
+    Named {
+        /// Application name ("TSP", "Water", ...).
+        name: String,
+        /// Run the paper's original problem size.
+        paper_size: bool,
+    },
+    /// Explicitly configured TSP.
+    Tsp(Tsp),
+    /// Explicitly configured Water.
+    Water(Water),
+    /// Explicitly configured Radix.
+    Radix(Radix),
+    /// Explicitly configured Barnes.
+    Barnes(Barnes),
+    /// Explicitly configured Em3d.
+    Em3d(Em3d),
+    /// Explicitly configured Ocean.
+    Ocean(Ocean),
+}
+
+impl WorkloadSpec {
+    /// Spec for a named app at default or paper size.
+    pub fn named(name: &str, paper_size: bool) -> WorkloadSpec {
+        WorkloadSpec::Named {
+            name: name.to_string(),
+            paper_size,
+        }
+    }
+
+    /// Instantiates the workload.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Named { name, paper_size } => build_app(name, *paper_size),
+            WorkloadSpec::Tsp(w) => Box::new(w.clone()),
+            WorkloadSpec::Water(w) => Box::new(w.clone()),
+            WorkloadSpec::Radix(w) => Box::new(w.clone()),
+            WorkloadSpec::Barnes(w) => Box::new(w.clone()),
+            WorkloadSpec::Em3d(w) => Box::new(w.clone()),
+            WorkloadSpec::Ocean(w) => Box::new(w.clone()),
+        }
+    }
+
+    /// Feeds the complete workload configuration into a cache-key hasher.
+    ///
+    /// Like `SysParams::stable_hash`, the exhaustive destructuring makes
+    /// "added a workload knob but forgot the cache key" a compile error.
+    pub fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            WorkloadSpec::Named { name, paper_size } => {
+                h.write_str("named");
+                h.write_str(name);
+                h.write_bool(*paper_size);
+            }
+            WorkloadSpec::Tsp(Tsp {
+                cities,
+                prefix_depth,
+                seed,
+            }) => {
+                h.write_str("tsp");
+                h.write_usize(*cities);
+                h.write_usize(*prefix_depth);
+                h.write_u64(*seed);
+            }
+            WorkloadSpec::Water(Water {
+                molecules,
+                steps,
+                seed,
+            }) => {
+                h.write_str("water");
+                h.write_usize(*molecules);
+                h.write_usize(*steps);
+                h.write_u64(*seed);
+            }
+            WorkloadSpec::Radix(Radix {
+                keys,
+                radix,
+                passes,
+                seed,
+            }) => {
+                h.write_str("radix");
+                h.write_usize(*keys);
+                h.write_usize(*radix);
+                h.write_usize(*passes);
+                h.write_u64(*seed);
+            }
+            WorkloadSpec::Barnes(Barnes {
+                bodies,
+                steps,
+                theta_16,
+                seed,
+            }) => {
+                h.write_str("barnes");
+                h.write_usize(*bodies);
+                h.write_usize(*steps);
+                h.write_u64(*theta_16 as u64);
+                h.write_u64(*seed);
+            }
+            WorkloadSpec::Em3d(Em3d {
+                nodes,
+                degree,
+                remote_pct,
+                iters,
+                seed,
+            }) => {
+                h.write_str("em3d");
+                h.write_usize(*nodes);
+                h.write_usize(*degree);
+                h.write_u64(*remote_pct as u64);
+                h.write_usize(*iters);
+                h.write_u64(*seed);
+            }
+            WorkloadSpec::Ocean(Ocean { grid, iters }) => {
+                h.write_str("ocean");
+                h.write_usize(*grid);
+                h.write_usize(*iters);
+            }
+        }
+    }
+}
+
+/// One grid point: a complete, self-contained run description.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display label, conventionally `"APP/MODE"`; used for progress output
+    /// and as the name of the derived [`MetricsReport`]. Not part of the
+    /// cache key — the same configuration under two labels is one entry.
+    pub label: String,
+    /// Full system parameters (including `nprocs` and `trace`).
+    pub params: SysParams,
+    /// Protocol to run under.
+    pub protocol: Protocol,
+    /// Workload configuration.
+    pub workload: WorkloadSpec,
+    /// Record the observability timeline and derive a [`MetricsReport`].
+    pub obs: bool,
+}
+
+impl Job {
+    /// Content hash identifying this job's result: equal keys ⇔ identical
+    /// simulations (see the module docs for the exact scheme).
+    pub fn cache_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(cache::FORMAT_VERSION);
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        self.params.stable_hash(&mut h);
+        h.write_str(&self.protocol.to_string());
+        h.write_bool(self.obs);
+        self.workload.stable_hash(&mut h);
+        h.finish()
+    }
+}
+
+/// One finished grid point, in grid order.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The simulation result. For cache hits, `trace` is empty and `obs` is
+    /// `None` (the raw timeline is not persisted); every published
+    /// statistic — cycles, checksum, per-node counters, traffic — is exact.
+    pub result: RunResult,
+    /// Derived metrics report for observed jobs (`Job::obs`), fresh or
+    /// restored; its `name` is always the job's label.
+    pub report: Option<MetricsReport>,
+    /// Whether this record was loaded from the cache.
+    pub cached: bool,
+}
+
+/// An ordered collection of jobs, built before anything runs.
+///
+/// Binaries declare their whole grid up front (the builder methods return
+/// the job's index), hand it to [`Engine::run`], and then format results by
+/// index — which is what makes output deterministic under any worker count.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    /// The jobs, in submission (= result) order.
+    pub jobs: Vec<Job>,
+}
+
+impl Grid {
+    /// An empty grid.
+    pub fn new() -> Grid {
+        Grid::default()
+    }
+
+    /// Adds a fully built job; returns its index.
+    pub fn add(&mut self, job: Job) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// Adds a protocol run of a named app.
+    pub fn run(
+        &mut self,
+        params: &SysParams,
+        protocol: Protocol,
+        app: &str,
+        paper_size: bool,
+    ) -> usize {
+        self.add(Job {
+            label: format!("{app}/{}", protocol.label()),
+            params: params.clone(),
+            protocol,
+            workload: WorkloadSpec::named(app, paper_size),
+            obs: false,
+        })
+    }
+
+    /// Adds an observed (metrics-report-carrying) protocol run.
+    pub fn run_obs(
+        &mut self,
+        params: &SysParams,
+        protocol: Protocol,
+        app: &str,
+        paper_size: bool,
+    ) -> usize {
+        self.add(Job {
+            label: format!("{app}/{}", protocol.label()),
+            params: params.clone(),
+            protocol,
+            workload: WorkloadSpec::named(app, paper_size),
+            obs: true,
+        })
+    }
+
+    /// Adds the 1-processor, protocol-free sequential baseline of an app
+    /// (TreadMarks Base on one node — no remote party exists, so no
+    /// protocol activity occurs).
+    pub fn sequential(&mut self, params: &SysParams, app: &str, paper_size: bool) -> usize {
+        self.add(Job {
+            label: format!("{app}/seq"),
+            params: params.clone().with_nprocs(1),
+            protocol: Protocol::TreadMarks(OverlapMode::Base),
+            workload: WorkloadSpec::named(app, paper_size),
+            obs: false,
+        })
+    }
+
+    /// Adds the full `apps × protocols` product in row-major (app-outer)
+    /// order; returns the starting index. This is the shared grid loop the
+    /// figure and ablation binaries all build on.
+    pub fn product(
+        &mut self,
+        params: &SysParams,
+        apps: &[&str],
+        protocols: &[Protocol],
+        paper_size: bool,
+    ) -> usize {
+        let start = self.jobs.len();
+        for app in apps {
+            for &p in protocols {
+                self.run(params, p, app, paper_size);
+            }
+        }
+        start
+    }
+}
+
+/// The tier-1 bench suite workloads: the six applications at oracle-test
+/// sizes, small enough for CI, broad enough that a protocol-wide change
+/// cannot hide. Shared by `obs_report --bench`, the determinism tests and
+/// the cache property tests.
+pub fn tier1_workloads() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "TSP",
+            WorkloadSpec::Tsp(Tsp {
+                cities: 6,
+                prefix_depth: 2,
+                seed: 11,
+            }),
+        ),
+        (
+            "Water",
+            WorkloadSpec::Water(Water {
+                molecules: 8,
+                steps: 1,
+                seed: 12,
+            }),
+        ),
+        (
+            "Radix",
+            WorkloadSpec::Radix(Radix {
+                keys: 256,
+                radix: 16,
+                passes: 2,
+                seed: 13,
+            }),
+        ),
+        (
+            "Barnes",
+            WorkloadSpec::Barnes(Barnes {
+                bodies: 16,
+                steps: 1,
+                theta_16: 8,
+                seed: 14,
+            }),
+        ),
+        (
+            "Em3d",
+            WorkloadSpec::Em3d(Em3d {
+                nodes: 96,
+                degree: 2,
+                remote_pct: 25,
+                iters: 2,
+                seed: 15,
+            }),
+        ),
+        ("Ocean", WorkloadSpec::Ocean(Ocean { grid: 16, iters: 2 })),
+    ]
+}
+
+/// Builds the tier-1 grid: every tier-1 workload under each of the given
+/// mode labels (see `harness::ALL_MODE_LABELS`), observed, on 4 processors.
+///
+/// # Panics
+///
+/// Panics on an unknown mode label.
+pub fn tier1_grid(mode_labels: &[&str]) -> Grid {
+    let params = SysParams::default().with_nprocs(4);
+    let mut grid = Grid::new();
+    for label in mode_labels {
+        let protocol = crate::harness::protocol_from_label(label)
+            .unwrap_or_else(|| panic!("unknown mode label {label}"));
+        for (name, spec) in tier1_workloads() {
+            grid.add(Job {
+                label: format!("{name}/{label}"),
+                params: params.clone(),
+                protocol,
+                workload: spec,
+                obs: true,
+            });
+        }
+    }
+    grid
+}
+
+/// The work-queue scheduler.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Worker threads (≥ 1).
+    pub jobs: usize,
+    /// Cache directory, or `None` when caching is disabled.
+    pub cache_dir: Option<PathBuf>,
+    /// Suppress per-job progress lines on stderr.
+    pub quiet: bool,
+}
+
+/// Default cache location, relative to the working directory (binaries run
+/// from the repository root).
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized from `std::thread::available_parallelism`, with the
+    /// cache enabled at [`DEFAULT_CACHE_DIR`] and progress output on.
+    pub fn new() -> Engine {
+        Engine {
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+            quiet: false,
+        }
+    }
+
+    /// Sets the worker count (clamped to ≥ 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Engine {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Disables the result cache: every grid point simulates fresh, and
+    /// nothing is written. Required wherever results must reflect the
+    /// *current code* (CI, golden tests, baseline regeneration).
+    pub fn no_cache(mut self) -> Engine {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Disables progress output (tests).
+    pub fn silent(mut self) -> Engine {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs every job in the grid and returns records **in grid order**.
+    ///
+    /// Workers pull jobs from a shared queue; each job builds a fresh
+    /// simulation, so concurrent execution cannot perturb results. A panic
+    /// in any job propagates after the scope joins.
+    pub fn run(&self, grid: &Grid) -> Vec<RunRecord> {
+        let n = grid.jobs.len();
+        let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let workers = self.jobs.min(n).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = &grid.jobs[i];
+                    let rec = self.run_one(job);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if !self.quiet {
+                        eprintln!(
+                            "[{finished}/{n}] {} — {} cycles{}",
+                            job.label,
+                            rec.result.total_cycles,
+                            if rec.cached { " (cached)" } else { "" }
+                        );
+                    }
+                    // invariant: each index is stored exactly once, by the
+                    // worker that claimed it from the queue.
+                    *slots[i].lock().expect("result slot poisoned") = Some(rec);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    // invariant: the scope joined, so every slot was filled.
+                    .expect("grid slot never filled")
+            })
+            .collect()
+    }
+
+    /// Convenience: run a single ad-hoc job.
+    pub fn run_job(&self, job: Job) -> RunRecord {
+        let mut grid = Grid::new();
+        grid.add(job);
+        self.run(&grid)
+            .pop()
+            // invariant: run() returns exactly one record per job.
+            .expect("one job in, one record out")
+    }
+
+    fn run_one(&self, job: &Job) -> RunRecord {
+        // Trace runs exist for their raw timeline, which is not persisted —
+        // never serve or store them from the cache.
+        let cache_dir = self.cache_dir.as_deref().filter(|_| !job.params.trace);
+        let key = job.cache_key();
+        if let Some(dir) = cache_dir {
+            if let Some((result, mut report)) = cache::load(dir, key) {
+                if let Some(r) = &mut report {
+                    // The label is presentation, not configuration: restore
+                    // the caller's name.
+                    r.name = job.label.clone();
+                }
+                return RunRecord {
+                    result,
+                    report,
+                    cached: true,
+                };
+            }
+        }
+        let obs = job.obs;
+        let result = run_app_with(
+            job.params.clone(),
+            job.protocol,
+            job.workload.build(),
+            |sim| {
+                if obs {
+                    sim.enable_obs();
+                }
+            },
+        );
+        let report = obs.then(|| MetricsReport::from_run(&job.label, &result));
+        if let Some(dir) = cache_dir {
+            // Runs that tripped an invariant are not representative results;
+            // keep them out of the cache.
+            if result.violations.is_empty() {
+                cache::store(dir, key, &job.label, &result, report.as_ref());
+            }
+        }
+        RunRecord {
+            result,
+            report,
+            cached: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job(label: &str, obs: bool) -> Job {
+        Job {
+            label: label.to_string(),
+            params: SysParams::default().with_nprocs(2),
+            protocol: Protocol::TreadMarks(OverlapMode::Base),
+            workload: WorkloadSpec::Ocean(Ocean { grid: 8, iters: 1 }),
+            obs,
+        }
+    }
+
+    #[test]
+    fn results_are_in_grid_order_under_any_worker_count() {
+        let mut grid = Grid::new();
+        for (name, spec) in tier1_workloads().into_iter().take(3) {
+            grid.add(Job {
+                label: format!("{name}/Base"),
+                params: SysParams::default().with_nprocs(2),
+                protocol: Protocol::TreadMarks(OverlapMode::Base),
+                workload: spec,
+                obs: false,
+            });
+        }
+        let serial = Engine::new().no_cache().silent().with_jobs(1).run(&grid);
+        let parallel = Engine::new().no_cache().silent().with_jobs(4).run(&grid);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.result.total_cycles, b.result.total_cycles);
+            assert_eq!(a.result.checksum, b.result.checksum);
+            assert_eq!(a.result.nodes, b.result.nodes);
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_jobs_and_merge_duplicates() {
+        let a = tiny_job("a", false);
+        let same_config_other_label = tiny_job("b", false);
+        assert_eq!(a.cache_key(), same_config_other_label.cache_key());
+        let observed = tiny_job("a", true);
+        assert_ne!(a.cache_key(), observed.cache_key());
+        let mut other_procs = tiny_job("a", false);
+        other_procs.params = other_procs.params.with_nprocs(3);
+        assert_ne!(a.cache_key(), other_procs.cache_key());
+        let mut other_workload = tiny_job("a", false);
+        other_workload.workload = WorkloadSpec::Ocean(Ocean { grid: 8, iters: 2 });
+        assert_ne!(a.cache_key(), other_workload.cache_key());
+        let mut other_protocol = tiny_job("a", false);
+        other_protocol.protocol = Protocol::Aurc { prefetch: false };
+        assert_ne!(a.cache_key(), other_protocol.cache_key());
+    }
+
+    #[test]
+    fn cache_round_trip_is_transparent() {
+        let dir = std::env::temp_dir().join(format!("ncp2-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let cold = engine.run_job(tiny_job("Ocean/Base", true));
+        assert!(!cold.cached);
+        let warm = engine.run_job(tiny_job("Ocean/Base", true));
+        assert!(warm.cached, "second identical run must hit the cache");
+        assert_eq!(cold.result.total_cycles, warm.result.total_cycles);
+        assert_eq!(cold.result.checksum, warm.result.checksum);
+        assert_eq!(cold.result.nodes, warm.result.nodes);
+        assert_eq!(cold.result.net, warm.result.net);
+        let (a, b) = (
+            cold.report.expect("obs report"),
+            warm.report.expect("obs report"),
+        );
+        assert_eq!(a.to_json(), b.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_jobs_bypass_the_cache() {
+        let dir = std::env::temp_dir().join(format!("ncp2-engine-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let mut job = tiny_job("Ocean/Base", false);
+        job.params.trace = true;
+        let first = engine.run_job(job.clone());
+        let second = engine.run_job(job);
+        assert!(!first.cached && !second.cached);
+        assert!(!second.result.trace.is_empty(), "trace must be recorded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

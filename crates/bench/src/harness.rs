@@ -46,10 +46,17 @@ pub struct Opts {
     pub paper_size: bool,
     /// Restrict to one application (`--app NAME`).
     pub only_app: Option<String>,
+    /// Worker-thread override (`--jobs N`); `None` = one per host core.
+    pub jobs: Option<usize>,
+    /// Disable the content-hashed result cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Suppress per-job progress lines (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Opts {
-    /// Parses `--paper-size` and `--app NAME` from `std::env::args`.
+    /// Parses `--paper-size`, `--app NAME`, `--jobs N`, `--no-cache` and
+    /// `--quiet` from `std::env::args`.
     pub fn parse() -> Opts {
         let mut opts = Opts::default();
         let mut args = std::env::args().skip(1);
@@ -57,8 +64,19 @@ impl Opts {
             match a.as_str() {
                 "--paper-size" => opts.paper_size = true,
                 "--app" => opts.only_app = args.next(),
+                "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => opts.jobs = Some(n),
+                    None => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                },
+                "--no-cache" => opts.no_cache = true,
+                "--quiet" => opts.quiet = true,
                 "--help" | "-h" => {
-                    eprintln!("options: [--paper-size] [--app NAME]");
+                    eprintln!(
+                        "options: [--paper-size] [--app NAME] [--jobs N] [--no-cache] [--quiet]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -68,6 +86,21 @@ impl Opts {
             }
         }
         opts
+    }
+
+    /// Builds the experiment engine these options describe.
+    pub fn engine(&self) -> crate::engine::Engine {
+        let mut e = crate::engine::Engine::new();
+        if let Some(jobs) = self.jobs {
+            e = e.with_jobs(jobs);
+        }
+        if self.no_cache {
+            e = e.no_cache();
+        }
+        if self.quiet {
+            e = e.silent();
+        }
+        e
     }
 
     /// The applications selected by these options.
@@ -102,26 +135,18 @@ pub fn protocol_from_label(label: &str) -> Option<Protocol> {
     }
 }
 
-/// Runs one app under one protocol and returns the result.
-pub fn run(params: &SysParams, protocol: Protocol, app: &str, paper_size: bool) -> RunResult {
-    run_app(params.clone(), protocol, build_app(app, paper_size))
+/// The six TreadMarks protocols in plotting order (the [`MODES`] wrapped).
+pub fn tm_protocols() -> Vec<Protocol> {
+    MODES.iter().map(|&m| Protocol::TreadMarks(m)).collect()
 }
 
-/// Like [`run`], but with observability recording enabled, so the result
-/// carries the span/flight/engine timeline (`RunResult::obs`) consumed by
-/// `ncp2-obs` reports and the Perfetto exporter.
-pub fn run_obs(params: &SysParams, protocol: Protocol, app: &str, paper_size: bool) -> RunResult {
-    ncp2::apps::run_app_with(
-        params.clone(),
-        protocol,
-        build_app(app, paper_size),
-        |sim| sim.enable_obs(),
-    )
-}
-
-/// Sequential (1-processor, protocol-free) cycle count for speedups.
-pub fn seq_cycles(params: &SysParams, app: &str, paper_size: bool) -> u64 {
-    sequential_baseline(params, build_app(app, paper_size)).total_cycles
+/// All eight protocols of the study in plotting order: the six TreadMarks
+/// overlap modes, then AURC and AURC+P (matches [`ALL_MODE_LABELS`]).
+pub fn all_protocols() -> Vec<Protocol> {
+    let mut protos = tm_protocols();
+    protos.push(Protocol::Aurc { prefetch: false });
+    protos.push(Protocol::Aurc { prefetch: true });
+    protos
 }
 
 /// Formats a `RunResult` as a breakdown-table row.
@@ -166,8 +191,8 @@ mod tests {
     #[test]
     fn opts_filter_apps() {
         let o = Opts {
-            paper_size: false,
             only_app: Some("em3d".into()),
+            ..Opts::default()
         };
         assert_eq!(o.apps(), vec!["Em3d"]);
         let all = Opts::default();

@@ -1,6 +1,12 @@
 //! # ncp2-bench — experiment harness
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus shared
-//! helpers in [`harness`]. Criterion micro-benchmarks live in `benches/`.
+//! One binary per table/figure of the paper (see `src/bin/`). All of them
+//! declare their runs as a [`engine::Grid`] and execute it on the parallel
+//! [`engine::Engine`] (work-queue over `std::thread`, one fresh simulation
+//! per grid point, content-hashed result caching under `results/cache/`).
+//! Shared CLI plumbing lives in [`harness`]; the cache file format in
+//! [`cache`]. Criterion micro-benchmarks live in `benches/`.
 
+pub mod cache;
+pub mod engine;
 pub mod harness;

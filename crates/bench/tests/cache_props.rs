@@ -1,0 +1,253 @@
+//! Property tests for the result cache's key scheme and transparency.
+//!
+//! Two things must hold for content-hashed caching to be sound:
+//!
+//! 1. **Key sensitivity** — perturbing any single `SysParams` field (or the
+//!    protocol, workload, or observability flag) produces a different cache
+//!    key, so two configurations can never alias one entry;
+//! 2. **Hit transparency** — a cache hit is byte-identical to the fresh run
+//!    it stands in for, down to the serialized entry and report JSON.
+
+use ncp2::prelude::*;
+use ncp2::sim::PrefetchStrategy;
+use ncp2_bench::engine::{Engine, Job, WorkloadSpec};
+use ncp2_bench::{cache, engine};
+use proptest::prelude::*;
+
+/// One mutator per `SysParams` field. Each takes a nonzero `delta` so the
+/// property quantifies over *which* different value the field takes, not
+/// just one hand-picked alternative.
+type Mutator = (&'static str, fn(&mut SysParams, u64));
+
+const MUTATORS: [Mutator; 28] = [
+    ("nprocs", |p, d| p.nprocs += d as usize),
+    ("tlb_entries", |p, d| p.tlb_entries += d as usize),
+    ("tlb_fill", |p, d| p.tlb_fill += d),
+    ("interrupt", |p, d| p.interrupt += d),
+    ("page_bytes", |p, d| p.page_bytes <<= 1 + d % 2),
+    ("cache_bytes", |p, d| p.cache_bytes <<= 1 + d % 2),
+    ("write_buffer_entries", |p, d| {
+        p.write_buffer_entries += d as usize
+    }),
+    ("write_cache_entries", |p, d| {
+        p.write_cache_entries += d as usize
+    }),
+    ("line_bytes", |p, d| p.line_bytes <<= 1 + d % 2),
+    ("mem_setup", |p, d| p.mem_setup += d),
+    ("mem_cycles_per_word", |p, d| {
+        p.mem_cycles_per_word += d as f64
+    }),
+    ("pci_setup", |p, d| p.pci_setup += d),
+    ("pci_cycles_per_word", |p, d| {
+        p.pci_cycles_per_word += d as f64
+    }),
+    ("net_cycles_per_byte", |p, d| {
+        p.net_cycles_per_byte += d as f64
+    }),
+    ("messaging_overhead", |p, d| p.messaging_overhead += d),
+    ("au_messaging_overhead", |p, d| p.au_messaging_overhead += d),
+    ("switch_latency", |p, d| p.switch_latency += d),
+    ("wire_latency", |p, d| p.wire_latency += d),
+    ("list_processing", |p, d| p.list_processing += d),
+    ("twin_cycles_per_word", |p, d| p.twin_cycles_per_word += d),
+    ("diff_cycles_per_word", |p, d| p.diff_cycles_per_word += d),
+    ("dma_scan_base", |p, d| p.dma_scan_base += d),
+    ("dma_scan_full", |p, d| p.dma_scan_full += d),
+    ("aurc_pairwise", |p, _| p.aurc_pairwise = !p.aurc_pairwise),
+    ("page_req_threshold", |p, d| {
+        p.page_req_threshold += d as usize
+    }),
+    ("prefetch_strategy", |p, d| {
+        p.prefetch_strategy = match p.prefetch_strategy {
+            PrefetchStrategy::AllReferenced => PrefetchStrategy::Capped(d as usize),
+            _ => PrefetchStrategy::AllReferenced,
+        }
+    }),
+    ("trace", |p, _| p.trace = !p.trace),
+    ("seed", |p, d| p.seed ^= d),
+];
+
+/// Compile-time guard that [`MUTATORS`] stays exhaustive: adding a
+/// `SysParams` field breaks this destructuring, pointing here to add the
+/// matching mutator.
+#[allow(clippy::no_effect_underscore_binding)]
+fn assert_mutators_cover_every_field(p: &SysParams) -> usize {
+    let SysParams {
+        nprocs: _,
+        tlb_entries: _,
+        tlb_fill: _,
+        interrupt: _,
+        page_bytes: _,
+        cache_bytes: _,
+        write_buffer_entries: _,
+        write_cache_entries: _,
+        line_bytes: _,
+        mem_setup: _,
+        mem_cycles_per_word: _,
+        pci_setup: _,
+        pci_cycles_per_word: _,
+        net_cycles_per_byte: _,
+        messaging_overhead: _,
+        au_messaging_overhead: _,
+        switch_latency: _,
+        wire_latency: _,
+        list_processing: _,
+        twin_cycles_per_word: _,
+        diff_cycles_per_word: _,
+        dma_scan_base: _,
+        dma_scan_full: _,
+        aurc_pairwise: _,
+        page_req_threshold: _,
+        prefetch_strategy: _,
+        trace: _,
+        seed: _,
+    } = p;
+    28
+}
+
+fn job_with(params: SysParams) -> Job {
+    Job {
+        label: "probe".into(),
+        params,
+        protocol: Protocol::TreadMarks(OverlapMode::ID),
+        workload: WorkloadSpec::Ocean(Ocean { grid: 8, iters: 1 }),
+        obs: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_single_field_perturbation_changes_the_cache_key(delta in 1u64..1_000) {
+        let base = job_with(SysParams::default());
+        let field_count = assert_mutators_cover_every_field(&base.params);
+        prop_assert_eq!(MUTATORS.len(), field_count);
+
+        // The key is a pure function of the configuration...
+        prop_assert_eq!(base.cache_key(), job_with(SysParams::default()).cache_key());
+
+        // ...and injective across every one-field change.
+        for (field, mutate) in MUTATORS {
+            let mut params = SysParams::default();
+            mutate(&mut params, delta);
+            let perturbed = job_with(params);
+            prop_assert_ne!(
+                base.cache_key(),
+                perturbed.cache_key(),
+                "perturbing SysParams::{} (delta {}) did not change the cache key",
+                field,
+                delta
+            );
+        }
+
+        // Label changes alone must NOT change the key (one config = one entry).
+        let mut relabeled = job_with(SysParams::default());
+        relabeled.label = format!("probe-{delta}");
+        prop_assert_eq!(base.cache_key(), relabeled.cache_key());
+
+        // Protocol, observability and workload are part of the key too.
+        let mut other_proto = job_with(SysParams::default());
+        other_proto.protocol = Protocol::Aurc { prefetch: false };
+        prop_assert_ne!(base.cache_key(), other_proto.cache_key());
+        let mut observed = job_with(SysParams::default());
+        observed.obs = true;
+        prop_assert_ne!(base.cache_key(), observed.cache_key());
+        let mut other_workload = job_with(SysParams::default());
+        other_workload.workload = WorkloadSpec::Ocean(Ocean {
+            grid: 8,
+            iters: 1 + delta as usize,
+        });
+        prop_assert_ne!(base.cache_key(), other_workload.cache_key());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn a_cache_hit_is_byte_identical_to_a_fresh_run(
+        grid_size in 0usize..3,
+        iters in 1usize..3,
+        nprocs in 1usize..4,
+        obs in any::<bool>()
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "ncp2-cache-props-{}-{grid_size}-{iters}-{nprocs}-{obs}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let job = Job {
+            label: "Ocean/probe".into(),
+            params: SysParams::default().with_nprocs(nprocs),
+            protocol: Protocol::TreadMarks(OverlapMode::IPD),
+            workload: WorkloadSpec::Ocean(Ocean {
+                grid: 8 + 2 * grid_size,
+                iters,
+            }),
+            obs,
+        };
+
+        let cold = engine.run_job(job.clone());
+        prop_assert!(!cold.cached);
+        let warm = engine.run_job(job.clone());
+        prop_assert!(warm.cached, "second identical run must hit the cache");
+
+        // Byte-level identity of everything the cache round-trips: encode
+        // both records with the entry serializer and compare the strings.
+        let cold_bytes = cache::encode(&job.label, &cold.result, cold.report.as_ref());
+        let warm_bytes = cache::encode(&job.label, &warm.result, warm.report.as_ref());
+        prop_assert_eq!(cold_bytes, warm_bytes);
+
+        // And the on-disk entry is exactly what decode() hands back.
+        let text = std::fs::read_to_string(cache::entry_path(&dir, job.cache_key()))
+            .expect("cache entry exists after a cold run");
+        let (decoded, decoded_report) = cache::decode(&text).expect("stored entry decodes");
+        prop_assert_eq!(decoded.total_cycles, cold.result.total_cycles);
+        prop_assert_eq!(decoded.checksum, cold.result.checksum);
+        prop_assert_eq!(&decoded.nodes, &cold.result.nodes);
+        prop_assert_eq!(&decoded.net, &cold.result.net);
+        prop_assert_eq!(decoded_report.is_some(), obs);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The cached-run acceptance criterion, as a test: a warm engine pass over a
+/// small grid must serve every record from the cache.
+#[test]
+fn warm_grid_runs_are_served_entirely_from_cache() {
+    let dir = std::env::temp_dir().join(format!("ncp2-cache-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    let mut grid = engine::Grid::new();
+    let params = SysParams::default().with_nprocs(2);
+    for (name, spec) in engine::tier1_workloads().into_iter().take(2) {
+        grid.add(Job {
+            label: format!("{name}/Base"),
+            params: params.clone(),
+            protocol: Protocol::TreadMarks(OverlapMode::Base),
+            workload: spec,
+            obs: true,
+        });
+    }
+    let cold = engine.run(&grid);
+    assert!(cold.iter().all(|r| !r.cached));
+    let warm = engine.run(&grid);
+    assert!(warm.iter().all(|r| r.cached), "warm pass must be all hits");
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.result.total_cycles, w.result.total_cycles);
+        let (cr, wr) = (c.report.as_ref().unwrap(), w.report.as_ref().unwrap());
+        assert_eq!(cr.to_json(), wr.to_json());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

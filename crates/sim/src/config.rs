@@ -5,6 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::hash::StableHasher;
 use crate::time::{self, Cycles};
 
 /// Which invalid pages an acquire-time prefetch targets. The paper's
@@ -252,6 +253,82 @@ impl SysParams {
         self
     }
 
+    /// Feeds every parameter into `h` in a fixed order, for content-hashed
+    /// result caching (the experiment engine keys cached runs on this).
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to
+    /// `SysParams` without deciding how it hashes is a compile error, so a
+    /// new knob can never silently alias cache entries of runs that differ
+    /// in it.
+    pub fn stable_hash(&self, h: &mut StableHasher) {
+        let SysParams {
+            nprocs,
+            tlb_entries,
+            tlb_fill,
+            interrupt,
+            page_bytes,
+            cache_bytes,
+            write_buffer_entries,
+            write_cache_entries,
+            line_bytes,
+            mem_setup,
+            mem_cycles_per_word,
+            pci_setup,
+            pci_cycles_per_word,
+            net_cycles_per_byte,
+            messaging_overhead,
+            au_messaging_overhead,
+            switch_latency,
+            wire_latency,
+            list_processing,
+            twin_cycles_per_word,
+            diff_cycles_per_word,
+            dma_scan_base,
+            dma_scan_full,
+            aurc_pairwise,
+            page_req_threshold,
+            prefetch_strategy,
+            trace,
+            seed,
+        } = self;
+        h.write_str("SysParams");
+        h.write_usize(*nprocs);
+        h.write_usize(*tlb_entries);
+        h.write_u64(*tlb_fill);
+        h.write_u64(*interrupt);
+        h.write_u64(*page_bytes);
+        h.write_u64(*cache_bytes);
+        h.write_usize(*write_buffer_entries);
+        h.write_usize(*write_cache_entries);
+        h.write_u64(*line_bytes);
+        h.write_u64(*mem_setup);
+        h.write_f64(*mem_cycles_per_word);
+        h.write_u64(*pci_setup);
+        h.write_f64(*pci_cycles_per_word);
+        h.write_f64(*net_cycles_per_byte);
+        h.write_u64(*messaging_overhead);
+        h.write_u64(*au_messaging_overhead);
+        h.write_u64(*switch_latency);
+        h.write_u64(*wire_latency);
+        h.write_u64(*list_processing);
+        h.write_u64(*twin_cycles_per_word);
+        h.write_u64(*diff_cycles_per_word);
+        h.write_u64(*dma_scan_base);
+        h.write_u64(*dma_scan_full);
+        h.write_bool(*aurc_pairwise);
+        h.write_usize(*page_req_threshold);
+        match prefetch_strategy {
+            PrefetchStrategy::AllReferenced => h.write_u64(0),
+            PrefetchStrategy::RecentlyReferenced => h.write_u64(1),
+            PrefetchStrategy::Capped(n) => {
+                h.write_u64(2);
+                h.write_usize(*n);
+            }
+        }
+        h.write_bool(*trace);
+        h.write_u64(*seed);
+    }
+
     /// Validates internal consistency (powers of two, divisibility).
     ///
     /// # Errors
@@ -346,6 +423,41 @@ mod tests {
             ..SysParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn stable_hash_sees_representative_fields() {
+        let key = |p: &SysParams| {
+            let mut h = StableHasher::new();
+            p.stable_hash(&mut h);
+            h.finish()
+        };
+        let base = key(&SysParams::default());
+        assert_eq!(base, key(&SysParams::default().clone()), "hash is stable");
+        for p in [
+            SysParams::default().with_nprocs(8),
+            SysParams::default().with_net_bandwidth_mbps(20.0),
+            SysParams {
+                seed: 1,
+                ..SysParams::default()
+            },
+            SysParams {
+                prefetch_strategy: PrefetchStrategy::Capped(4),
+                ..SysParams::default()
+            },
+            SysParams {
+                aurc_pairwise: false,
+                ..SysParams::default()
+            },
+        ] {
+            assert_ne!(base, key(&p), "perturbation must change the key: {p:?}");
+        }
+        // Capped(0) and AllReferenced must not alias.
+        let capped0 = SysParams {
+            prefetch_strategy: PrefetchStrategy::Capped(0),
+            ..SysParams::default()
+        };
+        assert_ne!(base, key(&capped0));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Stable content hashing for configuration types.
+//!
+//! The experiment engine in `ncp2-bench` addresses cached results by a hash
+//! of the full run configuration. [`std::hash::Hasher`] implementations are
+//! allowed to vary across releases and platforms, so cache keys use this
+//! fixed FNV-1a implementation instead: the same field sequence always
+//! produces the same 64-bit key, on any host, forever.
+//!
+//! Every write is framed (strings are length-prefixed, each scalar occupies
+//! exactly eight bytes), so two different field sequences cannot collide by
+//! concatenation.
+
+/// Fixed 64-bit FNV-1a hasher for cache keys.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one unsigned 64-bit scalar (little-endian framing).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a bool as a full scalar.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern (exact, including the sign of zero).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string, length-prefixed so `"ab" + "c"` ≠ `"a" + "bc"`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of "a" is a published constant.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn scalars_are_order_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_hashing_is_exact() {
+        let mut a = StableHasher::new();
+        a.write_f64(3.0);
+        let mut b = StableHasher::new();
+        b.write_f64(3.0000000000000004);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod breakdown;
 pub mod config;
+pub mod hash;
 pub mod ops;
 pub mod proc;
 pub mod queue;
@@ -33,6 +34,7 @@ pub mod time;
 
 pub use breakdown::{Breakdown, Category};
 pub use config::{PrefetchStrategy, SysParams};
+pub use hash::StableHasher;
 pub use ops::{ProcOp, ProcReply};
 pub use proc::{ProcHarness, ProcPort, ProcStatus};
 pub use queue::{Event, EventQueue, Priority};

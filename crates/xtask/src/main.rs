@@ -5,7 +5,7 @@
 //!
 //! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
 //! truncated cycle counter just bends the curves. This gate therefore runs
-//! even when tests are output-identical, enforcing four rules on the
+//! even when tests are output-identical, enforcing five rules on the
 //! protocol hot paths plus the workspace-wide `cargo fmt --check` and
 //! `cargo clippy -- -D warnings`:
 //!
@@ -24,6 +24,12 @@
 //!    (`Instant`, `SystemTime`) are forbidden in `crates/core`, `crates/sim`
 //!    and `crates/obs` — every timestamp there must be simulated cycles, or
 //!    determinism (and the byte-identical observability exports) dies.
+//! 5. **No engine bypass in the bench binaries.** Direct simulation entry
+//!    points (`run_app(`, `run_app_with(`, `sequential_baseline(`,
+//!    `Simulation::new(`) are forbidden in `crates/bench/src/bin/` — every
+//!    experiment must go through the `Grid`/`Engine` scheduler, or it loses
+//!    parallelism, caching and the deterministic result ordering. Escape
+//!    hatch: a `lint:allow` marker on the line.
 //!
 //! Test modules (`#[cfg(test)]` onward) are exempt.
 //!
@@ -80,6 +86,18 @@ const WALL_CLOCK_PATTERNS: &[&str] = &[
     "std::time::SystemTime",
     "Instant::now(",
     "SystemTime::now(",
+];
+
+/// Directory whose binaries must route every simulation through the
+/// experiment engine.
+const ENGINE_ONLY_DIR: &str = "crates/bench/src/bin";
+
+/// Direct simulation entry points forbidden in [`ENGINE_ONLY_DIR`].
+const ENGINE_BYPASS_PATTERNS: &[&str] = &[
+    "run_app(",
+    "run_app_with(",
+    "sequential_baseline(",
+    "Simulation::new(",
 ];
 
 struct Finding {
@@ -299,6 +317,41 @@ fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
             let path = entry.path();
             if path.extension().is_some_and(|e| e == "rs") {
                 scan_wall_clock(root, &path, findings);
+            }
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join(ENGINE_ONLY_DIR)) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                scan_engine_bypass(root, &path, findings);
+            }
+        }
+    }
+}
+
+/// Rule 5: bench binaries must run every simulation through the engine.
+fn scan_engine_bypass(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Some(src) = non_test_source(path) else {
+        return;
+    };
+    for (i, line) in src.lines().enumerate() {
+        let code = strip_comment(line);
+        if line.contains("lint:allow") {
+            continue;
+        }
+        for pat in ENGINE_BYPASS_PATTERNS {
+            if code.contains(pat) {
+                let rel = path.strip_prefix(root).unwrap_or(path);
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: "engine-bypass",
+                    text: format!(
+                        "direct `{pat}` in a bench binary (use Grid/Engine): {}",
+                        line.trim()
+                    ),
+                });
             }
         }
     }

@@ -91,6 +91,51 @@ fn different_seeds_change_timing_but_not_validity() {
     assert!(a.total_cycles > 0 && b.total_cycles > 0);
 }
 
+/// The engine's tier-1 grid — every tier-1 workload under all eight
+/// protocols — run serially (`--jobs 1`) and with eight workers
+/// (`--jobs 8`): results must be **byte-identical**, proving the work-queue
+/// scheduler cannot perturb the simulations it hosts. Caching is off so
+/// both passes genuinely simulate.
+#[test]
+fn parallel_engine_equals_serial_engine_byte_for_byte() {
+    use ncp2_bench::engine::{tier1_grid, Engine};
+    use ncp2_bench::harness::ALL_MODE_LABELS;
+
+    let grid = tier1_grid(&ALL_MODE_LABELS);
+    let serial = Engine::new().no_cache().silent().with_jobs(1).run(&grid);
+    let parallel = Engine::new().no_cache().silent().with_jobs(8).run(&grid);
+    assert_eq!(serial.len(), grid.jobs.len());
+    assert_eq!(serial.len(), parallel.len());
+    for ((job, a), b) in grid.jobs.iter().zip(&serial).zip(&parallel) {
+        let label = &job.label;
+        assert_eq!(
+            a.result.total_cycles, b.result.total_cycles,
+            "{label}: cycle counts differ between --jobs 1 and --jobs 8"
+        );
+        assert_eq!(
+            a.result.checksum, b.result.checksum,
+            "{label}: checksums differ between --jobs 1 and --jobs 8"
+        );
+        assert_eq!(
+            a.result.nodes, b.result.nodes,
+            "{label}: node stats differ between --jobs 1 and --jobs 8"
+        );
+        assert_eq!(
+            a.result.net, b.result.net,
+            "{label}: traffic differs between --jobs 1 and --jobs 8"
+        );
+        let (ra, rb) = (
+            a.report.as_ref().expect("tier-1 jobs are observed"),
+            b.report.as_ref().expect("tier-1 jobs are observed"),
+        );
+        assert_eq!(
+            ra.to_json(),
+            rb.to_json(),
+            "{label}: metrics JSON differs between --jobs 1 and --jobs 8"
+        );
+    }
+}
+
 #[test]
 fn parameter_changes_do_not_change_results() {
     // Timing parameters must be timing-only: any data effect is a bug.
