@@ -15,6 +15,12 @@ OBS_OUT="${OBS_OUT:-target/obs-smoke}"
 cargo run --release --bin obs_report -- \
     --app TSP --mode I+P+D --nprocs 4 --out-dir "$OBS_OUT" --selfcheck
 
+# Critical-path smoke: the dependency graph must build, the conservation
+# law (critical-path length == total cycles) must hold, and the what-if
+# prediction must land inside the documented accuracy bound.
+cargo run --release --bin critpath_report -- \
+    --app TSP --no-cache --quiet --check --out "$OBS_OUT/critpath.json"
+
 # Bench trajectory: regenerate the tier-1 suite through the parallel
 # experiment engine — cache disabled so the numbers reflect the code as
 # built, never a stale cached result — and gate on regressions against the

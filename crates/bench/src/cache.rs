@@ -31,7 +31,7 @@ use ncp2_obs::{HistSummary, MetricsReport};
 
 /// Bumped whenever the serialized layout changes; part of every cache key,
 /// so stale layouts can never be misread as current ones.
-pub const FORMAT_VERSION: u64 = 1;
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Number of scalar columns in a serialized node row.
 const NODE_COLS: usize = 24;
@@ -164,6 +164,7 @@ fn report_json(r: &MetricsReport) -> String {
         "    \"categories\": [{}],\n",
         pairs(&r.categories)
     ));
+    out.push_str(&format!("    \"exposed\": [{}],\n", pairs(&r.exposed)));
     out.push_str(&format!("    \"counters\": [{}],\n", pairs(&r.counters)));
     let hists = r
         .hists
@@ -236,6 +237,7 @@ fn report_from(v: &JVal) -> Option<MetricsReport> {
         total_cycles: v.get("total_cycles")?.as_u64()?,
         conservation_ok: v.get("conservation_ok")?.as_bool()?,
         categories: pairs_from(v, "categories")?,
+        exposed: pairs_from(v, "exposed")?,
         counters: pairs_from(v, "counters")?,
         hists,
         epochs: v
@@ -402,6 +404,7 @@ mod tests {
             conservation_ok: true,
             // Non-alphabetical order must survive the round trip.
             categories: vec![("busy".into(), 1), ("data".into(), 2), ("ipc".into(), 4)],
+            exposed: vec![("busy".into(), 1), ("ipc".into(), 4)],
             counters: vec![("faults".into(), 7)],
             hists: vec![(
                 "msg_latency".into(),

@@ -235,6 +235,15 @@ impl Simulation {
         let params = self.params.clone();
         let tr = self.net.transfer_timed(t, pid, dst, bytes, &params);
         self.obs_flight(pid, dst, msg.kind(), bytes, false, t, tr.start, tr.arrival);
+        self.obs_edge(
+            crate::span::EdgeKind::Msg(msg.kind()),
+            pid,
+            t,
+            dst,
+            tr.arrival,
+            0,
+            self.obs_last_span(pid),
+        );
         let arrival = tr.arrival;
         self.nodes[pid].out_horizon[dst] = self.nodes[pid].out_horizon[dst].max(arrival);
         self.queue.push(
@@ -371,6 +380,12 @@ impl Simulation {
                     || !prefetch,
                 "prefetch join without a matching fault"
             );
+            let ekind = if prefetch {
+                crate::span::EdgeKind::PrefetchFill
+            } else {
+                crate::span::EdgeKind::FaultFill
+            };
+            self.obs_edge(ekind, dst, t, dst, mem_end, 0, self.obs_last_span(dst));
             self.schedule_wake(dst, mem_end);
         }
     }
@@ -476,6 +491,7 @@ impl Simulation {
         let mut c = t;
         for (page, home) in candidates {
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
+            self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;
             c += self.params.messaging_overhead;
             let msg = Msg::AurcPageReq {

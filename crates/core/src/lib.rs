@@ -56,7 +56,9 @@ pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
 pub use observe::{MsgKind, Observer, ProtocolEvent, Violation};
 pub use page::{PageBuf, PageId, PageState};
 pub use protocol::{OverlapMode, Protocol};
-pub use span::{CtrlCmd, Engine, EngineSpan, Flight, ObsLog, Span, SpanKind};
+pub use span::{
+    CtrlCmd, DepEdge, EdgeKind, Engine, EngineSpan, Flight, ObsLog, Span, SpanId, SpanKind,
+};
 pub use stats::{NodeStats, RunResult};
 pub use system::Simulation;
 pub use trace::{trace_csv, TraceEvent, TraceKind};

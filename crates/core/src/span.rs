@@ -184,6 +184,143 @@ pub struct Span {
     pub start: Cycles,
     /// End, simulated cycles (`end - start` is the charged duration).
     pub end: Cycles,
+    /// Charged at the *requester's* event time rather than on the node's own
+    /// local timeline (a handler whose node had already finished its
+    /// program). Detached spans still count toward breakdown conservation
+    /// but are excluded from the per-node tiling the dependency graph is
+    /// built on.
+    pub detached: bool,
+}
+
+/// Index of a [`Span`] in [`ObsLog::spans`]; [`SpanId::NONE`] marks "no span
+/// emitted yet on that node".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// Sentinel: no span recorded on the node so far.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    /// Whether this is the [`SpanId::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == SpanId::NONE
+    }
+}
+
+/// What kind of cross-activity dependency a [`DepEdge`] records.
+///
+/// *Binding* kinds ([`EdgeKind::is_binding`]) are self-edges on the waking
+/// node — from the event (last reply arrival, grant arrival, release
+/// arrival) to the scheduled wake — and are the joints the critical-path
+/// walk pivots on. `Msg` edges are the network flights feeding them; `Ctrl`
+/// and `PrefetchUse` edges annotate the graph but never carry the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Message send (injection) → receive (arrival at the NI).
+    Msg(MsgKind),
+    /// Fault-triggering event → fill completion (wake from a fault stall).
+    FaultFill,
+    /// Joined-prefetch event → fill completion (wake from a prefetch stall).
+    PrefetchFill,
+    /// Lock-grant arrival → acquirer's wake after notice processing.
+    LockGrant,
+    /// Barrier-release arrival → departure after update processing.
+    BarrierRelease,
+    /// Controller command issue → completion on a controller engine.
+    Ctrl(CtrlCmd),
+    /// Prefetch issue → first access that consumed it.
+    PrefetchUse,
+}
+
+impl EdgeKind {
+    /// Stable snake_case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Msg(k) => match k {
+                MsgKind::LockReq => "msg_lock_req",
+                MsgKind::LockForward => "msg_lock_forward",
+                MsgKind::LockGrant => "msg_lock_grant",
+                MsgKind::DiffReq => "msg_diff_req",
+                MsgKind::DiffReply => "msg_diff_reply",
+                MsgKind::BarrierArrive => "msg_barrier_arrive",
+                MsgKind::BarrierRelease => "msg_barrier_release",
+                MsgKind::AurcUpdate => "msg_aurc_update",
+                MsgKind::AurcPageReq => "msg_aurc_page_req",
+                MsgKind::AurcPageReply => "msg_aurc_page_reply",
+            },
+            EdgeKind::FaultFill => "fault_fill",
+            EdgeKind::PrefetchFill => "prefetch_fill",
+            EdgeKind::LockGrant => "lock_grant",
+            EdgeKind::BarrierRelease => "barrier_release",
+            EdgeKind::Ctrl(c) => match c {
+                CtrlCmd::Twin => "ctrl_twin",
+                CtrlCmd::DiffCreate => "ctrl_diff_create",
+                CtrlCmd::DiffApply => "ctrl_diff_apply",
+                CtrlCmd::ListWalk => "ctrl_list_walk",
+                CtrlCmd::Send => "ctrl_send",
+            },
+            EdgeKind::PrefetchUse => "prefetch_use",
+        }
+    }
+
+    /// Whether the edge binds an arrival event to the wake it schedules on
+    /// the same node (the joints the critical-path walk follows).
+    pub fn is_binding(self) -> bool {
+        matches!(
+            self,
+            EdgeKind::FaultFill
+                | EdgeKind::PrefetchFill
+                | EdgeKind::LockGrant
+                | EdgeKind::BarrierRelease
+        )
+    }
+
+    /// The breakdown category exposed edge latency is attributed under when
+    /// the edge sits on the critical path.
+    pub fn category(self) -> Category {
+        match self {
+            EdgeKind::Msg(k) => match k {
+                MsgKind::LockReq
+                | MsgKind::LockForward
+                | MsgKind::LockGrant
+                | MsgKind::BarrierArrive
+                | MsgKind::BarrierRelease => Category::Synch,
+                MsgKind::DiffReq
+                | MsgKind::DiffReply
+                | MsgKind::AurcUpdate
+                | MsgKind::AurcPageReq
+                | MsgKind::AurcPageReply => Category::Data,
+            },
+            EdgeKind::LockGrant | EdgeKind::BarrierRelease => Category::Synch,
+            EdgeKind::FaultFill | EdgeKind::PrefetchFill | EdgeKind::PrefetchUse => Category::Data,
+            EdgeKind::Ctrl(_) => Category::Ipc,
+        }
+    }
+}
+
+/// One typed dependency edge between two timed points of the execution.
+///
+/// `(src_node, src_time) → (dst_node, dst_time)`, anchored to the last span
+/// the source node had emitted when the edge was recorded (`src_span`), so
+/// no edge can dangle off activity the span log never saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// What dependency the edge records.
+    pub kind: EdgeKind,
+    /// Source node.
+    pub src_node: usize,
+    /// Event time at the source, simulated cycles.
+    pub src_time: Cycles,
+    /// Destination node.
+    pub dst_node: usize,
+    /// Event time at the destination, simulated cycles.
+    pub dst_time: Cycles,
+    /// Processor-side work folded into the edge's latency (e.g. diff-apply
+    /// cycles inside a fault-fill wait) — the portion a "hardware diffs"
+    /// what-if scenario deletes.
+    pub work: Cycles,
+    /// The last span emitted on `src_node` at recording time.
+    pub src_span: SpanId,
 }
 
 /// One controller-engine occupancy interval.
@@ -231,6 +368,8 @@ pub struct ObsLog {
     pub engine: Vec<EngineSpan>,
     /// Message flights, in injection order.
     pub flights: Vec<Flight>,
+    /// Typed dependency edges, in emission order.
+    pub edges: Vec<DepEdge>,
     /// `(node, distance)` for every completed prefetch that was later used:
     /// cycles between prefetch completion and the first access that hit it
     /// (0 when a fault joined the prefetch in flight).
@@ -286,6 +425,11 @@ pub struct ObsRecorder {
     /// Completion time of prefetches not yet consumed by an access, keyed by
     /// `(node, page)`.
     prefetch_done: HashMap<(usize, u64), Cycles>,
+    /// Issue time + anchoring span of prefetches not yet consumed, keyed by
+    /// `(node, page)` — feeds the `PrefetchUse` issue→first-use edge.
+    prefetch_issue: HashMap<(usize, u64), (Cycles, SpanId)>,
+    /// Index of the most recent span emitted per node.
+    last_span: Vec<SpanId>,
 }
 
 impl ObsRecorder {
@@ -295,12 +439,39 @@ impl ObsRecorder {
             log: ObsLog::default(),
             cur_epoch: vec![0; nprocs],
             prefetch_done: HashMap::new(),
+            prefetch_issue: HashMap::new(),
+            last_span: vec![SpanId::NONE; nprocs],
         }
     }
 
     /// Records one conserved processor span; zero-duration charges are
     /// dropped (they contribute nothing to the breakdown either).
     pub fn span(&mut self, node: usize, kind: SpanKind, cat: Category, start: Cycles, dur: Cycles) {
+        self.push_span(node, kind, cat, start, dur, false);
+    }
+
+    /// Records a span charged off the node's own timeline (see
+    /// [`Span::detached`]).
+    pub fn span_detached(
+        &mut self,
+        node: usize,
+        kind: SpanKind,
+        cat: Category,
+        start: Cycles,
+        dur: Cycles,
+    ) {
+        self.push_span(node, kind, cat, start, dur, true);
+    }
+
+    fn push_span(
+        &mut self,
+        node: usize,
+        kind: SpanKind,
+        cat: Category,
+        start: Cycles,
+        dur: Cycles,
+        detached: bool,
+    ) {
         if dur == 0 {
             return;
         }
@@ -312,6 +483,44 @@ impl ObsRecorder {
             cat,
             start,
             end: start + dur,
+            detached,
+        });
+        if let Some(slot) = self.last_span.get_mut(node) {
+            *slot = SpanId((self.log.spans.len() - 1) as u32);
+        }
+    }
+
+    /// The most recent span emitted on `node`, or [`SpanId::NONE`].
+    pub fn last_span(&self, node: usize) -> SpanId {
+        self.last_span.get(node).copied().unwrap_or(SpanId::NONE)
+    }
+
+    /// Records one typed dependency edge. Edges whose source node has no
+    /// recorded span yet, or that would point backwards in time, are
+    /// dropped: every kept edge is anchored and satisfies
+    /// `src_time <= dst_time`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge(
+        &mut self,
+        kind: EdgeKind,
+        src_node: usize,
+        src_time: Cycles,
+        dst_node: usize,
+        dst_time: Cycles,
+        work: Cycles,
+        src_span: SpanId,
+    ) {
+        if src_span.is_none() || src_time > dst_time {
+            return;
+        }
+        self.log.edges.push(DepEdge {
+            kind,
+            src_node,
+            src_time,
+            dst_node,
+            dst_time,
+            work,
+            src_span,
         });
     }
 
@@ -361,16 +570,28 @@ impl ObsRecorder {
         });
     }
 
+    /// Notes that `node` issued a prefetch of `page` at time `t`; the
+    /// anchoring span is captured now so the eventual issue→first-use edge
+    /// references the activity that issued it.
+    pub fn prefetch_issued(&mut self, node: usize, page: u64, t: Cycles) {
+        let sid = self.last_span(node);
+        self.prefetch_issue.insert((node, page), (t, sid));
+    }
+
     /// Notes that a prefetch of `page` completed at `node` at time `t`.
     pub fn prefetch_done(&mut self, node: usize, page: u64, t: Cycles) {
         self.prefetch_done.insert((node, page), t);
     }
 
     /// Notes that an access at `node` consumed a completed prefetch of
-    /// `page` at time `t`; records the completion-to-use distance.
+    /// `page` at time `t`; records the completion-to-use distance and the
+    /// issue→first-use dependency edge.
     pub fn prefetch_used(&mut self, node: usize, page: u64, t: Cycles) {
         if let Some(done) = self.prefetch_done.remove(&(node, page)) {
             self.log.prefetch_use.push((node, t.saturating_sub(done)));
+        }
+        if let Some((issue, sid)) = self.prefetch_issue.remove(&(node, page)) {
+            self.edge(EdgeKind::PrefetchUse, node, issue, node, t, 0, sid);
         }
     }
 
@@ -398,6 +619,105 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), SpanKind::ALL.len());
+    }
+
+    #[test]
+    fn edge_labels_are_distinct() {
+        use crate::observe::MsgKind;
+        let kinds = [
+            EdgeKind::Msg(MsgKind::LockReq),
+            EdgeKind::Msg(MsgKind::LockForward),
+            EdgeKind::Msg(MsgKind::LockGrant),
+            EdgeKind::Msg(MsgKind::DiffReq),
+            EdgeKind::Msg(MsgKind::DiffReply),
+            EdgeKind::Msg(MsgKind::BarrierArrive),
+            EdgeKind::Msg(MsgKind::BarrierRelease),
+            EdgeKind::Msg(MsgKind::AurcUpdate),
+            EdgeKind::Msg(MsgKind::AurcPageReq),
+            EdgeKind::Msg(MsgKind::AurcPageReply),
+            EdgeKind::FaultFill,
+            EdgeKind::PrefetchFill,
+            EdgeKind::LockGrant,
+            EdgeKind::BarrierRelease,
+            EdgeKind::Ctrl(CtrlCmd::Twin),
+            EdgeKind::Ctrl(CtrlCmd::DiffCreate),
+            EdgeKind::Ctrl(CtrlCmd::DiffApply),
+            EdgeKind::Ctrl(CtrlCmd::ListWalk),
+            EdgeKind::Ctrl(CtrlCmd::Send),
+            EdgeKind::PrefetchUse,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn edges_require_an_anchor_and_forward_time() {
+        use crate::observe::MsgKind;
+        let mut r = ObsRecorder::new(2);
+        // No span on node 0 yet: the edge is dropped.
+        r.edge(
+            EdgeKind::Msg(MsgKind::DiffReq),
+            0,
+            10,
+            1,
+            20,
+            0,
+            r.last_span(0),
+        );
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 10);
+        // Backwards in time: dropped.
+        r.edge(
+            EdgeKind::Msg(MsgKind::DiffReq),
+            0,
+            30,
+            1,
+            20,
+            0,
+            r.last_span(0),
+        );
+        // Anchored and forward: kept.
+        r.edge(
+            EdgeKind::Msg(MsgKind::DiffReq),
+            0,
+            10,
+            1,
+            20,
+            0,
+            r.last_span(0),
+        );
+        let log = r.into_log();
+        assert_eq!(log.edges.len(), 1);
+        assert_eq!(log.edges[0].src_span, SpanId(0));
+        assert_eq!(log.edges[0].dst_time, 20);
+    }
+
+    #[test]
+    fn detached_spans_are_flagged_but_still_conserved() {
+        let mut r = ObsRecorder::new(1);
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 10);
+        r.span_detached(0, SpanKind::Service, Category::Ipc, 50, 5);
+        let log = r.into_log();
+        assert!(!log.spans[0].detached);
+        assert!(log.spans[1].detached);
+        let mut st = NodeStats::default();
+        st.breakdown.add(Category::Busy, 10);
+        st.breakdown.add(Category::Ipc, 5);
+        assert!(log.conservation_errors(&[st]).is_empty());
+    }
+
+    #[test]
+    fn prefetch_issue_to_use_becomes_an_edge() {
+        let mut r = ObsRecorder::new(1);
+        r.span(0, SpanKind::Compute, Category::Busy, 0, 10);
+        r.prefetch_issued(0, 7, 10);
+        r.prefetch_done(0, 7, 100);
+        r.prefetch_used(0, 7, 160);
+        let log = r.into_log();
+        assert_eq!(log.edges.len(), 1);
+        assert_eq!(log.edges[0].kind, EdgeKind::PrefetchUse);
+        assert_eq!((log.edges[0].src_time, log.edges[0].dst_time), (10, 160));
     }
 
     #[test]

@@ -266,6 +266,15 @@ impl Simulation {
             acquirer,
             crate::trace::TraceKind::LockAcquired { lock },
         );
+        self.obs_edge(
+            crate::span::EdgeKind::LockGrant,
+            acquirer,
+            t,
+            acquirer,
+            wake,
+            0,
+            self.obs_last_span(acquirer),
+        );
         self.schedule_wake(acquirer, wake);
     }
 
@@ -356,6 +365,15 @@ impl Simulation {
         self.nodes[pid].stats.barriers += 1;
         let wake = end.max(update_horizon);
         self.record(wake, pid, crate::trace::TraceKind::BarrierReleased);
+        self.obs_edge(
+            crate::span::EdgeKind::BarrierRelease,
+            pid,
+            t,
+            pid,
+            wake,
+            0,
+            self.obs_last_span(pid),
+        );
         self.schedule_wake(pid, wake);
     }
 

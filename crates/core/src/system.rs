@@ -24,7 +24,7 @@ use crate::interval::IntervalStore;
 use crate::msg::Msg;
 use crate::page::{page_of, PageBuf, PageId, PageState};
 use crate::protocol::Protocol;
-use crate::span::{CtrlCmd, Engine, SpanKind};
+use crate::span::{CtrlCmd, EdgeKind, Engine, SpanId, SpanKind};
 use crate::stats::{NodeStats, RunResult};
 use crate::vtime::{IntervalId, VectorTime};
 
@@ -507,6 +507,96 @@ impl Simulation {
     #[inline(always)]
     pub(crate) fn obs_epoch(&mut self, _node: usize) {}
 
+    /// Records one span charged off the node's own timeline (see
+    /// [`crate::span::Span::detached`]).
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_span_detached(
+        &mut self,
+        node: usize,
+        kind: SpanKind,
+        cat: Category,
+        start: Cycles,
+        dur: Cycles,
+    ) {
+        if let Some(r) = self.obs.as_mut() {
+            r.span_detached(node, kind, cat, start, dur);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_span_detached(
+        &mut self,
+        _node: usize,
+        _kind: SpanKind,
+        _cat: Category,
+        _start: Cycles,
+        _dur: Cycles,
+    ) {
+    }
+
+    /// The most recent span recorded on `node` — the anchor every dependency
+    /// edge must reference (enforced by the `xtask lint` edge-site rule and
+    /// by [`crate::span::ObsRecorder::edge`] dropping unanchored edges).
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_last_span(&self, node: usize) -> SpanId {
+        self.obs
+            .as_ref()
+            .map(|r| r.last_span(node))
+            .unwrap_or(SpanId::NONE)
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_last_span(&self, _node: usize) -> SpanId {
+        SpanId::NONE
+    }
+
+    /// Records one typed dependency edge.
+    #[cfg(feature = "obs")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn obs_edge(
+        &mut self,
+        kind: EdgeKind,
+        src_node: usize,
+        src_time: Cycles,
+        dst_node: usize,
+        dst_time: Cycles,
+        work: Cycles,
+        src_span: SpanId,
+    ) {
+        if let Some(r) = self.obs.as_mut() {
+            r.edge(kind, src_node, src_time, dst_node, dst_time, work, src_span);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn obs_edge(
+        &mut self,
+        _kind: EdgeKind,
+        _src_node: usize,
+        _src_time: Cycles,
+        _dst_node: usize,
+        _dst_time: Cycles,
+        _work: Cycles,
+        _src_span: SpanId,
+    ) {
+    }
+
+    /// Notes an issued prefetch (anchors the eventual issue→first-use edge).
+    #[cfg(feature = "obs")]
+    pub(crate) fn obs_prefetch_issued(&mut self, node: usize, page: PageId, t: Cycles) {
+        if let Some(r) = self.obs.as_mut() {
+            r.prefetch_issued(node, page, t);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn obs_prefetch_issued(&mut self, _node: usize, _page: PageId, _t: Cycles) {}
+
     /// Forwards one event to the attached observer, if any.
     #[cfg(feature = "verify")]
     pub(crate) fn emit(&mut self, ev: crate::observe::ProtocolEvent) {
@@ -765,7 +855,10 @@ impl Simulation {
             }
             ProcStatus::Done => {
                 nd.stats.breakdown.add(cat, dur);
-                self.obs_span(pid, kind, cat, now, dur);
+                // Charged at the requester's event time: the node's own
+                // timeline already ended, so the span would puncture the
+                // per-node tiling the dependency graph is built on.
+                self.obs_span_detached(pid, kind, cat, now, dur);
             }
         }
         now + dur
@@ -815,6 +908,15 @@ impl Simulation {
             tr.start,
             tr.arrival,
         );
+        self.obs_edge(
+            EdgeKind::Msg(msg.kind()),
+            src,
+            t,
+            dst,
+            tr.arrival,
+            0,
+            self.obs_last_span(src),
+        );
         self.queue.push(tr.arrival, prio, Ev::Msg { dst, msg });
     }
 
@@ -843,6 +945,15 @@ impl Simulation {
             crate::trace::TraceKind::ControllerCommand { cmd },
         );
         self.obs_engine(node, engine, cmd, start, end);
+        self.obs_edge(
+            EdgeKind::Ctrl(cmd),
+            node,
+            start,
+            node,
+            end,
+            0,
+            self.obs_last_span(node),
+        );
     }
 
     /// Blocks `pid` with the given wait reason.

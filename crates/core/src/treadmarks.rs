@@ -628,8 +628,17 @@ impl Simulation {
         };
         let (got_diffs, got_page, ready_at) = ready;
         let requested = std::mem::take(&mut self.tm_page(dst, page).pending);
-        let end =
+        let (end, cpu) =
             self.tm_apply_collected(dst, page, got_diffs, got_page, ready_at, &requested, false);
+        self.obs_edge(
+            crate::span::EdgeKind::FaultFill,
+            dst,
+            t,
+            dst,
+            end,
+            cpu,
+            self.obs_last_span(dst),
+        );
         self.schedule_wake(dst, end);
     }
 
@@ -662,7 +671,7 @@ impl Simulation {
             // invariant: a prefetch reply matches the outstanding prefetch
             // record that produced the request
             .expect("prefetch state");
-        let end = self.tm_apply_collected(
+        let (end, cpu) = self.tm_apply_collected(
             dst,
             page,
             ps.diffs,
@@ -680,6 +689,15 @@ impl Simulation {
         if ps.joined {
             // Zero prefetch-to-use distance: a fault was already waiting.
             self.obs_prefetch_used(dst, page, end);
+            self.obs_edge(
+                crate::span::EdgeKind::PrefetchFill,
+                dst,
+                t,
+                dst,
+                end,
+                cpu,
+                self.obs_last_span(dst),
+            );
             self.schedule_wake(dst, end);
         } else {
             self.tm_page(dst, page).prefetched_unused = true;
@@ -688,7 +706,8 @@ impl Simulation {
 
     /// Applies a collected set of diffs (and optionally a whole page) to
     /// `pid`'s copy in causal order, charging the right engine. Returns the
-    /// completion time.
+    /// completion time and the diff-apply work (cycles) folded into it — the
+    /// portion a "hardware diffs" what-if scenario deletes from the fill.
     #[allow(clippy::too_many_arguments)]
     fn tm_apply_collected(
         &mut self,
@@ -699,7 +718,7 @@ impl Simulation {
         start: Cycles,
         satisfied: &[(usize, IntervalId)],
         prefetch_ctx: bool,
-    ) -> Cycles {
+    ) -> (Cycles, Cycles) {
         let params = self.params.clone();
         let mode = self.mode();
         let mut mem_words: u64 = 0;
@@ -784,7 +803,7 @@ impl Simulation {
             .invalidate_page(base, params.page_bytes);
         // Timing.
         let scattered = params.mem_scattered(mem_words.max(1));
-        if mode.offload() {
+        let end = if mode.offload() {
             let (s, e) = self.nodes[pid].ctrl.run(start, cpu);
             self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffApply, s, e);
             let (_, me) = self.nodes[pid].mem.dram.resource.reserve(s, scattered);
@@ -808,7 +827,8 @@ impl Simulation {
             let c = start + cpu;
             let (_, me) = self.nodes[pid].mem.dram.resource.reserve(c, scattered);
             me
-        }
+        };
+        (end, cpu)
     }
 
     // ----- write-notice processing and prefetch issue --------------------------
@@ -916,6 +936,7 @@ impl Simulation {
         let mut c = t;
         for page in candidates {
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
+            self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;
             let pending = self.tm_page(pid, page).pending.clone();
             let requests = self.tm_build_requests(pid, page, &pending, true);

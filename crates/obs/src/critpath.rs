@@ -1,0 +1,766 @@
+//! Critical-path extraction and the causal what-if re-executor.
+//!
+//! # The walk
+//!
+//! [`critical_path`] walks the [`ExecGraph`] *backwards* from the finishing
+//! node at `t = total`. At every position `(node, t)` it either
+//!
+//! 1. follows a **binding edge** whose wake lands exactly at `t` (fill
+//!    completion, lock grant, barrier release) back to the arrival event
+//!    that scheduled it, attributing the interval to the edge;
+//! 2. — only immediately after a binding edge — follows the **message
+//!    flight** whose arrival is that event back to its injection on the
+//!    sender, hopping nodes; or
+//! 3. consumes the node's own span chain down to the nearest interior wake
+//!    boundary, attributing the interval to the span.
+//!
+//! `t` strictly decreases at every step, so the walk terminates with the
+//! attributed segments tiling `[0, total]` exactly: the critical-path
+//! length *equals* the run's total cycles by construction, and the
+//! interesting validation is that the walk never gets stuck (possible only
+//! if the chain tiling or edge anchoring were broken). Exposed cycles are
+//! attributed per [`Category`] and per span/edge label.
+//!
+//! # Slack
+//!
+//! [`slack`] runs one backward pass over the DAG in reverse topological
+//! order and reports, for every chain span, how many cycles its completion
+//! could slip without growing the run — treating blocked-wait spans as
+//! elastic absorbers. Critical-path spans report zero.
+//!
+//! # What-if
+//!
+//! [`what_if`] re-executes the schedule with selected costs deleted (a
+//! [`Scenario`]): span durations are scaled, blocked-wait spans are
+//! *elastic* — each wake is re-derived from its binding edge by chaining
+//! the delivering flight's (re-mapped) injection time, the flight latency
+//! and the post-arrival fill tail. Spans are re-placed in global order of
+//! *effective* end time (a constrained span counts as ending at its wake,
+//! so the flight delivering the wake is already placed); times on blocked
+//! or servicing nodes re-derive recursively from the arrival chain that
+//! triggered the activity. Every re-mapped time is clamped to its measured
+//! value, so deletion scenarios never predict a slowdown, and under
+//! [`Scenario::Identity`] every mapping is exact — the re-execution
+//! reproduces the measured total *exactly*, the second conservation law
+//! the tests pin down. Flight latencies and arrival-to-action offsets not
+//! attributable to deleted work keep their measured values, which makes
+//! the predictions systematically *conservative* (lower bounds on the
+//! ablation speedup).
+
+use std::collections::HashMap;
+
+use ncp2_core::span::{EdgeKind, SpanKind};
+use ncp2_sim::{Category, Cycles};
+
+use crate::graph::{is_stall, ExecGraph};
+
+/// One attributed interval of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CritSegment {
+    /// Node the interval is attributed to (the receiver for flights).
+    pub node: usize,
+    /// Interval start, simulated cycles.
+    pub start: Cycles,
+    /// Interval end, simulated cycles.
+    pub end: Cycles,
+    /// Breakdown category the exposed cycles count under.
+    pub cat: Category,
+    /// Span-kind or edge-kind label.
+    pub label: &'static str,
+    /// Whether the interval came from a dependency edge (else a span).
+    pub edge: bool,
+}
+
+/// The extracted critical path of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritPath {
+    /// The run's total cycles; equals the sum of all segment lengths.
+    pub total: Cycles,
+    /// Path segments in forward time order, tiling `[0, total]`.
+    pub segments: Vec<CritSegment>,
+    /// Exposed cycles per category, in [`Category::ALL`] order; sums to
+    /// `total`.
+    pub exposed: Vec<(Category, Cycles)>,
+    /// Exposed cycles per span/edge label, sorted by label.
+    pub exposed_kinds: Vec<(&'static str, Cycles)>,
+}
+
+impl CritPath {
+    /// Exposed cycles for one category.
+    pub fn exposed_in(&self, cat: Category) -> Cycles {
+        self.exposed
+            .iter()
+            .find(|&&(c, _)| c == cat)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts the critical path by the backward walk described in the module
+/// docs. Errors only when the graph's tiling or edge anchoring cannot carry
+/// the walk — a conservation violation.
+pub fn critical_path(g: &ExecGraph) -> Result<CritPath, String> {
+    let mut node = (0..g.nprocs).find(|&n| g.finish(n) == g.total).unwrap_or(0);
+    let mut t = g.total;
+    let mut chain_ok = false;
+    let mut segments: Vec<CritSegment> = Vec::new();
+    let mut fuel = 4 * (g.log.spans.len() + g.log.edges.len()) + 16;
+    while t > 0 {
+        fuel -= 1;
+        if fuel == 0 {
+            return Err("critical-path walk failed to make progress".into());
+        }
+        if chain_ok {
+            // Continue the chain through the flight that delivered the
+            // arrival we just pivoted on, if its injection is on the
+            // sender's own (tiled) timeline.
+            let m = g
+                .msgs_at(node, t)
+                .iter()
+                .map(|&(_, ei)| g.edge(ei))
+                .filter(|e| e.src_time < t && e.src_time <= g.finish(e.src_node))
+                .max_by_key(|e| e.src_time);
+            if let Some(e) = m {
+                segments.push(CritSegment {
+                    node,
+                    start: e.src_time,
+                    end: t,
+                    cat: e.kind.category(),
+                    label: e.kind.label(),
+                    edge: true,
+                });
+                node = e.src_node;
+                t = e.src_time;
+                chain_ok = false;
+                continue;
+            }
+        }
+        let b = g
+            .bindings_at(node, t)
+            .iter()
+            .map(|&(_, ei)| g.edge(ei))
+            .filter(|e| e.src_time < t)
+            .max_by_key(|e| e.src_time);
+        if let Some(e) = b {
+            segments.push(CritSegment {
+                node,
+                start: e.src_time,
+                end: t,
+                cat: e.kind.category(),
+                label: e.kind.label(),
+                edge: true,
+            });
+            t = e.src_time;
+            chain_ok = true;
+            continue;
+        }
+        chain_ok = false;
+        let pos = g
+            .covering(node, t)
+            .ok_or_else(|| format!("walk stuck at node {node}, cycle {t}: no covering span"))?;
+        let s = g.span(node, pos);
+        let lo = g.max_binding_dst_in(node, s.start, t).unwrap_or(s.start);
+        segments.push(CritSegment {
+            node,
+            start: lo,
+            end: t,
+            cat: s.cat,
+            label: s.kind.label(),
+            edge: false,
+        });
+        t = lo;
+    }
+    segments.reverse();
+
+    let mut exposed: Vec<(Category, Cycles)> = Category::ALL.iter().map(|&c| (c, 0)).collect();
+    let mut by_label: HashMap<&'static str, Cycles> = HashMap::new();
+    for s in &segments {
+        let dur = s.end - s.start;
+        if let Some(slot) = exposed.iter_mut().find(|(c, _)| *c == s.cat) {
+            slot.1 += dur;
+        }
+        *by_label.entry(s.label).or_insert(0) += dur;
+    }
+    let mut exposed_kinds: Vec<(&'static str, Cycles)> = by_label.into_iter().collect();
+    exposed_kinds.sort_unstable();
+    debug_assert_eq!(
+        exposed.iter().map(|&(_, v)| v).sum::<Cycles>(),
+        g.total,
+        "critical-path segments must tile [0, total]"
+    );
+    Ok(CritPath {
+        total: g.total,
+        segments,
+        exposed,
+        exposed_kinds,
+    })
+}
+
+/// Per-span slack: `(index into the log's spans, cycles the span's
+/// completion could slip without growing the run)`. Backward relaxation
+/// sweeps (spans in decreasing end-time order) repeated to a fixpoint —
+/// mutually-servicing blocked nodes make a single topological pass
+/// impossible at span granularity. Blocked-wait successors absorb up to
+/// their own duration of slip.
+pub fn slack(g: &ExecGraph) -> Vec<(u32, Cycles)> {
+    let nv: usize = g.chains.iter().map(|c| c.len()).sum();
+    let mut shift: Vec<Cycles> = vec![0; nv];
+    for (vid, s) in shift.iter_mut().enumerate() {
+        let (_, sp) = g.vertex_span(vid as u32);
+        *s = g.total - sp.end;
+    }
+    let mut dep_from: Vec<Vec<(u32, Cycles)>> = vec![Vec::new(); nv];
+    for &(u, v, dst_time) in &g.dep_pairs {
+        dep_from[u as usize].push((v, dst_time));
+    }
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.sort_by_key(|&vid| std::cmp::Reverse(g.vertex_span(vid).1.end));
+    loop {
+        let mut changed = false;
+        for &u in &order {
+            let (node, _) = g.vertex_span(u);
+            let pos = (u - g.voff[node]) as usize;
+            let mut s = shift[u as usize];
+            if pos + 1 < g.chains[node].len() {
+                let (_, sv) = g.vertex_span(u + 1);
+                let absorb = if is_stall(sv.kind) {
+                    sv.end - sv.start
+                } else {
+                    0
+                };
+                s = s.min(shift[(u + 1) as usize] + absorb);
+            }
+            for &(v, dst_time) in &dep_from[u as usize] {
+                let (_, sv) = g.vertex_span(v);
+                let lag = sv.start.saturating_sub(dst_time);
+                s = s.min(shift[v as usize] + lag);
+            }
+            if s < shift[u as usize] {
+                shift[u as usize] = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..nv as u32)
+        .map(|vid| (g.vertex_span_index(vid), shift[vid as usize]))
+        .collect()
+}
+
+/// A cost-deletion scenario for the what-if re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// No change — must reproduce the measured total exactly.
+    Identity,
+    /// Diff work is free: twin/diff-create/diff-apply spans take zero
+    /// cycles and the diff-apply work folded into fill waits is deleted
+    /// (≈ hardware bit-vector diffs, the paper's `D` component).
+    DiffsFree,
+    /// Processor-side message handling is free: message-setup and
+    /// request-service spans take zero cycles (≈ offloading protocol
+    /// actions to the controller, the paper's `I` component).
+    OffloadFree,
+    /// Invalidated-page fills are free: fault/prefetch fill waits collapse
+    /// entirely (≈ perfect prefetching, an upper bound on `P`).
+    PerfectFill,
+    /// [`Scenario::DiffsFree`] and [`Scenario::OffloadFree`] combined
+    /// (≈ the measured `I+D` ablation).
+    DiffsOffloadFree,
+}
+
+impl Scenario {
+    /// Every scenario, in rendering order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Identity,
+        Scenario::DiffsFree,
+        Scenario::OffloadFree,
+        Scenario::PerfectFill,
+        Scenario::DiffsOffloadFree,
+    ];
+
+    /// Stable snake_case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Identity => "identity",
+            Scenario::DiffsFree => "diffs_free",
+            Scenario::OffloadFree => "offload_free",
+            Scenario::PerfectFill => "perfect_fill",
+            Scenario::DiffsOffloadFree => "diffs_offload_free",
+        }
+    }
+
+    /// Whether the scenario deletes a span kind's duration.
+    fn zeroes_span(self, k: SpanKind) -> bool {
+        match self {
+            Scenario::Identity | Scenario::PerfectFill => false,
+            Scenario::DiffsFree => {
+                matches!(
+                    k,
+                    SpanKind::Twin | SpanKind::DiffCreate | SpanKind::DiffApply
+                )
+            }
+            Scenario::OffloadFree => matches!(k, SpanKind::MsgSetup | SpanKind::Service),
+            Scenario::DiffsOffloadFree => {
+                Scenario::DiffsFree.zeroes_span(k) || Scenario::OffloadFree.zeroes_span(k)
+            }
+        }
+    }
+
+    /// Whether fill-wait processor work (`DepEdge::work`) is deleted.
+    fn kills_fill_work(self) -> bool {
+        matches!(self, Scenario::DiffsFree | Scenario::DiffsOffloadFree)
+    }
+
+    /// Whether the scenario collapses a binding edge's wait entirely.
+    fn kills_edge(self, k: EdgeKind) -> bool {
+        matches!(self, Scenario::PerfectFill)
+            && matches!(k, EdgeKind::FaultFill | EdgeKind::PrefetchFill)
+    }
+}
+
+/// The outcome of one what-if re-execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhatIf {
+    /// The scenario re-executed.
+    pub scenario: Scenario,
+    /// Predicted end-to-end cycles under the scenario.
+    pub new_total: Cycles,
+    /// Predicted speedup `total / new_total` (1.0 for an empty run).
+    pub speedup: f64,
+}
+
+/// Sentinel for a span not yet re-placed by the what-if sweep.
+const UNPLACED: Cycles = Cycles::MAX;
+
+/// Recursion budget for [`remap`]'s arrival chains: enough for request
+/// forwarding (acquire → home → owner → grant) several times over; deeper
+/// chains fall back to the measured time.
+const REMAP_DEPTH: u32 = 8;
+
+/// Maps an original time on a node to its re-executed time.
+///
+/// A time inside a blocked wait — or inside the service burst
+/// re-classified at a wait's wake — is not governed by the node's own
+/// chain position: the handler ran because a message arrived. Such times
+/// re-derive from the *arrival chain*: the latest incoming flight at or
+/// before `t` within the wait, recursively re-mapping its injection on the
+/// sender, plus the flight latency, plus the handler's measured offset
+/// after the arrival. Everywhere else the covering span's re-placed
+/// interval carries the time; identity when it has not been re-placed yet.
+/// Both paths clamp to `t` — deletion scenarios never push an event later
+/// than measured — and return exactly `t` under [`Scenario::Identity`].
+fn remap(
+    g: &ExecGraph,
+    scenario: Scenario,
+    new_start: &[Cycles],
+    new_end: &[Cycles],
+    node: usize,
+    t: Cycles,
+    depth: u32,
+) -> Cycles {
+    if t == 0 {
+        return 0;
+    }
+    // The interval between an arrival and the action it triggers is
+    // protocol handler work (request service, diff creation, reply setup),
+    // which offload scenarios delete along with the chain's service spans.
+    let handler_delta = |d: Cycles| -> Cycles {
+        if scenario.zeroes_span(SpanKind::Service) {
+            0
+        } else {
+            d
+        }
+    };
+    let Some(pos) = g.covering(node, t) else {
+        // Past the node's finish: the node only acts as a (detached)
+        // servicer of incoming messages, so re-derive from the arrival
+        // that triggered it.
+        if depth > 0 && t >= g.finish(node) {
+            if let Some(m) = g.latest_msg_before(node, t) {
+                let inject = remap(
+                    g,
+                    scenario,
+                    new_start,
+                    new_end,
+                    m.src_node,
+                    m.src_time,
+                    depth - 1,
+                );
+                let arrival = inject + (m.dst_time - m.src_time);
+                return (arrival + handler_delta(t - m.dst_time)).min(t);
+            }
+        }
+        return t;
+    };
+    let s = g.span(node, pos);
+    let handler = is_stall(s.kind) || s.kind == SpanKind::Service;
+    if handler && depth > 0 {
+        // The triggering arrival may precede the wait: a service pipeline
+        // started while runnable can complete (and inject its reply) after
+        // the node has since blocked on its own request.
+        if let Some(m) = g.latest_msg_before(node, t) {
+            let inject = remap(
+                g,
+                scenario,
+                new_start,
+                new_end,
+                m.src_node,
+                m.src_time,
+                depth - 1,
+            );
+            let arrival = inject + (m.dst_time - m.src_time);
+            return (arrival + handler_delta(t - m.dst_time)).min(t);
+        }
+    }
+    let vid = (g.voff[node] + pos as u32) as usize;
+    if new_end[vid] == UNPLACED {
+        // The covering span is still open at evaluation time (e.g. a long
+        // compute burst a handler interrupted mid-span): carry the node's
+        // progress forward from its last placed chain span, scaling the
+        // known-but-unplaced spans in the gap.
+        let mut q = pos;
+        while q > 0 && new_end[(g.voff[node] + q as u32) as usize - 1] == UNPLACED {
+            q -= 1;
+        }
+        let mapped = if q == 0 {
+            t
+        } else {
+            let pv = (g.voff[node] + q as u32) as usize - 1;
+            let mut m = new_end[pv];
+            for i in q..pos {
+                let si = g.span(node, i);
+                if !scenario.zeroes_span(si.kind) {
+                    m += si.end - si.start;
+                }
+            }
+            if !scenario.zeroes_span(s.kind) {
+                m += t - s.start;
+            }
+            m.min(t)
+        };
+        return mapped;
+    }
+    let off = if scenario.zeroes_span(s.kind) {
+        0
+    } else {
+        t - s.start
+    };
+    (new_start[vid] + off).min(new_end[vid]).min(t)
+}
+
+/// Re-executes the schedule under `scenario` (see the module docs).
+pub fn what_if(g: &ExecGraph, scenario: Scenario) -> WhatIf {
+    let nv: usize = g.chains.iter().map(|c| c.len()).sum();
+    let mut new_start: Vec<Cycles> = vec![UNPLACED; nv];
+    let mut new_end: Vec<Cycles> = vec![UNPLACED; nv];
+
+    let scaled = |vid: u32| -> Cycles {
+        let (_, s) = g.vertex_span(vid);
+        if scenario.zeroes_span(s.kind) {
+            0
+        } else {
+            s.end - s.start
+        }
+    };
+
+    // Attach each binding edge's wake constraint to its chain span: the
+    // elastic blocked-wait span when one ends the wake group, otherwise a
+    // gate on the first span the wake releases. `trailing` lists the group
+    // spans whose (scaled) durations still run between the constrained
+    // point and the wake.
+    struct Constraint {
+        edge: u32,
+        trailing: Vec<u32>,
+        /// Applies to the span's end (elastic wait) rather than its start.
+        elastic: bool,
+    }
+    let mut constraints: HashMap<u32, Vec<Constraint>> = HashMap::new();
+    for node in 0..g.nprocs {
+        for &(dst_time, ei) in g.bindings_of(node) {
+            let Some(j) = g.pos_ending_at(node, dst_time) else {
+                // The wake emitted no spans; gate whatever runs next.
+                if let Some(p) = g.pos_starting_at_or_after(node, dst_time) {
+                    let vid = g.voff[node] + p as u32;
+                    constraints.entry(vid).or_default().push(Constraint {
+                        edge: ei,
+                        trailing: Vec::new(),
+                        elastic: false,
+                    });
+                }
+                continue;
+            };
+            let vj = g.voff[node] + j as u32;
+            let sj = g.span(node, j);
+            let (vid, trailing, elastic) = if is_stall(sj.kind) {
+                (vj, Vec::new(), true)
+            } else if sj.kind == SpanKind::Service && j > 0 && is_stall(g.span(node, j - 1).kind) {
+                (vj - 1, vec![vj], true)
+            } else if sj.kind == SpanKind::Service {
+                (vj, vec![vj], false)
+            } else if j + 1 < g.chains[node].len() {
+                (vj + 1, Vec::new(), false)
+            } else {
+                continue;
+            };
+            constraints.entry(vid).or_default().push(Constraint {
+                edge: ei,
+                trailing,
+                elastic,
+            });
+        }
+    }
+
+    // The re-executed wake time a binding edge demands: the delivering
+    // flight's re-mapped injection, plus the (unscaled) flight latency,
+    // plus the post-arrival fill tail with deleted work removed.
+    let target = |ei: u32, new_start: &[Cycles], new_end: &[Cycles]| -> Cycles {
+        let e = g.edge(ei);
+        if scenario.kills_edge(e.kind) {
+            return 0;
+        }
+        let tail_full = e.dst_time - e.src_time;
+        let killed = if scenario.kills_fill_work()
+            && matches!(e.kind, EdgeKind::FaultFill | EdgeKind::PrefetchFill)
+        {
+            e.work.min(tail_full)
+        } else {
+            0
+        };
+        let tail = tail_full - killed;
+        let m = g
+            .msgs_at(e.dst_node, e.src_time)
+            .iter()
+            .map(|&(_, mi)| g.edge(mi))
+            .max_by_key(|m| m.src_time);
+        match m {
+            Some(m) => {
+                remap(
+                    g,
+                    scenario,
+                    new_start,
+                    new_end,
+                    m.src_node,
+                    m.src_time,
+                    REMAP_DEPTH,
+                ) + (m.dst_time - m.src_time)
+                    + tail
+            }
+            None => e.dst_time - killed,
+        }
+    };
+
+    // Re-place every span in global order of *effective* end time: a
+    // constrained span counts as ending at its wake, so the flight that
+    // delivers the wake — injected up to a flight latency after the stall
+    // span's own end — is already re-placed when the target is evaluated.
+    // A chain predecessor still sorts first (its effective end never
+    // exceeds its successor's, with ties broken by chain position).
+    let eff_end = |vid: u32| -> Cycles {
+        let (_, s) = g.vertex_span(vid);
+        constraints
+            .get(&vid)
+            .into_iter()
+            .flatten()
+            .map(|c| g.edge(c.edge).dst_time)
+            .fold(s.end, Cycles::max)
+    };
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.sort_by_key(|&vid| {
+        let (node, _) = g.vertex_span(vid);
+        (eff_end(vid), node, vid)
+    });
+    let empty: Vec<Constraint> = Vec::new();
+    for &vid in &order {
+        let (node, _) = g.vertex_span(vid);
+        let pos = (vid - g.voff[node]) as usize;
+        let prev_end = if pos == 0 {
+            0
+        } else {
+            new_end[(vid - 1) as usize]
+        };
+        let cons = constraints.get(&vid).unwrap_or(&empty);
+        let trail_sum = |c: &Constraint| -> Cycles { c.trailing.iter().map(|&v| scaled(v)).sum() };
+        let mut start = prev_end;
+        for c in cons.iter().filter(|c| !c.elastic) {
+            let want = target(c.edge, &new_start, &new_end).saturating_sub(trail_sum(c));
+            start = start.max(want);
+        }
+        let elastic: Vec<&Constraint> = cons.iter().filter(|c| c.elastic).collect();
+        let end = if elastic.is_empty() {
+            start + scaled(vid)
+        } else {
+            let mut end = start;
+            for c in &elastic {
+                let want = target(c.edge, &new_start, &new_end).saturating_sub(trail_sum(c));
+                end = end.max(want);
+            }
+            end
+        };
+        new_start[vid as usize] = start;
+        new_end[vid as usize] = end;
+    }
+
+    let mut new_total = 0;
+    for node in 0..g.nprocs {
+        if let Some(pos) = g.chains[node].len().checked_sub(1) {
+            new_total = new_total.max(new_end[(g.voff[node] + pos as u32) as usize]);
+        }
+    }
+    let speedup = if new_total == 0 {
+        1.0
+    } else {
+        g.total as f64 / new_total as f64
+    };
+    WhatIf {
+        scenario,
+        new_total,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncp2_core::span::{ObsLog, Span, SpanId};
+    use ncp2_core::{DepEdge, EdgeKind, MsgKind};
+
+    fn span(node: usize, kind: SpanKind, cat: Category, start: Cycles, end: Cycles) -> Span {
+        Span {
+            node,
+            epoch: 0,
+            kind,
+            cat,
+            start,
+            end,
+            detached: false,
+        }
+    }
+
+    fn edge(
+        kind: EdgeKind,
+        src_node: usize,
+        src_time: Cycles,
+        dst_node: usize,
+        dst_time: Cycles,
+        work: Cycles,
+        src_span: u32,
+    ) -> DepEdge {
+        DepEdge {
+            kind,
+            src_node,
+            src_time,
+            dst_node,
+            dst_time,
+            work,
+            src_span: SpanId(src_span),
+        }
+    }
+
+    /// Node 0 computes, sends a diff request, stalls on the fill and
+    /// finishes; node 1 computes, services the request and runs a tail.
+    fn fault_log() -> ObsLog {
+        ObsLog {
+            spans: vec![
+                span(0, SpanKind::Compute, Category::Busy, 0, 30),
+                span(0, SpanKind::MsgSetup, Category::Data, 30, 40),
+                span(0, SpanKind::FaultStall, Category::Data, 40, 100),
+                span(0, SpanKind::Compute, Category::Busy, 100, 120),
+                span(1, SpanKind::Compute, Category::Busy, 0, 60),
+                span(1, SpanKind::Service, Category::Ipc, 60, 70),
+                span(1, SpanKind::Compute, Category::Busy, 70, 90),
+            ],
+            edges: vec![
+                edge(EdgeKind::Msg(MsgKind::DiffReq), 0, 40, 1, 60, 0, 1),
+                edge(EdgeKind::Msg(MsgKind::DiffReply), 1, 70, 0, 95, 0, 5),
+                edge(EdgeKind::FaultFill, 0, 95, 0, 100, 3, 1),
+            ],
+            ..ObsLog::default()
+        }
+    }
+
+    #[test]
+    fn the_walk_tiles_the_run_and_hops_the_flight() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        let cp = critical_path(&g).expect("walk");
+        let sum: Cycles = cp.segments.iter().map(|s| s.end - s.start).sum();
+        assert_eq!(sum, 120);
+        let labels: Vec<&str> = cp.segments.iter().map(|s| s.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "compute",
+                "service",
+                "msg_diff_reply",
+                "fault_fill",
+                "compute"
+            ]
+        );
+        assert_eq!(cp.exposed_in(Category::Busy), 60 + 20);
+        assert_eq!(cp.exposed_in(Category::Ipc), 10);
+        assert_eq!(cp.exposed_in(Category::Data), 25 + 5);
+    }
+
+    #[test]
+    fn identity_reexecution_reproduces_the_total_exactly() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        let w = what_if(&g, Scenario::Identity);
+        assert_eq!(w.new_total, 120);
+        assert!((w.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffs_free_deletes_the_fill_work() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        // Wake re-derives to 70 (reply inject) + 25 (flight) + 5 - 3 (tail
+        // minus deleted apply work) = 97; the tail compute shifts with it.
+        let w = what_if(&g, Scenario::DiffsFree);
+        assert_eq!(w.new_total, 117);
+    }
+
+    #[test]
+    fn offload_free_deletes_setup_and_service() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        // Sender setup [30,40] and responder service [60,70] vanish: the
+        // request injects at 30 and lands at 50, the reply injects there
+        // and lands at 75, the wake is 80, the tail compute ends at 100.
+        let w = what_if(&g, Scenario::OffloadFree);
+        assert_eq!(w.new_total, 100);
+    }
+
+    #[test]
+    fn perfect_fill_collapses_the_stall() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        let w = what_if(&g, Scenario::PerfectFill);
+        assert_eq!(w.new_total, 90);
+        assert!((w.speedup - 120.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_is_zero_on_the_path_and_positive_off_it() {
+        let log = fault_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        let sl = slack(&g);
+        let by_span: std::collections::HashMap<u32, Cycles> = sl.into_iter().collect();
+        // The responder's service feeds the reply that gates the finishing
+        // chain: zero slack. Its tail compute ends the run 30 cycles early.
+        assert_eq!(by_span[&5], 0);
+        assert_eq!(by_span[&6], 30);
+        // The finishing chain is rigid.
+        assert_eq!(by_span[&3], 0);
+    }
+
+    #[test]
+    fn scenario_labels_are_distinct() {
+        let mut labels: Vec<&str> = Scenario::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Scenario::ALL.len());
+    }
+}

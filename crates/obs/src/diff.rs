@@ -4,7 +4,8 @@
 //! benchmark run (`BENCH_tier1.json` in the repo root is the committed
 //! trajectory baseline). [`compare`] diffs two bench files and flags every
 //! metric that got meaningfully worse: total cycles, any breakdown
-//! category, or a latency-histogram percentile.
+//! category, critical-path exposed cycles per category, or a
+//! latency-histogram percentile.
 //!
 //! "Meaningfully" means both a *relative* threshold (default 5%) and an
 //! *absolute* floor of 100 cycles, so single-cycle jitter on near-zero
@@ -107,6 +108,11 @@ pub fn compare(
                 push(format!("category/{cat}"), *ov, nv);
             }
         }
+        for (cat, ov) in &o.exposed {
+            if let Some(&(_, nv)) = n.exposed.iter().find(|(c, _)| c == cat) {
+                push(format!("exposed/{cat}"), *ov, nv);
+            }
+        }
         for (hname, oh) in &o.hists {
             if let Some(nh) = n.hist(hname) {
                 push(format!("hist/{hname}/p50"), oh.p50, nh.p50);
@@ -149,6 +155,7 @@ mod tests {
             total_cycles: total,
             conservation_ok: true,
             categories: vec![("busy".into(), 10_000), ("ipc".into(), ipc)],
+            exposed: vec![("busy".into(), 9_000), ("ipc".into(), ipc)],
             counters: vec![("faults".into(), 3)],
             hists: vec![(
                 "msg_latency".into(),
@@ -192,6 +199,7 @@ mod tests {
         let regs = compare(&old, &new, 5.0);
         let metrics: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
         assert!(metrics.contains(&"category/ipc"), "{metrics:?}");
+        assert!(metrics.contains(&"exposed/ipc"), "{metrics:?}");
         assert!(metrics.contains(&"hist/msg_latency/p99"), "{metrics:?}");
     }
 

@@ -1,0 +1,475 @@
+//! The execution-dependency graph behind the critical-path analyzer.
+//!
+//! [`ExecGraph::build`] turns one observed run ([`ObsLog`]) into a validated
+//! dependency DAG over two ingredient sets:
+//!
+//! * **Per-node span chains** — every non-detached [`Span`] of a node,
+//!   sorted by start time. The chains must *tile*: the first span starts at
+//!   cycle 0, every later span starts exactly where its predecessor ended,
+//!   and the longest chain ends exactly at the run's total cycle count —
+//!   the span-conservation law extended onto the time axis.
+//! * **Typed dependency edges** — the [`DepEdge`]s the simulation emitted:
+//!   message flights, fill/grant/release bindings, controller commands and
+//!   prefetch issue→use annotations. Every edge must be anchored to a span
+//!   of its source node and point forward in time; *binding* edges must be
+//!   self-edges that wake the node within its own chain.
+//!
+//! Build finishes with a Kahn topological sort over the *event points* the
+//! edges touch (per-node time order plus the dependency edges themselves)
+//! and fails on any cycle. Spans are too coarse a granularity for this
+//! check: two nodes blocked at overlapping times that service each other's
+//! requests legitimately exchange edges in both directions between the same
+//! pair of stall spans, while the underlying timed events stay strictly
+//! ordered. At event granularity a cycle can only come from zero-latency
+//! edges chasing each other at one instant — exactly the degenerate case
+//! the walk in [`crate::critpath`] must be protected from.
+
+use ncp2_core::span::{DepEdge, EdgeKind, ObsLog, Span, SpanKind};
+use ncp2_sim::Cycles;
+
+/// Whether a span kind is a *blocked-wait* span: elastic in the what-if
+/// re-execution (it shrinks or grows with the wake it is waiting for) and
+/// the canvas binding edges draw their wakes on.
+pub(crate) fn is_stall(k: SpanKind) -> bool {
+    matches!(
+        k,
+        SpanKind::FaultStall
+            | SpanKind::PrefetchStall
+            | SpanKind::LockStall
+            | SpanKind::BarrierStall
+    )
+}
+
+/// A validated execution-dependency graph over one observed run.
+#[derive(Debug)]
+pub struct ExecGraph<'a> {
+    /// The underlying log.
+    pub log: &'a ObsLog,
+    /// Processors in the run.
+    pub nprocs: usize,
+    /// End-to-end running time, cycles; equals the longest chain's end.
+    pub total: Cycles,
+    /// Per-node span chains: indices into `log.spans`, tiling `[0, finish]`.
+    pub(crate) chains: Vec<Vec<u32>>,
+    /// Per-node end of the last chain span (0 for an empty chain).
+    pub(crate) finish: Vec<Cycles>,
+    /// Binding edges per destination node, `(dst_time, edge index)` sorted.
+    bindings: Vec<Vec<(Cycles, u32)>>,
+    /// Message edges per destination node, `(dst_time, edge index)` sorted.
+    msgs: Vec<Vec<(Cycles, u32)>>,
+    /// Global chain-vertex id of the first span of each node.
+    pub(crate) voff: Vec<u32>,
+    /// Dependency edges mapped onto chain vertices:
+    /// `(src vertex, dst vertex, dst_time)`.
+    pub(crate) dep_pairs: Vec<(u32, u32, Cycles)>,
+}
+
+impl<'a> ExecGraph<'a> {
+    /// Builds and validates the graph. Errors describe the first violated
+    /// invariant: broken tiling, a dangling or backwards edge, a chain that
+    /// disagrees with `total`, or a dependency cycle.
+    pub fn build(log: &'a ObsLog, nprocs: usize, total: Cycles) -> Result<Self, String> {
+        let mut chains: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+        for (i, s) in log.spans.iter().enumerate() {
+            if s.node >= nprocs {
+                return Err(format!("span {i} on node {} but nprocs={nprocs}", s.node));
+            }
+            if s.end <= s.start {
+                return Err(format!("span {i} is empty or backwards"));
+            }
+            if !s.detached {
+                chains[s.node].push(i as u32);
+            }
+        }
+        for ch in &mut chains {
+            ch.sort_by_key(|&i| log.spans[i as usize].start);
+        }
+        let mut finish = vec![0; nprocs];
+        for (n, ch) in chains.iter().enumerate() {
+            let mut prev_end = 0;
+            for &i in ch {
+                let s = &log.spans[i as usize];
+                if s.start != prev_end {
+                    return Err(format!(
+                        "node {n}: span tiling broken at cycle {prev_end} \
+                         (next span starts at {})",
+                        s.start
+                    ));
+                }
+                prev_end = s.end;
+            }
+            finish[n] = prev_end;
+        }
+        let max_finish = finish.iter().copied().max().unwrap_or(0);
+        if max_finish != total {
+            return Err(format!(
+                "longest span chain ends at {max_finish} but the run took {total} cycles"
+            ));
+        }
+
+        let mut bindings: Vec<Vec<(Cycles, u32)>> = vec![Vec::new(); nprocs];
+        let mut msgs: Vec<Vec<(Cycles, u32)>> = vec![Vec::new(); nprocs];
+        for (ei, e) in log.edges.iter().enumerate() {
+            if e.src_node >= nprocs || e.dst_node >= nprocs {
+                return Err(format!("edge {ei} references a node out of range"));
+            }
+            if e.src_time > e.dst_time {
+                return Err(format!("edge {ei} points backwards in time"));
+            }
+            if e.src_span.is_none() || e.src_span.0 as usize >= log.spans.len() {
+                return Err(format!("edge {ei} has no anchoring span"));
+            }
+            if log.spans[e.src_span.0 as usize].node != e.src_node {
+                return Err(format!(
+                    "edge {ei} is anchored to a span of node {} but sourced at node {}",
+                    log.spans[e.src_span.0 as usize].node, e.src_node
+                ));
+            }
+            if e.kind.is_binding() {
+                if e.src_node != e.dst_node {
+                    return Err(format!("binding edge {ei} is not a self-edge"));
+                }
+                if e.dst_time > finish[e.dst_node] {
+                    return Err(format!(
+                        "binding edge {ei} wakes node {} at {} past its chain end {}",
+                        e.dst_node, e.dst_time, finish[e.dst_node]
+                    ));
+                }
+                bindings[e.dst_node].push((e.dst_time, ei as u32));
+            } else if matches!(e.kind, EdgeKind::Msg(_)) {
+                msgs[e.dst_node].push((e.dst_time, ei as u32));
+            }
+        }
+        for v in bindings.iter_mut().chain(msgs.iter_mut()) {
+            v.sort_unstable();
+        }
+
+        let mut voff = Vec::with_capacity(nprocs);
+        let mut off: u32 = 0;
+        for ch in &chains {
+            voff.push(off);
+            off += ch.len() as u32;
+        }
+        let mut g = ExecGraph {
+            log,
+            nprocs,
+            total,
+            chains,
+            finish,
+            bindings,
+            msgs,
+            voff,
+            dep_pairs: Vec::new(),
+        };
+        g.check_acyclic()?;
+        g.map_dep_pairs();
+        Ok(g)
+    }
+
+    /// Kahn topological sort at *event-point* granularity: one vertex per
+    /// distinct `(node, time)` an edge touches, chained in per-node time
+    /// order, plus the dependency edges themselves. Fails on any cycle.
+    fn check_acyclic(&self) -> Result<(), String> {
+        let mut points: Vec<Vec<Cycles>> = vec![Vec::new(); self.nprocs];
+        for e in &self.log.edges {
+            points[e.src_node].push(e.src_time);
+            points[e.dst_node].push(e.dst_time);
+        }
+        let mut poff = Vec::with_capacity(self.nprocs);
+        let mut nv: usize = 0;
+        for p in &mut points {
+            p.sort_unstable();
+            p.dedup();
+            poff.push(nv);
+            nv += p.len();
+        }
+        let pid = |node: usize, t: Cycles| -> usize {
+            poff[node] + points[node].partition_point(|&x| x < t)
+        };
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        let mut indeg: Vec<u32> = vec![0; nv];
+        for (n, p) in points.iter().enumerate() {
+            for i in 1..p.len() {
+                let u = poff[n] + i - 1;
+                adj[u].push((u + 1) as u32);
+                indeg[u + 1] += 1;
+            }
+        }
+        for e in &self.log.edges {
+            let (u, v) = (pid(e.src_node, e.src_time), pid(e.dst_node, e.dst_time));
+            if u == v {
+                continue;
+            }
+            adj[u].push(v as u32);
+            indeg[v] += 1;
+        }
+        let mut stack: Vec<usize> = (0..nv).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                let v = v as usize;
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen != nv {
+            return Err("dependency graph has a cycle among same-instant events".into());
+        }
+        Ok(())
+    }
+
+    /// Maps every dependency edge onto the chain spans containing its
+    /// endpoints, for the slack pass in [`crate::critpath`].
+    fn map_dep_pairs(&mut self) {
+        let mut dep_pairs = Vec::new();
+        for e in &self.log.edges {
+            let (u, v) = match (
+                self.vertex_before(e.src_node, e.src_time),
+                self.vertex_after(e.dst_node, e.dst_time),
+            ) {
+                (Some(u), Some(v)) => (u, v),
+                _ => continue,
+            };
+            if u == v {
+                continue;
+            }
+            dep_pairs.push((u, v, e.dst_time));
+        }
+        self.dep_pairs = dep_pairs;
+    }
+
+    /// The chain vertex whose span was running up to time `t` on `node`
+    /// (last span starting strictly before `t`; the first span for `t = 0`).
+    fn vertex_before(&self, node: usize, t: Cycles) -> Option<u32> {
+        let ch = &self.chains[node];
+        if ch.is_empty() {
+            return None;
+        }
+        let pos = ch.partition_point(|&i| self.log.spans[i as usize].start < t);
+        Some(self.voff[node] + pos.saturating_sub(1) as u32)
+    }
+
+    /// The chain vertex first affected after time `t` on `node` (first span
+    /// ending strictly after `t`; the last span when `t` is at or past the
+    /// chain end).
+    fn vertex_after(&self, node: usize, t: Cycles) -> Option<u32> {
+        let ch = &self.chains[node];
+        if ch.is_empty() {
+            return None;
+        }
+        let pos = ch.partition_point(|&i| self.log.spans[i as usize].end <= t);
+        Some(self.voff[node] + pos.min(ch.len() - 1) as u32)
+    }
+
+    /// The span behind a chain position.
+    pub(crate) fn span(&self, node: usize, pos: usize) -> &Span {
+        &self.log.spans[self.chains[node][pos] as usize]
+    }
+
+    /// The span behind a global chain-vertex id, with its node.
+    pub(crate) fn vertex_span(&self, vid: u32) -> (usize, &Span) {
+        let node = self.voff.partition_point(|&o| o <= vid) - 1;
+        (node, self.span(node, (vid - self.voff[node]) as usize))
+    }
+
+    /// Index of the log span behind a global chain-vertex id.
+    pub(crate) fn vertex_span_index(&self, vid: u32) -> u32 {
+        let node = self.voff.partition_point(|&o| o <= vid) - 1;
+        self.chains[node][(vid - self.voff[node]) as usize]
+    }
+
+    /// End of `node`'s span chain.
+    pub fn finish(&self, node: usize) -> Cycles {
+        self.finish[node]
+    }
+
+    /// Chain position of the span covering `(t-1, t]` on `node`, if any.
+    pub(crate) fn covering(&self, node: usize, t: Cycles) -> Option<usize> {
+        let ch = &self.chains[node];
+        let pos = ch.partition_point(|&i| self.log.spans[i as usize].start < t);
+        if pos == 0 {
+            return None;
+        }
+        (self.log.spans[ch[pos - 1] as usize].end >= t).then(|| pos - 1)
+    }
+
+    /// Chain position of the span ending exactly at `t` on `node`, if any.
+    pub(crate) fn pos_ending_at(&self, node: usize, t: Cycles) -> Option<usize> {
+        let ch = &self.chains[node];
+        let pos = ch.partition_point(|&i| self.log.spans[i as usize].end < t);
+        (pos < ch.len() && self.log.spans[ch[pos] as usize].end == t).then_some(pos)
+    }
+
+    /// Chain position of the first span starting at or after `t`, if any.
+    pub(crate) fn pos_starting_at_or_after(&self, node: usize, t: Cycles) -> Option<usize> {
+        let ch = &self.chains[node];
+        let pos = ch.partition_point(|&i| self.log.spans[i as usize].start < t);
+        (pos < ch.len()).then_some(pos)
+    }
+
+    fn edges_at(list: &[(Cycles, u32)], t: Cycles) -> &[(Cycles, u32)] {
+        let lo = list.partition_point(|&(dt, _)| dt < t);
+        let hi = list.partition_point(|&(dt, _)| dt <= t);
+        &list[lo..hi]
+    }
+
+    /// Binding edges waking `node` exactly at `t`.
+    pub(crate) fn bindings_at(&self, node: usize, t: Cycles) -> &[(Cycles, u32)] {
+        Self::edges_at(&self.bindings[node], t)
+    }
+
+    /// All binding edges waking `node`, `(dst_time, edge index)` sorted.
+    pub(crate) fn bindings_of(&self, node: usize) -> &[(Cycles, u32)] {
+        &self.bindings[node]
+    }
+
+    /// Message edges arriving at `node` exactly at `t`.
+    pub(crate) fn msgs_at(&self, node: usize, t: Cycles) -> &[(Cycles, u32)] {
+        Self::edges_at(&self.msgs[node], t)
+    }
+
+    /// The latest message edge arriving at `node` at or before `t`, if any
+    /// — the incoming request that drove the node's activity at time `t`
+    /// while it was blocked or servicing.
+    pub(crate) fn latest_msg_before(&self, node: usize, t: Cycles) -> Option<&DepEdge> {
+        let list = &self.msgs[node];
+        let idx = list.partition_point(|&(dt, _)| dt <= t);
+        (idx > 0).then(|| self.edge(list[idx - 1].1))
+    }
+
+    /// Largest binding-edge wake time on `node` strictly inside `(lo, hi)`.
+    pub(crate) fn max_binding_dst_in(&self, node: usize, lo: Cycles, hi: Cycles) -> Option<Cycles> {
+        let list = &self.bindings[node];
+        let idx = list.partition_point(|&(dt, _)| dt < hi);
+        if idx == 0 {
+            return None;
+        }
+        let dt = list[idx - 1].0;
+        (dt > lo).then_some(dt)
+    }
+
+    /// A dependency edge by index.
+    pub(crate) fn edge(&self, idx: u32) -> &DepEdge {
+        &self.log.edges[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncp2_core::span::{Span, SpanId};
+    use ncp2_core::{DepEdge, EdgeKind, MsgKind};
+    use ncp2_sim::Category;
+
+    fn span(node: usize, kind: SpanKind, cat: Category, start: Cycles, end: Cycles) -> Span {
+        Span {
+            node,
+            epoch: 0,
+            kind,
+            cat,
+            start,
+            end,
+            detached: false,
+        }
+    }
+
+    fn edge(
+        kind: EdgeKind,
+        src_node: usize,
+        src_time: Cycles,
+        dst_node: usize,
+        dst_time: Cycles,
+        src_span: u32,
+    ) -> DepEdge {
+        DepEdge {
+            kind,
+            src_node,
+            src_time,
+            dst_node,
+            dst_time,
+            work: 0,
+            src_span: SpanId(src_span),
+        }
+    }
+
+    fn two_node_log() -> ObsLog {
+        ObsLog {
+            spans: vec![
+                span(0, SpanKind::Compute, Category::Busy, 0, 30),
+                span(0, SpanKind::MsgSetup, Category::Data, 30, 40),
+                span(0, SpanKind::FaultStall, Category::Data, 40, 100),
+                span(0, SpanKind::Compute, Category::Busy, 100, 120),
+                span(1, SpanKind::Compute, Category::Busy, 0, 60),
+                span(1, SpanKind::Service, Category::Ipc, 60, 70),
+            ],
+            edges: vec![
+                edge(EdgeKind::Msg(MsgKind::DiffReq), 0, 40, 1, 60, 1),
+                edge(EdgeKind::Msg(MsgKind::DiffReply), 1, 70, 0, 95, 5),
+                edge(EdgeKind::FaultFill, 0, 95, 0, 100, 1),
+            ],
+            ..ObsLog::default()
+        }
+    }
+
+    #[test]
+    fn a_tiled_log_builds_and_is_acyclic() {
+        let log = two_node_log();
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        assert_eq!(g.finish(0), 120);
+        assert_eq!(g.finish(1), 70);
+        assert_eq!(g.dep_pairs.len(), 3);
+        assert_eq!(g.bindings_at(0, 100).len(), 1);
+        assert_eq!(g.msgs_at(0, 95).len(), 1);
+        assert_eq!(g.covering(0, 100), Some(2));
+        assert_eq!(g.covering(0, 0), None);
+        assert_eq!(g.pos_ending_at(0, 100), Some(2));
+        assert_eq!(g.max_binding_dst_in(0, 40, 120), Some(100));
+        assert_eq!(g.max_binding_dst_in(0, 100, 120), None);
+    }
+
+    #[test]
+    fn detached_spans_are_excluded_from_chains() {
+        let mut log = two_node_log();
+        log.spans.push(Span {
+            detached: true,
+            ..span(1, SpanKind::Service, Category::Ipc, 300, 310)
+        });
+        let g = ExecGraph::build(&log, 2, 120).expect("build");
+        assert_eq!(g.finish(1), 70);
+    }
+
+    #[test]
+    fn a_tiling_gap_is_rejected() {
+        let mut log = two_node_log();
+        log.spans[3].start = 101; // gap after the fault stall
+        let err = ExecGraph::build(&log, 2, 121).unwrap_err();
+        assert!(err.contains("tiling"), "{err}");
+    }
+
+    #[test]
+    fn a_total_mismatch_is_rejected() {
+        let log = two_node_log();
+        let err = ExecGraph::build(&log, 2, 130).unwrap_err();
+        assert!(err.contains("130"), "{err}");
+    }
+
+    #[test]
+    fn a_wrong_node_anchor_is_rejected() {
+        let mut log = two_node_log();
+        log.edges[0].src_span = SpanId(4); // span of node 1, edge sourced at node 0
+        let err = ExecGraph::build(&log, 2, 120).unwrap_err();
+        assert!(err.contains("anchored"), "{err}");
+    }
+
+    #[test]
+    fn a_non_self_binding_edge_is_rejected() {
+        let mut log = two_node_log();
+        log.edges[2].src_node = 1;
+        log.edges[2].src_span = SpanId(4);
+        let err = ExecGraph::build(&log, 2, 120).unwrap_err();
+        assert!(err.contains("self-edge"), "{err}");
+    }
+}

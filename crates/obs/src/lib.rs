@@ -10,9 +10,16 @@
 //!   protocol counters, histogram percentiles, per-barrier-epoch timeline)
 //!   with a byte-deterministic JSON encoding;
 //! * [`perfetto::perfetto_json`] — a Chrome/Perfetto `trace_event` export
-//!   with one track per processor, controller engine and network link;
+//!   with one track per processor, controller engine and network link,
+//!   plus flow arrows over the dependency edges;
+//! * [`graph::ExecGraph`] — the validated execution-dependency DAG (span
+//!   chains + typed dependency edges) behind the critical-path analyzer;
+//! * [`critpath`] — critical-path extraction (whose length provably equals
+//!   the run's total cycles), per-span slack, and the causal what-if
+//!   re-executor predicting ablation speedups;
 //! * [`diff`] — the `cargo xtask bench-diff` regression pipeline: write a
-//!   bench file of reports, compare two files, flag regressions.
+//!   bench file of reports, compare two files, flag regressions (including
+//!   per-category exposed-cycle growth on the critical path).
 //!
 //! Everything here is pure data transformation over **simulated cycles**:
 //! no wall-clock sources, no host-dependent iteration orders, so repeated
@@ -23,13 +30,17 @@
 //! until [`Simulation::enable_obs`](ncp2_core::Simulation::enable_obs) is
 //! called.
 
+pub mod critpath;
 pub mod diff;
+pub mod graph;
 pub mod hist;
 pub mod json;
 pub mod perfetto;
 pub mod report;
 
+pub use critpath::{critical_path, slack, what_if, CritPath, CritSegment, Scenario, WhatIf};
 pub use diff::{compare, parse_bench, write_bench, Regression};
+pub use graph::ExecGraph;
 pub use hist::LogHistogram;
 pub use perfetto::perfetto_json;
 pub use report::{HistSummary, MetricsReport};

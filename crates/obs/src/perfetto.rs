@@ -9,6 +9,10 @@
 //! * one `network` process with one thread per directed link pair actually
 //!   used, carrying message flights (duration = injection to arrival, with
 //!   queueing delay in the args);
+//! * flow arrows (`ph` `"s"`/`"f"` pairs) over the causal dependency
+//!   edges — message send→receive, lock release→acquire and barrier
+//!   last-arrival→departure — so the UI draws the cross-processor causal
+//!   chains the critical-path analyzer walks;
 //! * instant events from the protocol trace (faults, lock grants, barrier
 //!   releases, ...) when [`SysParams::trace`](ncp2_sim::SysParams) was set.
 //!
@@ -19,6 +23,7 @@
 
 use std::fmt::Write as _;
 
+use ncp2_core::span::EdgeKind;
 use ncp2_core::trace::TraceKind;
 use ncp2_core::{Engine, RunResult};
 
@@ -141,6 +146,36 @@ pub fn perfetto_json(r: &RunResult) -> String {
                 f.bytes,
                 f.start - f.inject,
                 f.prefetch
+            );
+        }
+        // Flow arrows over the cross-processor dependency edges. The edge
+        // index is the flow id — unique and stable, since the edge log is a
+        // deterministic function of the run. Binding ("bp": "e") attaches
+        // each endpoint to the slice enclosing its timestamp on the cpu
+        // track.
+        for (i, e) in log.edges.iter().enumerate() {
+            let draw = matches!(
+                e.kind,
+                EdgeKind::Msg(_) | EdgeKind::LockGrant | EdgeKind::BarrierRelease
+            );
+            if !draw {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{{\"ph\": \"s\", \"id\": {i}, \"name\": \"{}\", \"cat\": \"dep\", \
+                 \"pid\": {}, \"tid\": {TID_CPU}, \"ts\": {}}},",
+                e.kind.label(),
+                e.src_node,
+                e.src_time
+            );
+            let _ = writeln!(
+                out,
+                "{{\"ph\": \"f\", \"bp\": \"e\", \"id\": {i}, \"name\": \"{}\", \
+                 \"cat\": \"dep\", \"pid\": {}, \"tid\": {TID_CPU}, \"ts\": {}}},",
+                e.kind.label(),
+                e.dst_node,
+                e.dst_time
             );
         }
     }

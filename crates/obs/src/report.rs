@@ -73,6 +73,10 @@ pub struct MetricsReport {
     /// Aggregate breakdown per category, in [`Category::ALL`] order when
     /// generated from a run (alphabetical after a JSON round trip).
     pub categories: Vec<(String, u64)>,
+    /// Critical-path exposed cycles per category (the cycles of each kind
+    /// the run's longest dependency path actually waits on; sums to
+    /// `total_cycles`). Empty when the run carried no observability log.
+    pub exposed: Vec<(String, u64)>,
     /// Aggregate protocol counters.
     pub counters: Vec<(String, u64)>,
     /// Histogram summaries, in [`HIST_NAMES`] order when generated from a
@@ -118,8 +122,24 @@ impl MetricsReport {
             (0..HIST_NAMES.len()).map(|_| LogHistogram::new()).collect();
         let mut epochs: Vec<Vec<u64>> = Vec::new();
         let mut conservation_ok = true;
+        let mut exposed: Vec<(String, u64)> = Vec::new();
         if let Some(log) = &r.obs {
             conservation_ok = log.conservation_errors(&r.nodes).is_empty();
+            // Exposed cycles come from the critical-path walk over the
+            // dependency graph; a build/walk failure is an invariant
+            // violation and flips the conservation flag.
+            match crate::graph::ExecGraph::build(log, r.nprocs, r.total_cycles)
+                .and_then(|g| crate::critpath::critical_path(&g))
+            {
+                Ok(cp) => {
+                    exposed = cp
+                        .exposed
+                        .iter()
+                        .map(|&(c, v)| (c.label().to_string(), v))
+                        .collect();
+                }
+                Err(_) => conservation_ok = false,
+            }
             for f in &log.flights {
                 hs[0].observe(f.arrival - f.inject);
             }
@@ -163,6 +183,7 @@ impl MetricsReport {
             total_cycles: r.total_cycles,
             conservation_ok,
             categories,
+            exposed,
             counters,
             hists,
             epochs,
@@ -218,6 +239,10 @@ impl MetricsReport {
         out.push_str(&format!(
             "{p}  \"categories\": {{{}}},\n",
             pairs(&self.categories)
+        ));
+        out.push_str(&format!(
+            "{p}  \"exposed\": {{{}}},\n",
+            pairs(&self.exposed)
         ));
         out.push_str(&format!(
             "{p}  \"counters\": {{{}}},\n",
@@ -276,6 +301,21 @@ impl MetricsReport {
                 100.0 * *v as f64 / cat_total as f64
             };
             out.push_str(&format!("  {n:<18} {v:>14} {pct:>7.1}\n"));
+        }
+        if !self.exposed.is_empty() {
+            let exp_total: u64 = self.exposed.iter().map(|&(_, v)| v).sum();
+            out.push_str(&format!(
+                "\n  {:<18} {:>14} {:>7}\n",
+                "exposed (critpath)", "cycles", "%"
+            ));
+            for (n, v) in &self.exposed {
+                let pct = if exp_total == 0 {
+                    0.0
+                } else {
+                    100.0 * *v as f64 / exp_total as f64
+                };
+                out.push_str(&format!("  {n:<18} {v:>14} {pct:>7.1}\n"));
+            }
         }
         out.push_str(&format!("\n  {:<18} {:>14}\n", "counter", "value"));
         for (n, v) in &self.counters {
@@ -384,6 +424,12 @@ pub(crate) fn report_from_jval(v: &JVal) -> Result<MetricsReport, String> {
             .and_then(|x| x.as_bool())
             .ok_or("missing boolean field 'conservation_ok'")?,
         categories: pairs_field("categories")?,
+        // Absent in pre-critical-path bench files; treat as "no graph".
+        exposed: if v.get("exposed").is_some() {
+            pairs_field("exposed")?
+        } else {
+            Vec::new()
+        },
         counters: pairs_field("counters")?,
         hists,
         epochs,
@@ -407,6 +453,7 @@ mod tests {
             total_cycles: 123_456,
             conservation_ok: true,
             categories: vec![("busy".into(), 100), ("data".into(), 23)],
+            exposed: vec![("busy".into(), 90), ("data".into(), 33)],
             counters: vec![("faults".into(), 7)],
             hists: vec![(
                 "msg_latency".into(),
@@ -439,6 +486,7 @@ mod tests {
         let t = sample().render_table();
         assert!(t.contains("TSP/Base"));
         assert!(t.contains("busy"));
+        assert!(t.contains("exposed"));
         assert!(t.contains("faults"));
         assert!(t.contains("msg_latency"));
         assert!(t.contains("epoch"));

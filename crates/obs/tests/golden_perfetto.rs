@@ -51,6 +51,8 @@ fn tiny_tsp_export_parses_and_names_every_track() {
     let mut saw_cpu = false;
     let mut saw_link = false;
     let mut saw_span = false;
+    let mut flow_starts: Vec<(u64, u64)> = Vec::new(); // (id, ts)
+    let mut flow_ends: Vec<(u64, u64)> = Vec::new();
     for e in events {
         let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
         assert!(e.get("pid").and_then(|p| p.as_u64()).is_some());
@@ -72,10 +74,28 @@ fn tiny_tsp_export_parses_and_names_every_track() {
             "i" => {
                 assert!(e.get("ts").and_then(|t| t.as_u64()).is_some());
             }
+            "s" | "f" => {
+                let id = e.get("id").and_then(|i| i.as_u64()).expect("flow id");
+                let ts = e.get("ts").and_then(|t| t.as_u64()).expect("flow ts");
+                if ph == "s" {
+                    flow_starts.push((id, ts));
+                } else {
+                    assert_eq!(e.get("bp").and_then(|b| b.as_str()), Some("e"));
+                    flow_ends.push((id, ts));
+                }
+            }
             other => panic!("unexpected phase {other}"),
         }
     }
     assert!(saw_cpu && saw_link && saw_span);
+    // Every flow arrow has exactly one start and one matching, non-earlier
+    // finish — the dependency edges behind them are forward in time.
+    assert!(!flow_starts.is_empty(), "no flow events emitted");
+    assert_eq!(flow_starts.len(), flow_ends.len());
+    for (s, f) in flow_starts.iter().zip(&flow_ends) {
+        assert_eq!(s.0, f.0, "flow ids out of pairing order");
+        assert!(s.1 <= f.1, "flow {} goes backward in time", s.0);
+    }
 }
 
 #[test]

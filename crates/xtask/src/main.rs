@@ -5,7 +5,7 @@
 //!
 //! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
 //! truncated cycle counter just bends the curves. This gate therefore runs
-//! even when tests are output-identical, enforcing five rules on the
+//! even when tests are output-identical, enforcing six rules on the
 //! protocol hot paths plus the workspace-wide `cargo fmt --check` and
 //! `cargo clippy -- -D warnings`:
 //!
@@ -30,6 +30,11 @@
 //!    experiment must go through the `Grid`/`Engine` scheduler, or it loses
 //!    parallelism, caching and the deterministic result ordering. Escape
 //!    hatch: a `lint:allow` marker on the line.
+//! 6. **No unanchored dependency edges.** Every `obs_edge(` emission site
+//!    in the protocol files must pass a span anchor obtained from
+//!    `obs_last_span(` within the same call — the execution-graph builder
+//!    rejects edges dangling off activity the span log never recorded, so
+//!    an unanchored edge is a guaranteed graph-validation failure.
 //!
 //! Test modules (`#[cfg(test)]` onward) are exempt.
 //!
@@ -99,6 +104,18 @@ const ENGINE_BYPASS_PATTERNS: &[&str] = &[
     "sequential_baseline(",
     "Simulation::new(",
 ];
+
+/// Files whose `obs_edge(` emission sites must anchor to a recorded span.
+const EDGE_EMISSION_FILES: &[&str] = &[
+    "crates/core/src/system.rs",
+    "crates/core/src/sync.rs",
+    "crates/core/src/treadmarks.rs",
+    "crates/core/src/aurc.rs",
+];
+
+/// How many lines an `obs_edge(` call may span while the scanner looks for
+/// its `obs_last_span(` anchor argument.
+const EDGE_CALL_WINDOW: usize = 12;
 
 struct Finding {
     file: PathBuf,
@@ -326,6 +343,43 @@ fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
             if path.extension().is_some_and(|e| e == "rs") {
                 scan_engine_bypass(root, &path, findings);
             }
+        }
+    }
+    for rel in EDGE_EMISSION_FILES {
+        scan_edge_anchors(root, rel, findings);
+    }
+}
+
+/// Rule 6: every dependency-edge emission must anchor to a recorded span.
+fn scan_edge_anchors(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
+    let path = root.join(rel);
+    let Some(src) = non_test_source(&path) else {
+        return;
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let code = strip_comment(line);
+        // Emission sites only — skip the recorder definitions themselves.
+        if !code.contains("obs_edge(") || code.contains("fn obs_edge") {
+            continue;
+        }
+        if line.contains("lint:allow") {
+            continue;
+        }
+        let anchored = lines[i..]
+            .iter()
+            .take(EDGE_CALL_WINDOW)
+            .any(|l| strip_comment(l).contains("obs_last_span("));
+        if !anchored {
+            findings.push(Finding {
+                file: PathBuf::from(rel),
+                line: i + 1,
+                rule: "unanchored-edge",
+                text: format!(
+                    "`obs_edge(` without an `obs_last_span(` anchor in the call: {}",
+                    line.trim()
+                ),
+            });
         }
     }
 }
