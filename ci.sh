@@ -21,6 +21,14 @@ cargo run --release --bin obs_report -- \
 cargo run --release --bin critpath_report -- \
     --app TSP --no-cache --quiet --check --out "$OBS_OUT/critpath.json"
 
+# Chaos gate: every tier-1 workload under every protocol mode, faulted
+# (drop + duplicate + corrupt + ack loss + a reordering latency spike) and
+# fault-free. Checksums must match their fault-free twins, the verification
+# oracle must stay silent, and total cycles must stay within the bounded
+# degradation budget. Cache disabled: the gate must exercise the transport
+# as built.
+cargo run --release --bin chaos_report -- --check --no-cache --quiet
+
 # Bench trajectory: regenerate the tier-1 suite through the parallel
 # experiment engine — cache disabled so the numbers reflect the code as
 # built, never a stale cached result — and gate on regressions against the

@@ -1,0 +1,340 @@
+//! `chaos_report` — fault-injection sweep and CI chaos gate.
+//!
+//! Two modes:
+//!
+//! * **Sweep** (default): runs the tier-1 workloads under one protocol mode
+//!   at a series of frame-drop rates, through the parallel engine, and
+//!   prints per-run retry histograms and overhead-cycle inflation relative
+//!   to the fault-free baseline. The rate-0 column doubles as the baseline:
+//!   a zero-rate plan is inactive, so those runs take the legacy send path.
+//! * **`--check`** (the CI gate): every tier-1 workload under every
+//!   protocol mode, once under a fixed chaos plan (drop + duplicate +
+//!   corrupt + ack loss + a latency spike that forces reordering) with the
+//!   verification oracle attached, and once fault-free. The gate fails —
+//!   exit code 1 — unless every faulted run (a) finishes with a checksum
+//!   byte-equal to its fault-free twin, (b) reports zero oracle violations,
+//!   and (c) stays within the bounded-degradation budget of 3x the
+//!   fault-free total cycles at the 1% drop rate. It also fails if the plan
+//!   injected no faults or triggered no retransmissions anywhere, which
+//!   would mean the gate stopped exercising the transport.
+//!
+//! ```sh
+//! # Sweep drop rates 0/5/10/20 permille under I+P+D.
+//! cargo run --release --bin chaos_report
+//!
+//! # Sweep custom rates under AURC+P with 8 workers.
+//! cargo run --release --bin chaos_report -- --mode AURC+P --rates 0,2,50 --jobs 8
+//!
+//! # CI gate: 6 apps x 8 modes, faulted vs fault-free.
+//! cargo run --release --bin chaos_report -- --check --quiet
+//! ```
+
+use ncp2::prelude::*;
+use ncp2_bench::engine::{tier1_workloads, Engine, Grid, Job, RunRecord};
+use ncp2_bench::harness::{protocol_from_label, ALL_MODE_LABELS};
+use ncp2_fault::{FaultPlan, LinkWindow};
+
+/// Fault seed for both modes; fixed so runs are reproducible by default.
+const CHAOS_SEED: u64 = 0xC4A05;
+
+/// Faulted runs must finish within this multiple of their fault-free twin's
+/// total cycles at the `--check` drop rate (1%).
+const MAX_SLOWDOWN: f64 = 3.0;
+
+struct Args {
+    mode: String,
+    rates: Vec<u16>,
+    nprocs: usize,
+    seed: u64,
+    jobs: Option<usize>,
+    no_cache: bool,
+    quiet: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_report [--mode LABEL] [--rates P,P,...] [--nprocs N] [--seed S]\n\
+         \x20                  [--jobs N] [--no-cache] [--quiet] [--check]\n\
+         rates are frame-drop permille (0..=500); modes: {}",
+        ALL_MODE_LABELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        mode: "I+P+D".into(),
+        rates: vec![0, 5, 10, 20],
+        nprocs: 4,
+        seed: CHAOS_SEED,
+        jobs: None,
+        no_cache: false,
+        quiet: false,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--mode" => a.mode = args.next().unwrap_or_else(|| usage()),
+            "--rates" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                a.rates = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if a.rates.is_empty() || a.rates.iter().any(|&r| r > 500) {
+                    usage();
+                }
+            }
+            "--nprocs" => {
+                a.nprocs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                a.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                a.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-cache" => a.no_cache = true,
+            "--quiet" => a.quiet = true,
+            "--check" => a.check = true,
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn engine(a: &Args) -> Engine {
+    let mut e = Engine::new();
+    if let Some(jobs) = a.jobs {
+        e = e.with_jobs(jobs);
+    }
+    if a.no_cache {
+        e = e.no_cache();
+    }
+    if a.quiet {
+        e = e.silent();
+    }
+    e
+}
+
+/// The sweep plan: pure frame loss at `rate` permille. Rate 0 is inactive
+/// (legacy path) and serves as the fault-free baseline column.
+fn drop_plan(seed: u64, rate: u16) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_permille: rate,
+        ..FaultPlan::none()
+    }
+}
+
+/// The `--check` plan: 1% drop plus duplicates, detected corruption, ack
+/// loss, and one latency spike large enough to overtake in-flight frames
+/// (genuine reordering) on the busiest link.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_permille: 10,
+        dup_permille: 5,
+        corrupt_permille: 5,
+        ack_faults: true,
+        spikes: vec![LinkWindow {
+            src: 0,
+            dst: 1,
+            start: 0,
+            end: 500_000,
+            extra: 3_000,
+        }],
+        ..FaultPlan::none()
+    }
+}
+
+fn retx_histogram(r: &RunRecord) -> String {
+    let counts = r.result.fault.retx_by_attempt;
+    let body = counts
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("[{body}]")
+}
+
+/// Sweep mode: apps x drop rates under one protocol, inflation vs rate 0.
+fn sweep(a: &Args) -> bool {
+    let protocol = protocol_from_label(&a.mode).unwrap_or_else(|| {
+        eprintln!(
+            "unknown mode '{}'; known: {}",
+            a.mode,
+            ALL_MODE_LABELS.join(", ")
+        );
+        std::process::exit(2);
+    });
+    let params = SysParams::default().with_nprocs(a.nprocs);
+    let mut grid = Grid::new();
+    for (name, spec) in tier1_workloads() {
+        for &rate in &a.rates {
+            grid.add(Job {
+                label: format!("{name}/{}/drop{rate}", a.mode),
+                params: params.clone(),
+                protocol,
+                workload: spec.clone(),
+                obs: false,
+                fault: drop_plan(a.seed, rate),
+                verify: false,
+            });
+        }
+    }
+    let records = engine(a).run(&grid);
+
+    println!(
+        "chaos sweep: mode {}, nprocs {}, seed {:#x}, rates {:?} permille",
+        a.mode, a.nprocs, a.seed, a.rates
+    );
+    println!(
+        "{:<8} {:>5}  {:>14} {:>8} {:>8} {:>6} {:>6}  retx_by_attempt",
+        "app", "rate", "cycles", "infl", "retx", "drops", "shed"
+    );
+    let mut ok = true;
+    let per_app = a.rates.len();
+    for (app_idx, chunk) in records.chunks(per_app).enumerate() {
+        // Records come back in grid order: rates grouped per app, and the
+        // first rate in the default list (0) is the baseline. When the user
+        // passes a custom rate list, inflation is relative to its first entry.
+        let base_cycles = chunk[0].result.total_cycles.max(1);
+        let (app_name, _) = tier1_workloads()[app_idx].clone();
+        for (rate, rec) in a.rates.iter().zip(chunk) {
+            let f = &rec.result.fault;
+            println!(
+                "{:<8} {:>4}‰  {:>14} {:>7.3}x {:>8} {:>6} {:>6}  {}",
+                app_name,
+                rate,
+                rec.result.total_cycles,
+                rec.result.total_cycles as f64 / base_cycles as f64,
+                f.retransmits,
+                f.drops_injected,
+                f.prefetch_shed,
+                retx_histogram(rec)
+            );
+            if !rec.result.violations.is_empty() {
+                eprintln!(
+                    "{}: {} oracle violation(s)",
+                    rec.result.protocol,
+                    rec.result.violations.len()
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// `--check` mode: the CI chaos gate (see the module docs for the criteria).
+fn check(a: &Args) -> bool {
+    let params = SysParams::default().with_nprocs(a.nprocs);
+    let plan = chaos_plan(a.seed);
+    let mut grid = Grid::new();
+    let mut names = Vec::new();
+    for label in ALL_MODE_LABELS {
+        // invariant: every ALL_MODE_LABELS entry is a known label.
+        let protocol = protocol_from_label(label).expect("known mode label");
+        for (name, spec) in tier1_workloads() {
+            names.push(format!("{name}/{label}"));
+            // Faulted run first, fault-free twin second: the pairing below
+            // walks the records two at a time in grid order.
+            grid.add(Job {
+                label: format!("{name}/{label}/chaos"),
+                params: params.clone(),
+                protocol,
+                workload: spec.clone(),
+                obs: false,
+                fault: plan.clone(),
+                verify: true,
+            });
+            grid.add(Job {
+                label: format!("{name}/{label}/clean"),
+                params: params.clone(),
+                protocol,
+                workload: spec,
+                obs: false,
+                fault: FaultPlan::none(),
+                verify: true,
+            });
+        }
+    }
+    let records = engine(a).run(&grid);
+
+    let mut ok = true;
+    let (mut injected, mut retransmits) = (0u64, 0u64);
+    for (name, pair) in names.iter().zip(records.chunks(2)) {
+        let (chaos, clean) = (&pair[0].result, &pair[1].result);
+        injected += chaos.fault.injected();
+        retransmits += chaos.fault.retransmits;
+        if chaos.checksum != clean.checksum {
+            eprintln!(
+                "{name}: checksum diverged under faults ({:#x} != {:#x})",
+                chaos.checksum, clean.checksum
+            );
+            ok = false;
+        }
+        for (kind, r) in [("chaos", chaos), ("clean", clean)] {
+            if !r.violations.is_empty() {
+                eprintln!(
+                    "{name} ({kind}): {} oracle violation(s)",
+                    r.violations.len()
+                );
+                ok = false;
+            }
+        }
+        let slowdown = chaos.total_cycles as f64 / clean.total_cycles.max(1) as f64;
+        if slowdown > MAX_SLOWDOWN {
+            eprintln!(
+                "{name}: degradation unbounded: {slowdown:.2}x > {MAX_SLOWDOWN}x \
+                 ({} vs {} cycles)",
+                chaos.total_cycles, clean.total_cycles
+            );
+            ok = false;
+        }
+        if !a.quiet {
+            println!(
+                "{name}: checksum ok, {:>4} retx, {:>4} injected, {slowdown:.2}x",
+                chaos.fault.retransmits,
+                chaos.fault.injected()
+            );
+        }
+    }
+    if injected == 0 {
+        eprintln!("chaos gate injected no faults at all — the plan is not being exercised");
+        ok = false;
+    }
+    if retransmits == 0 {
+        eprintln!("chaos gate triggered no retransmissions — the transport is not being exercised");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "chaos check passed: {} runs, {injected} faults injected, {retransmits} \
+             retransmissions, checksums equal, zero violations, slowdown <= {MAX_SLOWDOWN}x",
+            records.len()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let a = parse_args();
+    let ok = if a.check { check(&a) } else { sweep(&a) };
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,7 @@ use std::path::PathBuf;
 use ncp2::prelude::*;
 use ncp2_bench::engine::{tier1_workloads, Engine, Grid, Job};
 use ncp2_bench::harness::protocol_from_label;
+use ncp2_fault::FaultPlan;
 use ncp2_obs::json::esc;
 use ncp2_obs::{critical_path, what_if, CritPath, ExecGraph, Scenario, WhatIf};
 
@@ -150,6 +151,8 @@ fn analyze(a: &Args) -> Vec<AppAnalysis> {
             protocol: Protocol::TreadMarks(OverlapMode::Base),
             workload: spec.clone(),
             obs: true,
+            fault: FaultPlan::none(),
+            verify: false,
         });
         for mode in MEASURED_MODES {
             grid.add(Job {
@@ -159,6 +162,8 @@ fn analyze(a: &Args) -> Vec<AppAnalysis> {
                 protocol: protocol_from_label(mode).expect("known mode label"),
                 workload: spec.clone(),
                 obs: false,
+                fault: FaultPlan::none(),
+                verify: false,
             });
         }
     }

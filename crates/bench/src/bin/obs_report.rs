@@ -23,6 +23,7 @@ use std::path::PathBuf;
 use ncp2::prelude::*;
 use ncp2_bench::engine::{tier1_grid, Engine, Grid, Job, RunRecord, WorkloadSpec};
 use ncp2_bench::harness::{protocol_from_label, ALL_MODE_LABELS};
+use ncp2_fault::FaultPlan;
 use ncp2_obs::report::parse_metrics;
 use ncp2_obs::{perfetto_json, write_bench, MetricsReport};
 
@@ -134,6 +135,8 @@ fn observed_job(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> Job {
         protocol,
         workload: WorkloadSpec::named(app, paper_size),
         obs: true,
+        fault: FaultPlan::none(),
+        verify: false,
     }
 }
 

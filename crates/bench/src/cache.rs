@@ -31,10 +31,13 @@ use ncp2_obs::{HistSummary, MetricsReport};
 
 /// Bumped whenever the serialized layout changes; part of every cache key,
 /// so stale layouts can never be misread as current ones.
-pub const FORMAT_VERSION: u64 = 2;
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Number of scalar columns in a serialized node row.
 const NODE_COLS: usize = 24;
+
+/// Number of scalar columns in the serialized transport-fault row.
+const FAULT_COLS: usize = 9 + ncp2::core::RETX_BUCKETS;
 
 /// The file a key maps to inside `dir`.
 pub fn entry_path(dir: &Path, key: u64) -> PathBuf {
@@ -128,6 +131,60 @@ fn node_from_row(row: &[u64]) -> Option<NodeStats> {
         prefetch_hits: row[21],
         au_updates: row[22],
         au_combined: row[23],
+    })
+}
+
+/// Flattens the transport-fault counters in serialization order.
+///
+/// Exhaustive destructuring, like [`node_row`]: a new `FaultStats` field
+/// fails this build until the schema and [`FORMAT_VERSION`] are updated.
+fn fault_row(f: &ncp2::core::FaultStats) -> [u64; FAULT_COLS] {
+    let ncp2::core::FaultStats {
+        frames_sent,
+        acks_sent,
+        retransmits,
+        drops_injected,
+        corrupts_injected,
+        dups_injected,
+        dup_frames_dropped,
+        frames_drained,
+        prefetch_shed,
+        retx_by_attempt,
+    } = *f;
+    let mut row = [0u64; FAULT_COLS];
+    row[..9].copy_from_slice(&[
+        frames_sent,
+        acks_sent,
+        retransmits,
+        drops_injected,
+        corrupts_injected,
+        dups_injected,
+        dup_frames_dropped,
+        frames_drained,
+        prefetch_shed,
+    ]);
+    row[9..].copy_from_slice(&retx_by_attempt);
+    row
+}
+
+/// Inverse of [`fault_row`].
+fn fault_from_row(row: &[u64]) -> Option<ncp2::core::FaultStats> {
+    if row.len() != FAULT_COLS {
+        return None;
+    }
+    let mut retx_by_attempt = [0u64; ncp2::core::RETX_BUCKETS];
+    retx_by_attempt.copy_from_slice(&row[9..]);
+    Some(ncp2::core::FaultStats {
+        frames_sent: row[0],
+        acks_sent: row[1],
+        retransmits: row[2],
+        drops_injected: row[3],
+        corrupts_injected: row[4],
+        dups_injected: row[5],
+        dup_frames_dropped: row[6],
+        frames_drained: row[7],
+        prefetch_shed: row[8],
+        retx_by_attempt,
     })
 }
 
@@ -275,6 +332,10 @@ pub fn encode(label: &str, result: &RunResult, report: Option<&MetricsReport>) -
         out.push_str(&format!("    [{}]{comma}\n", u64_list(node_row(n))));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"fault\": [{}],\n",
+        u64_list(fault_row(&result.fault))
+    ));
     match report {
         Some(r) => out.push_str(&format!("  \"report\": {}\n", report_json(r))),
         None => out.push_str("  \"report\": null\n"),
@@ -304,6 +365,7 @@ pub fn decode(text: &str) -> Option<(RunResult, Option<MetricsReport>)> {
         .iter()
         .map(|row| node_from_row(&u64s_from(row)?))
         .collect::<Option<Vec<_>>>()?;
+    let fault = fault_from_row(&u64s_from(v.get("fault")?)?)?;
     let report = match v.get("report")? {
         JVal::Null => None,
         r => Some(report_from(r)?),
@@ -323,6 +385,7 @@ pub fn decode(text: &str) -> Option<(RunResult, Option<MetricsReport>)> {
         trace: Vec::new(),
         violations: Vec::new(),
         obs: None,
+        fault,
     };
     Some((result, report))
 }
@@ -392,6 +455,14 @@ mod tests {
             trace: Vec::new(),
             violations: Vec::new(),
             obs: None,
+            fault: ncp2::core::FaultStats {
+                frames_sent: 20,
+                retransmits: 3,
+                drops_injected: 2,
+                prefetch_shed: 1,
+                retx_by_attempt: [2, 1, 0, 0, 0, 0, 0, 0],
+                ..Default::default()
+            },
         }
     }
 
@@ -429,6 +500,7 @@ mod tests {
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.net, b.net);
+        assert_eq!(a.fault, b.fault);
         assert!(b.trace.is_empty() && b.violations.is_empty() && b.obs.is_none());
     }
 

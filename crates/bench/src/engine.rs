@@ -15,9 +15,10 @@
 //! [`Job::cache_key`] feeds a fixed [`StableHasher`] with: the cache format
 //! version, the `ncp2-bench` crate version, every `SysParams` field
 //! (exhaustively — see `SysParams::stable_hash`), the protocol (including
-//! its overlap mode), the observability flag, and the complete workload
-//! configuration. Two jobs share a key **iff** they would run the identical
-//! simulation. The key deliberately does not see source-code edits beyond
+//! its overlap mode), the observability and verification flags, the complete
+//! fault plan (exhaustively — see `FaultPlan::stable_hash`), and the
+//! complete workload configuration. Two jobs share a key **iff** they would
+//! run the identical simulation. The key deliberately does not see source-code edits beyond
 //! the version string, so anything that must observe a protocol change —
 //! CI, golden tests, baseline regeneration — runs with the cache disabled
 //! (`--no-cache` / [`Engine::no_cache`]); the cache exists to make
@@ -33,7 +34,9 @@ use std::sync::Mutex;
 use ncp2::apps::run_app_with;
 use ncp2::prelude::*;
 use ncp2::sim::StableHasher;
+use ncp2_fault::FaultPlan;
 use ncp2_obs::MetricsReport;
+use ncp2_verify::VerifyOracle;
 
 use crate::cache;
 use crate::harness::build_app;
@@ -179,6 +182,13 @@ pub struct Job {
     pub workload: WorkloadSpec,
     /// Record the observability timeline and derive a [`MetricsReport`].
     pub obs: bool,
+    /// Fault plan injected into the run. [`FaultPlan::none`] (what every
+    /// grid-builder convenience sets) leaves the hardened transport
+    /// disengaged and the run byte-identical to a fault-free one.
+    pub fault: FaultPlan,
+    /// Attach the `ncp2-verify` shadow oracle (with the workload's annotated
+    /// benign races exempted); violations land in the result.
+    pub verify: bool,
 }
 
 impl Job {
@@ -191,6 +201,8 @@ impl Job {
         self.params.stable_hash(&mut h);
         h.write_str(&self.protocol.to_string());
         h.write_bool(self.obs);
+        h.write_bool(self.verify);
+        self.fault.stable_hash(&mut h);
         self.workload.stable_hash(&mut h);
         h.finish()
     }
@@ -247,6 +259,8 @@ impl Grid {
             protocol,
             workload: WorkloadSpec::named(app, paper_size),
             obs: false,
+            fault: FaultPlan::none(),
+            verify: false,
         })
     }
 
@@ -264,6 +278,8 @@ impl Grid {
             protocol,
             workload: WorkloadSpec::named(app, paper_size),
             obs: true,
+            fault: FaultPlan::none(),
+            verify: false,
         })
     }
 
@@ -277,6 +293,8 @@ impl Grid {
             protocol: Protocol::TreadMarks(OverlapMode::Base),
             workload: WorkloadSpec::named(app, paper_size),
             obs: false,
+            fault: FaultPlan::none(),
+            verify: false,
         })
     }
 
@@ -373,6 +391,8 @@ pub fn tier1_grid(mode_labels: &[&str]) -> Grid {
                 protocol,
                 workload: spec,
                 obs: true,
+                fault: FaultPlan::none(),
+                verify: false,
             });
         }
     }
@@ -509,16 +529,25 @@ impl Engine {
             }
         }
         let obs = job.obs;
-        let result = run_app_with(
-            job.params.clone(),
-            job.protocol,
-            job.workload.build(),
-            |sim| {
-                if obs {
-                    sim.enable_obs();
+        let workload = job.workload.build();
+        let racy = workload.racy_ranges();
+        let (params, protocol) = (job.params.clone(), job.protocol);
+        let (verify, fault) = (job.verify, job.fault.clone());
+        let result = run_app_with(job.params.clone(), job.protocol, workload, move |sim| {
+            if obs {
+                sim.enable_obs();
+            }
+            if verify {
+                let mut oracle = VerifyOracle::new(&params, &protocol);
+                for range in racy {
+                    oracle.exempt_range(range);
                 }
-            },
-        );
+                sim.attach_observer(Box::new(oracle));
+            }
+            // No-op for inactive plans (`FaultPlan::none()`): the legacy
+            // send path runs and results match a fault-free build exactly.
+            sim.attach_fault_plan(fault);
+        });
         let report = obs.then(|| MetricsReport::from_run(&job.label, &result));
         if let Some(dir) = cache_dir {
             // Runs that tripped an invariant are not representative results;
@@ -546,6 +575,8 @@ mod tests {
             protocol: Protocol::TreadMarks(OverlapMode::Base),
             workload: WorkloadSpec::Ocean(Ocean { grid: 8, iters: 1 }),
             obs,
+            fault: FaultPlan::none(),
+            verify: false,
         }
     }
 
@@ -559,6 +590,8 @@ mod tests {
                 protocol: Protocol::TreadMarks(OverlapMode::Base),
                 workload: spec,
                 obs: false,
+                fault: FaultPlan::none(),
+                verify: false,
             });
         }
         let serial = Engine::new().no_cache().silent().with_jobs(1).run(&grid);

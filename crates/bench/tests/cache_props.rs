@@ -2,9 +2,10 @@
 //!
 //! Two things must hold for content-hashed caching to be sound:
 //!
-//! 1. **Key sensitivity** — perturbing any single `SysParams` field (or the
-//!    protocol, workload, or observability flag) produces a different cache
-//!    key, so two configurations can never alias one entry;
+//! 1. **Key sensitivity** — perturbing any single `SysParams` or `FaultPlan`
+//!    field (or the protocol, workload, observability or verification flag)
+//!    produces a different cache key, so two configurations can never alias
+//!    one entry;
 //! 2. **Hit transparency** — a cache hit is byte-identical to the fresh run
 //!    it stands in for, down to the serialized entry and report JSON.
 
@@ -12,6 +13,7 @@ use ncp2::prelude::*;
 use ncp2::sim::PrefetchStrategy;
 use ncp2_bench::engine::{Engine, Job, WorkloadSpec};
 use ncp2_bench::{cache, engine};
+use ncp2_fault::{FaultPlan, LinkFault, LinkWindow, NodeWindow, TargetedDrop, Window};
 use proptest::prelude::*;
 
 /// One mutator per `SysParams` field. Each takes a nonzero `delta` so the
@@ -19,7 +21,7 @@ use proptest::prelude::*;
 /// just one hand-picked alternative.
 type Mutator = (&'static str, fn(&mut SysParams, u64));
 
-const MUTATORS: [Mutator; 28] = [
+const MUTATORS: [Mutator; 30] = [
     ("nprocs", |p, d| p.nprocs += d as usize),
     ("tlb_entries", |p, d| p.tlb_entries += d as usize),
     ("tlb_fill", |p, d| p.tlb_fill += d),
@@ -65,6 +67,8 @@ const MUTATORS: [Mutator; 28] = [
     }),
     ("trace", |p, _| p.trace = !p.trace),
     ("seed", |p, d| p.seed ^= d),
+    ("ack_overhead", |p, d| p.ack_overhead += d),
+    ("retransmit_timeout", |p, d| p.retransmit_timeout += d),
 ];
 
 /// Compile-time guard that [`MUTATORS`] stays exhaustive: adding a
@@ -101,8 +105,92 @@ fn assert_mutators_cover_every_field(p: &SysParams) -> usize {
         prefetch_strategy: _,
         trace: _,
         seed: _,
+        ack_overhead: _,
+        retransmit_timeout: _,
     } = p;
-    28
+    30
+}
+
+/// One mutator per `FaultPlan` field, mirroring [`MUTATORS`]: a faulted run
+/// must never alias the cache entry of a fault-free (or differently-faulted)
+/// run.
+type FaultMutator = (&'static str, fn(&mut FaultPlan, u64));
+
+const FAULT_MUTATORS: [FaultMutator; 11] = [
+    ("seed", |p, d| p.seed ^= d),
+    ("drop_permille", |p, d| {
+        p.drop_permille = 1 + (d % 500) as u16
+    }),
+    ("dup_permille", |p, d| p.dup_permille = 1 + (d % 500) as u16),
+    ("corrupt_permille", |p, d| {
+        p.corrupt_permille = 1 + (d % 500) as u16
+    }),
+    ("ack_faults", |p, _| p.ack_faults = !p.ack_faults),
+    ("link_overrides", |p, d| {
+        p.link_overrides.push(LinkFault {
+            src: 0,
+            dst: 1,
+            drop_permille: (d % 500) as u16,
+            dup_permille: 0,
+            corrupt_permille: 0,
+        })
+    }),
+    ("targeted_drops", |p, d| {
+        p.targeted_drops.push(TargetedDrop {
+            src: 0,
+            dst: 1,
+            nth: d,
+        })
+    }),
+    ("spikes", |p, d| {
+        p.spikes.push(LinkWindow {
+            src: 0,
+            dst: 1,
+            start: 0,
+            end: d,
+            extra: d,
+        })
+    }),
+    ("congestion", |p, d| {
+        p.congestion.push(Window {
+            start: 0,
+            end: d,
+            extra: d,
+        })
+    }),
+    ("ctrl_stalls", |p, d| {
+        p.ctrl_stalls.push(NodeWindow {
+            node: 0,
+            start: 0,
+            end: d,
+        })
+    }),
+    ("downtimes", |p, d| {
+        p.downtimes.push(NodeWindow {
+            node: 0,
+            start: 0,
+            end: d,
+        })
+    }),
+];
+
+/// Compile-time guard that [`FAULT_MUTATORS`] stays exhaustive, like
+/// [`assert_mutators_cover_every_field`] for `SysParams`.
+fn assert_fault_mutators_cover_every_field(p: &FaultPlan) -> usize {
+    let FaultPlan {
+        seed: _,
+        drop_permille: _,
+        dup_permille: _,
+        corrupt_permille: _,
+        ack_faults: _,
+        link_overrides: _,
+        targeted_drops: _,
+        spikes: _,
+        congestion: _,
+        ctrl_stalls: _,
+        downtimes: _,
+    } = p;
+    11
 }
 
 fn job_with(params: SysParams) -> Job {
@@ -112,6 +200,8 @@ fn job_with(params: SysParams) -> Job {
         protocol: Protocol::TreadMarks(OverlapMode::ID),
         workload: WorkloadSpec::Ocean(Ocean { grid: 8, iters: 1 }),
         obs: false,
+        fault: FaultPlan::none(),
+        verify: false,
     }
 }
 
@@ -146,19 +236,42 @@ proptest! {
         relabeled.label = format!("probe-{delta}");
         prop_assert_eq!(base.cache_key(), relabeled.cache_key());
 
-        // Protocol, observability and workload are part of the key too.
+        // Protocol, observability, verification and workload are part of the
+        // key too.
         let mut other_proto = job_with(SysParams::default());
         other_proto.protocol = Protocol::Aurc { prefetch: false };
         prop_assert_ne!(base.cache_key(), other_proto.cache_key());
         let mut observed = job_with(SysParams::default());
         observed.obs = true;
         prop_assert_ne!(base.cache_key(), observed.cache_key());
+        let mut verified = job_with(SysParams::default());
+        verified.verify = true;
+        prop_assert_ne!(base.cache_key(), verified.cache_key());
         let mut other_workload = job_with(SysParams::default());
         other_workload.workload = WorkloadSpec::Ocean(Ocean {
             grid: 8,
             iters: 1 + delta as usize,
         });
         prop_assert_ne!(base.cache_key(), other_workload.cache_key());
+    }
+
+    #[test]
+    fn any_single_fault_plan_perturbation_changes_the_cache_key(delta in 1u64..1_000) {
+        let base = job_with(SysParams::default());
+        let field_count = assert_fault_mutators_cover_every_field(&base.fault);
+        prop_assert_eq!(FAULT_MUTATORS.len(), field_count);
+
+        for (field, mutate) in FAULT_MUTATORS {
+            let mut perturbed = job_with(SysParams::default());
+            mutate(&mut perturbed.fault, delta);
+            prop_assert_ne!(
+                base.cache_key(),
+                perturbed.cache_key(),
+                "perturbing FaultPlan::{} (delta {}) did not change the cache key",
+                field,
+                delta
+            );
+        }
     }
 }
 
@@ -191,6 +304,8 @@ proptest! {
                 iters,
             }),
             obs,
+            fault: FaultPlan::none(),
+            verify: false,
         };
 
         let cold = engine.run_job(job.clone());
@@ -238,6 +353,8 @@ fn warm_grid_runs_are_served_entirely_from_cache() {
             protocol: Protocol::TreadMarks(OverlapMode::Base),
             workload: spec,
             obs: true,
+            fault: FaultPlan::none(),
+            verify: false,
         });
     }
     let cold = engine.run(&grid);

@@ -490,6 +490,11 @@ impl Simulation {
         }
         let mut c = t;
         for (page, home) in candidates {
+            // Same degradation policy as the TreadMarks path: shed the
+            // low-priority prefetch under congestion, keep demand traffic.
+            if self.shed_prefetch(pid, page, c) {
+                continue;
+            }
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
             self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;

@@ -47,19 +47,25 @@ pub mod stats;
 pub mod sync;
 pub mod system;
 pub mod trace;
+#[cfg(feature = "fault")]
+pub mod transport;
 pub mod treadmarks;
 pub mod vtime;
 
 pub use controller::Controller;
 pub use diff::Diff;
 pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
+#[cfg(feature = "fault")]
+pub use ncp2_fault::{self, FaultPlan};
 pub use observe::{MsgKind, Observer, ProtocolEvent, Violation};
 pub use page::{PageBuf, PageId, PageState};
 pub use protocol::{OverlapMode, Protocol};
 pub use span::{
     CtrlCmd, DepEdge, EdgeKind, Engine, EngineSpan, Flight, ObsLog, Span, SpanId, SpanKind,
 };
-pub use stats::{NodeStats, RunResult};
+pub use stats::{FaultStats, NodeStats, RunResult, RETX_BUCKETS};
 pub use system::Simulation;
 pub use trace::{trace_csv, TraceEvent, TraceKind};
+#[cfg(feature = "fault")]
+pub use transport::{MAX_BACKOFF_EXP, MAX_RETX_ATTEMPTS, SHED_UNACKED_MAX};
 pub use vtime::{IntervalId, VectorTime};

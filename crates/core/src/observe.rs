@@ -196,6 +196,53 @@ pub enum ProtocolEvent {
         /// Demand (normal-priority) transaction.
         demand: bool,
     },
+    /// A transport data frame was injected (one event per physical copy:
+    /// retransmissions and fault-injected duplicates re-emit).
+    FrameSent {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Link-local sequence number.
+        seq: u64,
+        /// Transmission attempt (0 = original send).
+        attempt: u32,
+    },
+    /// A transport frame arrived in order and its message was delivered.
+    FrameAccepted {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Link-local sequence number.
+        seq: u64,
+        /// Transmission attempt that got through.
+        attempt: u32,
+    },
+    /// A transport frame arrived but was discarded as an already-delivered
+    /// duplicate.
+    FrameDuplicate {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Link-local sequence number.
+        seq: u64,
+        /// Transmission attempt discarded.
+        attempt: u32,
+    },
+    /// A transport frame was lost: dropped/corrupted by the fault plan,
+    /// lost to a crash-restart window, or drained in flight at end of run.
+    FrameDropped {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Link-local sequence number.
+        seq: u64,
+        /// Transmission attempt lost.
+        attempt: u32,
+    },
 }
 
 /// A protocol invariant found broken by an observer.

@@ -76,11 +76,19 @@ pub enum SpanKind {
     LockStall,
     /// Blocked waiting for a barrier release.
     BarrierStall,
+    /// Transport ack timer expired; retransmission decision overhead.
+    RetransmitTimeout,
+    /// Re-sending an unacknowledged transport frame.
+    Retransmit,
+    /// Discarding an already-delivered duplicate frame.
+    DuplicateDropped,
+    /// Degradation policy shedding a prefetch command under congestion.
+    PrefetchShed,
 }
 
 impl SpanKind {
     /// Every kind, in rendering order.
-    pub const ALL: [SpanKind; 16] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::Compute,
         SpanKind::MemHit,
         SpanKind::MemStall,
@@ -97,6 +105,10 @@ impl SpanKind {
         SpanKind::PrefetchStall,
         SpanKind::LockStall,
         SpanKind::BarrierStall,
+        SpanKind::RetransmitTimeout,
+        SpanKind::Retransmit,
+        SpanKind::DuplicateDropped,
+        SpanKind::PrefetchShed,
     ];
 
     /// Stable snake_case label used by the exporters.
@@ -118,6 +130,10 @@ impl SpanKind {
             SpanKind::PrefetchStall => "prefetch_stall",
             SpanKind::LockStall => "lock_stall",
             SpanKind::BarrierStall => "barrier_stall",
+            SpanKind::RetransmitTimeout => "retransmit_timeout",
+            SpanKind::Retransmit => "retransmit",
+            SpanKind::DuplicateDropped => "duplicate_dropped",
+            SpanKind::PrefetchShed => "prefetch_shed",
         }
     }
 }

@@ -65,6 +65,46 @@ impl NodeStats {
     }
 }
 
+/// Number of retransmit-histogram buckets: bucket `i < RETX_BUCKETS - 1`
+/// counts retransmissions at attempt `i + 1`; the last bucket collects the
+/// tail.
+pub const RETX_BUCKETS: usize = 8;
+
+/// Run-global counters for the hardened transport and fault injection.
+/// Always present on [`RunResult`] (so result encodings have one shape);
+/// all-zero unless a fault plan was attached to a `fault`-feature build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data-frame transmissions, including retransmissions.
+    pub frames_sent: u64,
+    /// Acknowledgement frames injected.
+    pub acks_sent: u64,
+    /// Retransmissions triggered by ack timeouts.
+    pub retransmits: u64,
+    /// Frames the fault plan dropped in flight.
+    pub drops_injected: u64,
+    /// Frames the fault plan corrupted (detected and discarded on receipt).
+    pub corrupts_injected: u64,
+    /// Extra frame copies the fault plan injected.
+    pub dups_injected: u64,
+    /// Frames discarded by receive-side duplicate suppression.
+    pub dup_frames_dropped: u64,
+    /// In-flight frames drained undelivered at end of run (their logical
+    /// messages had already been delivered by an earlier attempt).
+    pub frames_drained: u64,
+    /// Prefetch commands shed by the degradation policy.
+    pub prefetch_shed: u64,
+    /// Histogram of retransmissions by attempt number (see [`RETX_BUCKETS`]).
+    pub retx_by_attempt: [u64; RETX_BUCKETS],
+}
+
+impl FaultStats {
+    /// Total injected faults of all kinds.
+    pub fn injected(&self) -> u64 {
+        self.drops_injected + self.corrupts_injected + self.dups_injected
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -90,6 +130,9 @@ pub struct RunResult {
     /// the `obs` feature and recording was enabled via
     /// `Simulation::enable_obs`).
     pub obs: Option<crate::span::ObsLog>,
+    /// Transport/fault-injection counters (all-zero unless a fault plan was
+    /// attached to a `fault`-feature build).
+    pub fault: FaultStats,
 }
 
 impl RunResult {
@@ -160,6 +203,7 @@ mod tests {
             trace: Vec::new(),
             violations: Vec::new(),
             obs: None,
+            fault: FaultStats::default(),
         }
     }
 

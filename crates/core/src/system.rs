@@ -35,6 +35,37 @@ pub(crate) enum Ev {
     Msg { dst: usize, msg: Msg },
     /// A blocked processor's pending operation completes.
     Wake { pid: usize },
+    /// One physical transport-frame copy reaches `dst`'s interface
+    /// (`fault` feature: hardened transport engaged).
+    #[cfg(feature = "fault")]
+    Frame {
+        src: usize,
+        dst: usize,
+        /// Link-local sequence number.
+        seq: u64,
+        /// Transmission attempt this copy belongs to.
+        attempt: u32,
+        msg: Msg,
+        /// Fault verdict rolled at send time: the copy arrives damaged
+        /// (dropped or detectably corrupted) and is discarded on arrival.
+        lost: bool,
+        /// Injection time at the sender (for the delivery dependency edge).
+        sent_at: Cycles,
+        /// Sender span anchoring the delivery edge.
+        anchor: SpanId,
+    },
+    /// A cumulative acknowledgement for link `src → dst` arrives back at
+    /// `src`: every frame with sequence number below `cum` is delivered.
+    #[cfg(feature = "fault")]
+    Ack { src: usize, dst: usize, cum: u64 },
+    /// A retransmit timer for frame `seq` (at `attempt`) on `src → dst`.
+    #[cfg(feature = "fault")]
+    RetxCheck {
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+    },
 }
 
 /// In-flight fault state: replies still outstanding plus collected payloads.
@@ -312,6 +343,16 @@ pub struct Simulation {
     /// [`Simulation::enable_obs`]).
     #[cfg(feature = "obs")]
     pub(crate) obs: Option<crate::span::ObsRecorder>,
+    /// Hardened-transport state (`fault` feature only, engaged via
+    /// [`Simulation::attach_fault_plan`] with an active plan; `None` means
+    /// every message takes the legacy exactly-once path).
+    #[cfg(feature = "fault")]
+    pub(crate) fault: Option<Box<crate::transport::FaultCtx>>,
+    /// Mutation hook for oracle self-tests: when armed, the next intact
+    /// inter-node data frame is consumed without delivery and without a
+    /// terminal frame event — the conservation oracle must flag it.
+    #[cfg(all(feature = "fault", feature = "verify"))]
+    pub(crate) silent_frame_loss_armed: bool,
 }
 
 impl Simulation {
@@ -342,6 +383,10 @@ impl Simulation {
             drop_notice_armed: false,
             #[cfg(feature = "obs")]
             obs: None,
+            #[cfg(feature = "fault")]
+            fault: None,
+            #[cfg(all(feature = "fault", feature = "verify"))]
+            silent_frame_loss_armed: false,
             params,
             protocol,
         }
@@ -597,6 +642,14 @@ impl Simulation {
     #[inline(always)]
     pub(crate) fn obs_prefetch_issued(&mut self, _node: usize, _page: PageId, _t: Cycles) {}
 
+    /// Degradation-policy stub: without the `fault` feature (or without an
+    /// attached plan — see `transport.rs`) no prefetch is ever shed.
+    #[cfg(not(feature = "fault"))]
+    #[inline(always)]
+    pub(crate) fn shed_prefetch(&mut self, _pid: usize, _page: PageId, _now: Cycles) -> bool {
+        false
+    }
+
     /// Forwards one event to the attached observer, if any.
     #[cfg(feature = "verify")]
     pub(crate) fn emit(&mut self, ev: crate::observe::ProtocolEvent) {
@@ -665,6 +718,11 @@ impl Simulation {
     }
 
     fn finish(mut self) -> RunResult {
+        // Frames still in flight at run end (their messages already
+        // delivered by another attempt, or gap-blocked prefetch stragglers)
+        // get their terminal event so the conservation law balances.
+        #[cfg(feature = "fault")]
+        self.drain_inflight_frames();
         let total = self.nodes.iter().map(|nd| nd.time).max().unwrap_or(0);
         for nd in &mut self.nodes {
             nd.stats.controller_busy = nd.ctrl.busy();
@@ -687,6 +745,10 @@ impl Simulation {
                 violations.push(crate::observe::Violation::SpanConservation { node, detail });
             }
         }
+        #[cfg(feature = "fault")]
+        let fault = self.fault.as_ref().map(|c| c.stats).unwrap_or_default();
+        #[cfg(not(feature = "fault"))]
+        let fault = crate::stats::FaultStats::default();
         RunResult {
             violations,
             protocol: self.protocol.label().to_string(),
@@ -697,6 +759,7 @@ impl Simulation {
             checksum: 0,
             trace: std::mem::take(&mut self.trace),
             obs,
+            fault,
         }
     }
 
@@ -891,6 +954,14 @@ impl Simulation {
                 prefetch: msg.is_prefetch(),
             },
         );
+        // With an active fault plan the hardened transport carries every
+        // inter-node message (sequence numbers, acks, retransmission);
+        // loopback sends stay on the legacy path — no wire, no faults.
+        #[cfg(feature = "fault")]
+        if self.fault.is_some() && src != dst {
+            self.transport_send(t, src, dst, msg);
+            return;
+        }
         let prio = if msg.is_prefetch() {
             Priority::Low
         } else {
@@ -977,6 +1048,26 @@ impl Simulation {
         match ev {
             Ev::Wake { pid } => self.handle_wake(pid, t, harness),
             Ev::Msg { dst, msg } => self.handle_msg(dst, t, msg),
+            #[cfg(feature = "fault")]
+            Ev::Frame {
+                src,
+                dst,
+                seq,
+                attempt,
+                msg,
+                lost,
+                sent_at,
+                anchor,
+            } => self.on_frame(t, src, dst, seq, attempt, msg, lost, sent_at, anchor),
+            #[cfg(feature = "fault")]
+            Ev::Ack { src, dst, cum } => self.on_ack(t, src, dst, cum),
+            #[cfg(feature = "fault")]
+            Ev::RetxCheck {
+                src,
+                dst,
+                seq,
+                attempt,
+            } => self.on_retx_check(t, src, dst, seq, attempt),
         }
     }
 
@@ -1037,7 +1128,7 @@ impl Simulation {
         }
     }
 
-    fn handle_msg(&mut self, dst: usize, t: Cycles, msg: Msg) {
+    pub(crate) fn handle_msg(&mut self, dst: usize, t: Cycles, msg: Msg) {
         #[cfg(feature = "verify")]
         self.emit(crate::observe::ProtocolEvent::MsgDelivered {
             dst,

@@ -72,6 +72,34 @@ pub enum TraceKind {
         /// The command class.
         cmd: CtrlCmd,
     },
+    /// A transport frame's ack timer expired (a retransmission follows).
+    RetransmitTimeout {
+        /// Destination of the unacknowledged frame.
+        dst: usize,
+        /// Link-local sequence number of the frame.
+        seq: u64,
+    },
+    /// The transport retransmitted an unacknowledged frame.
+    Retransmit {
+        /// Destination of the frame.
+        dst: usize,
+        /// Link-local sequence number of the frame.
+        seq: u64,
+        /// Attempt number after the bump (1 = first retransmission).
+        attempt: u32,
+    },
+    /// The transport discarded an already-delivered duplicate frame.
+    DuplicateDropped {
+        /// Sender of the duplicate.
+        src: usize,
+        /// Link-local sequence number of the duplicate.
+        seq: u64,
+    },
+    /// The degradation policy shed a prefetch command under congestion.
+    PrefetchShed {
+        /// The page whose prefetch was shed.
+        page: u64,
+    },
 }
 
 /// One timestamped protocol event at one node.
@@ -117,6 +145,16 @@ pub fn trace_csv(events: &[TraceEvent]) -> String {
             TraceKind::PrefetchIssued { page } => ("prefetch_issued".into(), page, 0, true),
             TraceKind::PrefetchCompleted { page } => ("prefetch_completed".into(), page, 0, true),
             TraceKind::ControllerCommand { cmd } => (format!("ctrl_{}", cmd.label()), 0, 0, false),
+            TraceKind::RetransmitTimeout { dst, seq } => {
+                ("retransmit_timeout".into(), dst as u64, seq, false)
+            }
+            TraceKind::Retransmit { seq, attempt, .. } => {
+                ("retransmit".into(), seq, attempt as u64, false)
+            }
+            TraceKind::DuplicateDropped { src, seq } => {
+                ("duplicate_dropped".into(), src as u64, seq, false)
+            }
+            TraceKind::PrefetchShed { page } => ("prefetch_shed".into(), page, 0, true),
         };
         out.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -218,5 +256,40 @@ mod tests {
     #[test]
     fn empty_trace_is_just_a_header() {
         assert_eq!(trace_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn transport_event_kinds_render() {
+        let events = vec![
+            TraceEvent {
+                time: 10,
+                node: 0,
+                kind: TraceKind::RetransmitTimeout { dst: 3, seq: 7 },
+            },
+            TraceEvent {
+                time: 11,
+                node: 0,
+                kind: TraceKind::Retransmit {
+                    dst: 3,
+                    seq: 7,
+                    attempt: 2,
+                },
+            },
+            TraceEvent {
+                time: 12,
+                node: 3,
+                kind: TraceKind::DuplicateDropped { src: 0, seq: 7 },
+            },
+            TraceEvent {
+                time: 13,
+                node: 1,
+                kind: TraceKind::PrefetchShed { page: 42 },
+            },
+        ];
+        let csv = trace_csv(&events);
+        assert!(csv.contains("10,0,retransmit_timeout,3,7,0"), "{csv}");
+        assert!(csv.contains("11,0,retransmit,7,2,0"), "{csv}");
+        assert!(csv.contains("12,3,duplicate_dropped,0,7,0"), "{csv}");
+        assert!(csv.contains("13,1,prefetch_shed,42,0,1"), "{csv}");
     }
 }

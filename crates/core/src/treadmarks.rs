@@ -935,6 +935,12 @@ impl Simulation {
         }
         let mut c = t;
         for page in candidates {
+            // Graceful degradation: under congestion (or a deep unacked
+            // backlog) the transport sheds low-priority prefetch commands
+            // first; demand traffic keeps its full retry budget.
+            if self.shed_prefetch(pid, page, c) {
+                continue;
+            }
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
             self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;

@@ -71,6 +71,8 @@ pub struct Network {
     mesh: Mesh,
     link_free: Vec<Cycles>,
     stats: TrafficStats,
+    #[cfg(feature = "fault")]
+    plan: Option<ncp2_fault::FaultPlan>,
 }
 
 impl Network {
@@ -82,12 +84,21 @@ impl Network {
             mesh,
             link_free: vec![0; links],
             stats: TrafficStats::default(),
+            #[cfg(feature = "fault")]
+            plan: None,
         }
     }
 
     /// The underlying topology.
     pub fn mesh(&self) -> &Mesh {
         &self.mesh
+    }
+
+    /// Attaches a fault plan whose latency spikes and congestion windows
+    /// delay subsequent transfers (see [`ncp2_fault::FaultPlan`]).
+    #[cfg(feature = "fault")]
+    pub fn set_fault_plan(&mut self, plan: ncp2_fault::FaultPlan) {
+        self.plan = Some(plan);
     }
 
     /// Injects a `bytes`-byte message from `src` to `dst` at time `now`;
@@ -135,6 +146,16 @@ impl Network {
         for &l in &path {
             self.link_free[l] = arrival;
         }
+        // A fault-plan latency spike delays *this* message's delivery but
+        // does not extend its link occupancy: the links were booked to the
+        // undelayed arrival above, so a later frame on the same link can
+        // overtake a spiked one — genuine reordering, which the transport's
+        // receive-side resequencing buffer must absorb.
+        #[cfg(feature = "fault")]
+        let arrival = match &self.plan {
+            Some(plan) => arrival + plan.extra_latency(src, dst, now),
+            None => arrival,
+        };
         self.stats.total_blocking += start - now;
         self.stats.total_latency += arrival - now;
         Transfer { start, arrival }
@@ -224,5 +245,37 @@ mod tests {
     fn single_node_network_is_usable() {
         let mut net = Network::new(1);
         assert_eq!(net.transfer(0, 0, 0, 4, &p()), 8);
+    }
+}
+
+#[cfg(all(test, feature = "fault"))]
+mod fault_tests {
+    use super::*;
+    use ncp2_fault::{FaultPlan, LinkWindow};
+
+    #[test]
+    fn spike_delays_delivery_without_extending_link_occupancy() {
+        let mut plain = Network::new(16);
+        let base = plain.transfer(0, 0, 1, 16, &SysParams::default());
+
+        let mut net = Network::new(16);
+        let mut plan = FaultPlan::none();
+        plan.spikes.push(LinkWindow {
+            src: 0,
+            dst: 1,
+            start: 0,
+            end: 10,
+            extra: 500,
+        });
+        net.set_fault_plan(plan);
+        let spiked = net.transfer(0, 0, 1, 16, &SysParams::default());
+        assert_eq!(spiked, base + 500);
+        // The second frame departs after the window; it reuses the link as
+        // soon as the *undelayed* tail drained, so it overtakes the first.
+        let second = net.transfer(20, 0, 1, 16, &SysParams::default());
+        assert!(
+            second < spiked,
+            "later frame should overtake the spiked one"
+        );
     }
 }

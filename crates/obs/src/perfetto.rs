@@ -64,6 +64,12 @@ fn instant_name(kind: &TraceKind) -> String {
         TraceKind::PrefetchIssued { page } => format!("prefetch_issued p{page}"),
         TraceKind::PrefetchCompleted { page } => format!("prefetch_completed p{page}"),
         TraceKind::ControllerCommand { cmd } => format!("ctrl_{}", cmd.label()),
+        TraceKind::RetransmitTimeout { dst, seq } => format!("retransmit_timeout d{dst} s{seq}"),
+        TraceKind::Retransmit { dst, seq, attempt } => {
+            format!("retransmit d{dst} s{seq} a{attempt}")
+        }
+        TraceKind::DuplicateDropped { src, seq } => format!("duplicate_dropped s{src} q{seq}"),
+        TraceKind::PrefetchShed { page } => format!("prefetch_shed p{page}"),
     }
 }
 
@@ -216,6 +222,7 @@ mod tests {
             trace: Vec::new(),
             violations: Vec::new(),
             obs: None,
+            fault: Default::default(),
         }
     }
 

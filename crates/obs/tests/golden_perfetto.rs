@@ -5,6 +5,7 @@
 
 use ncp2_apps::{run_app_with, Barnes, Em3d, Ocean, Radix, Tsp, Water, Workload};
 use ncp2_core::{OverlapMode, Protocol, RunResult};
+use ncp2_fault::{FaultPlan, Window};
 use ncp2_obs::json::parse;
 use ncp2_obs::{perfetto_json, MetricsReport};
 use ncp2_sim::SysParams;
@@ -96,6 +97,69 @@ fn tiny_tsp_export_parses_and_names_every_track() {
         assert_eq!(s.0, f.0, "flow ids out of pairing order");
         assert!(s.1 <= f.1, "flow {} goes backward in time", s.0);
     }
+}
+
+/// An aggressively faulted run: enough frame loss and duplication that the
+/// transport retransmits and drops duplicates, plus a permanent congestion
+/// window so every prefetch is shed. All fault handling happens in simulated
+/// time under a fixed seed, so the export must still be byte-reproducible.
+fn faulted_traced_run<W: Workload>(app: W, protocol: Protocol) -> RunResult {
+    let params = SysParams {
+        trace: true,
+        ..SysParams::default().with_nprocs(4)
+    };
+    let plan = FaultPlan {
+        seed: 0xFA117,
+        drop_permille: 50,
+        dup_permille: 50,
+        congestion: vec![Window {
+            start: 0,
+            end: u64::MAX,
+            extra: 0,
+        }],
+        ..FaultPlan::none()
+    };
+    run_app_with(params, protocol, app, move |sim| {
+        sim.enable_obs();
+        sim.attach_fault_plan(plan);
+    })
+}
+
+#[test]
+fn faulted_run_exports_transport_instants_and_stays_deterministic() {
+    let proto = Protocol::TreadMarks(OverlapMode::IPD);
+    let r1 = faulted_traced_run(tiny_tsp(), proto);
+    let r2 = faulted_traced_run(tiny_tsp(), proto);
+
+    // The plan actually exercised every new trace kind...
+    assert!(r1.fault.retransmits > 0, "no retransmissions under 5% drop");
+    assert!(r1.fault.dup_frames_dropped > 0, "no duplicates suppressed");
+    assert!(
+        r1.fault.prefetch_shed > 0,
+        "no prefetches shed under congestion"
+    );
+
+    // ...each of which renders as a protocol instant in the export.
+    let doc = perfetto_json(&r1);
+    parse(&doc).expect("faulted Perfetto export is well-formed JSON");
+    for needle in [
+        "retransmit_timeout",
+        "\"retransmit ",
+        "duplicate_dropped",
+        "prefetch_shed",
+    ] {
+        assert!(doc.contains(needle), "export lacks {needle} instants");
+    }
+
+    // Span conservation holds on the faulted timeline, and the whole export
+    // is byte-identical across runs of the same seed.
+    let report = MetricsReport::from_run("TSP/I+P+D/faulted", &r1);
+    assert!(report.conservation_ok, "conservation failed under faults");
+    assert_eq!(doc, perfetto_json(&r2));
+    assert_eq!(
+        report.to_json(),
+        MetricsReport::from_run("TSP/I+P+D/faulted", &r2).to_json()
+    );
 }
 
 #[test]

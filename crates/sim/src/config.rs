@@ -79,6 +79,13 @@ pub struct SysParams {
     /// default optimistically charges a single cycle; §5.3 shows AURC
     /// degrading when updates pay the full messaging overhead.
     pub au_messaging_overhead: Cycles,
+    /// Receive-side cost of transport acknowledgement processing (generating
+    /// or absorbing an ack / discarding a duplicate frame), cycles. Only
+    /// charged when a fault plan activates the hardened transport.
+    pub ack_overhead: Cycles,
+    /// Base retransmission timeout for unacknowledged transport frames,
+    /// cycles; doubles per attempt up to the backoff cap.
+    pub retransmit_timeout: Cycles,
     /// Mesh switch latency per hop (cycles).
     pub switch_latency: Cycles,
     /// Wire latency per hop (cycles).
@@ -127,6 +134,8 @@ impl Default for SysParams {
             net_cycles_per_byte: 2.0,
             messaging_overhead: 200,
             au_messaging_overhead: 1,
+            ack_overhead: 100,
+            retransmit_timeout: 20_000,
             switch_latency: 4,
             wire_latency: 2,
             list_processing: 6,
@@ -278,6 +287,8 @@ impl SysParams {
             net_cycles_per_byte,
             messaging_overhead,
             au_messaging_overhead,
+            ack_overhead,
+            retransmit_timeout,
             switch_latency,
             wire_latency,
             list_processing,
@@ -308,6 +319,8 @@ impl SysParams {
         h.write_f64(*net_cycles_per_byte);
         h.write_u64(*messaging_overhead);
         h.write_u64(*au_messaging_overhead);
+        h.write_u64(*ack_overhead);
+        h.write_u64(*retransmit_timeout);
         h.write_u64(*switch_latency);
         h.write_u64(*wire_latency);
         h.write_u64(*list_processing);
@@ -352,6 +365,9 @@ impl SysParams {
         }
         if self.mem_cycles_per_word <= 0.0 || self.net_cycles_per_byte <= 0.0 {
             return Err("bandwidth parameters must be positive".into());
+        }
+        if self.retransmit_timeout == 0 {
+            return Err("retransmit_timeout must be nonzero".into());
         }
         Ok(())
     }

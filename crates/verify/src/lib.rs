@@ -24,6 +24,11 @@
 //! * **Message conservation** — demand traffic drains completely (every
 //!   request exactly one reply), prefetch and fire-and-forget traffic never
 //!   delivers more than was sent, and no foreign diff is applied twice.
+//! * **Frame conservation (retransmit-aware)** — under the hardened
+//!   transport (`fault` feature) every physical frame copy a link sends
+//!   reaches exactly one terminal fate, so per link
+//!   `sent = accepted + duplicate-dropped + dropped`; a frame that vanishes
+//!   without a terminal event (silent loss) breaks the ledger.
 //!
 //! Violations land in `RunResult::violations`; a correct run reports none.
 
@@ -246,6 +251,10 @@ pub struct VerifyOracle {
     checked_vt: Vec<VectorTime>,
     sent: HashMap<(MsgKind, bool), u64>,
     delivered: HashMap<(MsgKind, bool), u64>,
+    /// Per-(link, seq, attempt) transport-frame ledger: +1 at `FrameSent`,
+    /// −1 at the terminal event (accepted / duplicate / dropped). Nonzero
+    /// at finish means a frame copy vanished (or a fate was invented).
+    frames: HashMap<(usize, usize, u64, u32), i64>,
 }
 
 impl VerifyOracle {
@@ -266,6 +275,7 @@ impl VerifyOracle {
             checked_vt: vec![VectorTime::new(n); n],
             sent: HashMap::new(),
             delivered: HashMap::new(),
+            frames: HashMap::new(),
         }
     }
 
@@ -469,6 +479,24 @@ impl VerifyOracle {
                 }
             }
         }
+        // Retransmit-aware frame conservation: every physical copy the
+        // transport sent must have reached exactly one terminal fate, so
+        // per link `sent = accepted + duplicate-dropped + dropped`.
+        for (&(src, dst, seq, attempt), &bal) in &self.frames {
+            match bal.cmp(&0) {
+                std::cmp::Ordering::Greater => findings.push(format!(
+                    "link {src}->{dst}: frame seq {seq} attempt {attempt} sent but never \
+                     accepted/duplicated/dropped ({bal} copies unaccounted — \
+                     sent != accepted + duplicated + dropped)"
+                )),
+                std::cmp::Ordering::Less => findings.push(format!(
+                    "link {src}->{dst}: frame seq {seq} attempt {attempt} reached {} more \
+                     terminal fates than sends",
+                    -bal
+                )),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
         findings.sort();
         for detail in findings {
             self.push(Violation::MessageConservation { detail });
@@ -518,6 +546,34 @@ impl Observer for VerifyOracle {
             }
             ProtocolEvent::MsgDelivered { kind, demand, .. } => {
                 *self.delivered.entry((*kind, *demand)).or_insert(0) += 1;
+            }
+            ProtocolEvent::FrameSent {
+                src,
+                dst,
+                seq,
+                attempt,
+            } => {
+                *self.frames.entry((*src, *dst, *seq, *attempt)).or_insert(0) += 1;
+            }
+            ProtocolEvent::FrameAccepted {
+                src,
+                dst,
+                seq,
+                attempt,
+            }
+            | ProtocolEvent::FrameDuplicate {
+                src,
+                dst,
+                seq,
+                attempt,
+            }
+            | ProtocolEvent::FrameDropped {
+                src,
+                dst,
+                seq,
+                attempt,
+            } => {
+                *self.frames.entry((*src, *dst, *seq, *attempt)).or_insert(0) -= 1;
             }
             _ => {}
         }
@@ -900,6 +956,94 @@ mod tests {
             });
         }
         assert!(o.finish().is_empty());
+    }
+
+    #[test]
+    fn silently_lost_frame_breaks_frame_conservation() {
+        let mut o = oracle();
+        o.on_event(&ProtocolEvent::FrameSent {
+            src: 0,
+            dst: 1,
+            seq: 4,
+            attempt: 0,
+        });
+        // No terminal fate: the frame vanished between the wire and the
+        // receive window. The ledger must flag it.
+        let v = o.finish();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::MessageConservation { detail }
+                    if detail.contains("seq 4") && detail.contains("never")
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn retransmitted_and_duplicated_frames_balance() {
+        let mut o = oracle();
+        // Attempt 0 dropped by the plan; attempt 1 accepted; a fault-injected
+        // duplicate copy of attempt 1 discarded at the receive window; one
+        // straggler drained at end of run. All fates accounted — clean.
+        let frame = |seq, attempt| (0usize, 1usize, seq as u64, attempt as u32);
+        let send = |o: &mut VerifyOracle, (src, dst, seq, attempt)| {
+            o.on_event(&ProtocolEvent::FrameSent {
+                src,
+                dst,
+                seq,
+                attempt,
+            });
+        };
+        send(&mut o, frame(0, 0));
+        o.on_event(&ProtocolEvent::FrameDropped {
+            src: 0,
+            dst: 1,
+            seq: 0,
+            attempt: 0,
+        });
+        send(&mut o, frame(0, 1));
+        send(&mut o, frame(0, 1)); // duplicate physical copy
+        o.on_event(&ProtocolEvent::FrameAccepted {
+            src: 0,
+            dst: 1,
+            seq: 0,
+            attempt: 1,
+        });
+        o.on_event(&ProtocolEvent::FrameDuplicate {
+            src: 0,
+            dst: 1,
+            seq: 0,
+            attempt: 1,
+        });
+        send(&mut o, frame(1, 0));
+        o.on_event(&ProtocolEvent::FrameDropped {
+            src: 0,
+            dst: 1,
+            seq: 1,
+            attempt: 0,
+        });
+        assert!(o.finish().is_empty());
+    }
+
+    #[test]
+    fn invented_terminal_fate_is_flagged() {
+        let mut o = oracle();
+        o.on_event(&ProtocolEvent::FrameAccepted {
+            src: 2,
+            dst: 3,
+            seq: 9,
+            attempt: 0,
+        });
+        let v = o.finish();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::MessageConservation { detail }
+                    if detail.contains("more") && detail.contains("terminal")
+            )),
+            "{v:?}"
+        );
     }
 
     #[test]

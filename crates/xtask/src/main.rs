@@ -5,7 +5,7 @@
 //!
 //! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
 //! truncated cycle counter just bends the curves. This gate therefore runs
-//! even when tests are output-identical, enforcing six rules on the
+//! even when tests are output-identical, enforcing seven rules on the
 //! protocol hot paths plus the workspace-wide `cargo fmt --check` and
 //! `cargo clippy -- -D warnings`:
 //!
@@ -35,6 +35,14 @@
 //!    `obs_last_span(` within the same call — the execution-graph builder
 //!    rejects edges dangling off activity the span log never recorded, so
 //!    an unanchored edge is a guaranteed graph-validation failure.
+//! 7. **No unbounded retry loops.** Every retransmission/backoff site in
+//!    `crates/core/src` and `crates/net/src` — a `retransmit_timeout`
+//!    shifted for exponential backoff, or an `attempt` counter being
+//!    advanced — must reference a compile-time `MAX_`-prefixed cap constant
+//!    within a few surrounding lines (e.g. `MAX_BACKOFF_EXP`,
+//!    `MAX_RETX_ATTEMPTS`). An uncapped retry loop under a fault plan that
+//!    keeps dropping frames is a livelock, and under a shifted timeout it
+//!    is a cycle-counter overflow; both are invisible to fault-free tests.
 //!
 //! Test modules (`#[cfg(test)]` onward) are exempt.
 //!
@@ -116,6 +124,13 @@ const EDGE_EMISSION_FILES: &[&str] = &[
 /// How many lines an `obs_edge(` call may span while the scanner looks for
 /// its `obs_last_span(` anchor argument.
 const EDGE_CALL_WINDOW: usize = 12;
+
+/// Directories scanned for uncapped retry/backoff sites (rule 7).
+const RETRY_DIRS: &[&str] = &["crates/core/src", "crates/net/src"];
+
+/// How far (in lines, both directions) a retry/backoff site may be from the
+/// `MAX_`-prefixed cap constant that bounds it.
+const RETRY_CAP_WINDOW: usize = 12;
 
 struct Finding {
     file: PathBuf,
@@ -347,6 +362,54 @@ fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
     }
     for rel in EDGE_EMISSION_FILES {
         scan_edge_anchors(root, rel, findings);
+    }
+    for dir in RETRY_DIRS {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                scan_unbounded_retry(root, &path, findings);
+            }
+        }
+    }
+}
+
+/// Rule 7: every retry/backoff site must sit next to a `MAX_` cap constant.
+fn scan_unbounded_retry(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Some(src) = non_test_source(path) else {
+        return;
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let code = strip_comment(line);
+        let backoff_shift = code.contains("retransmit_timeout") && code.contains("<<");
+        let attempt_advance = code.contains("attempt += 1") || code.contains("attempt + 1");
+        if !(backoff_shift || attempt_advance) {
+            continue;
+        }
+        if line.contains("lint:allow") {
+            continue;
+        }
+        let lo = i.saturating_sub(RETRY_CAP_WINDOW);
+        let hi = (i + RETRY_CAP_WINDOW + 1).min(lines.len());
+        let capped = lines[lo..hi]
+            .iter()
+            .any(|l| strip_comment(l).contains("MAX_"));
+        if !capped {
+            let rel = path.strip_prefix(root).unwrap_or(path);
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: "unbounded-retry",
+                text: format!(
+                    "retry/backoff site without a `MAX_` cap constant within \
+                     {RETRY_CAP_WINDOW} lines: {}",
+                    line.trim()
+                ),
+            });
+        }
     }
 }
 

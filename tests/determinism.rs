@@ -136,6 +136,55 @@ fn parallel_engine_equals_serial_engine_byte_for_byte() {
     }
 }
 
+/// Same, under chaos: every tier-1 job carries a nonzero fault plan (drop +
+/// duplicate + ack loss + a reordering latency spike), so retransmission
+/// timers, duplicate suppression and resequencing all run — in simulated
+/// time. `--jobs 1` and `--jobs 8` must still agree byte-for-byte, down to
+/// the fault counters themselves.
+#[test]
+fn faulted_parallel_engine_equals_serial_engine_byte_for_byte() {
+    use ncp2_bench::engine::{tier1_grid, Engine};
+    use ncp2_fault::{FaultPlan, LinkWindow};
+
+    let mut grid = tier1_grid(&["Base", "I+P+D", "AURC+P"]);
+    for job in &mut grid.jobs {
+        job.fault = FaultPlan {
+            seed: 0xD15EA5E,
+            drop_permille: 15,
+            dup_permille: 10,
+            ack_faults: true,
+            spikes: vec![LinkWindow {
+                src: 0,
+                dst: 1,
+                start: 0,
+                end: 500_000,
+                extra: 3_000,
+            }],
+            ..FaultPlan::none()
+        };
+    }
+    let serial = Engine::new().no_cache().silent().with_jobs(1).run(&grid);
+    let parallel = Engine::new().no_cache().silent().with_jobs(8).run(&grid);
+    assert_eq!(serial.len(), grid.jobs.len());
+    let mut retransmits = 0;
+    for ((job, a), b) in grid.jobs.iter().zip(&serial).zip(&parallel) {
+        let label = &job.label;
+        assert_eq!(
+            a.result.total_cycles, b.result.total_cycles,
+            "{label}: faulted cycle counts differ between --jobs 1 and --jobs 8"
+        );
+        assert_eq!(a.result.checksum, b.result.checksum, "{label}: checksums");
+        assert_eq!(a.result.nodes, b.result.nodes, "{label}: node stats");
+        assert_eq!(a.result.net, b.result.net, "{label}: traffic");
+        assert_eq!(
+            a.result.fault, b.result.fault,
+            "{label}: fault counters differ between --jobs 1 and --jobs 8"
+        );
+        retransmits += a.result.fault.retransmits;
+    }
+    assert!(retransmits > 0, "the chaos plan never forced a retransmit");
+}
+
 #[test]
 fn parameter_changes_do_not_change_results() {
     // Timing parameters must be timing-only: any data effect is a bug.
