@@ -5,7 +5,7 @@ set -eux
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
-cargo xtask lint --scan-only
+cargo xtask lint --scan-only --json > target/lint_report.json
 cargo build --release
 cargo test -q
 

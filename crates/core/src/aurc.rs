@@ -47,7 +47,8 @@ impl Simulation {
                 // Ablation: pairwise disabled — a second sharer goes straight
                 // to home mode.
                 let home =
-                    (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.params.nprocs;
+                    // overflow: Fibonacci-hash multiply — wraparound is the mixing step.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.params.nprocs;
                 (AurcMode::Home(home), Some(a))
             }
             Some(AurcMode::Pairwise(a, b, r)) if a == pid || b == pid => {
@@ -66,7 +67,8 @@ impl Simulation {
                 // their own writers). The last pair members keep valid
                 // copies.
                 let home =
-                    (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.params.nprocs;
+                    // overflow: Fibonacci-hash multiply — wraparound is the mixing step.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.params.nprocs;
                 let _ = (a, b);
                 (
                     AurcMode::Home(home),

@@ -6,7 +6,7 @@
 //! invalidate pages named by notices whose intervals they have not yet seen
 //! (§2 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::page::PageId;
 use crate::vtime::{IntervalId, VectorTime};
@@ -58,7 +58,7 @@ impl IntervalAnnouncement {
 /// an acquirer, and garbage-collected at barriers.
 #[derive(Debug, Clone, Default)]
 pub struct IntervalStore {
-    map: HashMap<(usize, IntervalId), IntervalAnnouncement>,
+    map: BTreeMap<(usize, IntervalId), IntervalAnnouncement>,
 }
 
 impl IntervalStore {
@@ -91,21 +91,17 @@ impl IntervalStore {
     /// a releaser must announce to an acquirer. Returned in deterministic
     /// `(owner, id)` order.
     pub fn missing_for(&self, their_vt: &VectorTime) -> Vec<IntervalAnnouncement> {
-        let mut out: Vec<&IntervalAnnouncement> = self
-            .map
+        self.map
             .values()
             .filter(|a| !their_vt.covers_interval(a.owner, a.id))
-            .collect();
-        out.sort_by_key(|a| (a.owner, a.id));
-        out.into_iter().cloned().collect()
+            .cloned()
+            .collect()
     }
 
     /// Every retained interval in deterministic `(owner, id)` order (used
     /// by barrier managers to broadcast the merged announcement set).
     pub fn all(&self) -> Vec<IntervalAnnouncement> {
-        let mut out: Vec<&IntervalAnnouncement> = self.map.values().collect();
-        out.sort_by_key(|a| (a.owner, a.id));
-        out.into_iter().cloned().collect()
+        self.map.values().cloned().collect()
     }
 
     /// Drops every interval covered by `floor` (a vector time all

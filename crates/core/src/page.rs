@@ -104,7 +104,7 @@ impl PageBuf {
     pub fn word(&self, idx: usize) -> u32 {
         match self.data.get(idx * 4..idx * 4 + 4) {
             Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
-            None => panic!("word {idx} outside {}-word page", self.words()), // lint:allow invariant failure
+            None => panic!("word {idx} outside {}-word page", self.words()), // invariant: word indices come from a same-sized page copy (see doc)
         }
     }
 
@@ -117,7 +117,7 @@ impl PageBuf {
         let words = self.words();
         match self.data.get_mut(idx * 4..idx * 4 + 4) {
             Some(b) => b.copy_from_slice(&value.to_le_bytes()),
-            None => panic!("word {idx} outside {words}-word page"), // lint:allow invariant failure
+            None => panic!("word {idx} outside {words}-word page"), // invariant: word indices come from a same-sized page copy (see doc)
         }
     }
 

@@ -604,6 +604,8 @@ impl ObsRecorder {
     /// issue→first-use dependency edge.
     pub fn prefetch_used(&mut self, node: usize, page: u64, t: Cycles) {
         if let Some(done) = self.prefetch_done.remove(&(node, page)) {
+            // overflow: use time can precede completion under reordered event
+            // delivery; clamp the distance to zero rather than panic.
             self.log.prefetch_use.push((node, t.saturating_sub(done)));
         }
         if let Some((issue, sid)) = self.prefetch_issue.remove(&(node, page)) {

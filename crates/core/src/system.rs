@@ -874,6 +874,8 @@ impl Simulation {
             nd.mem.read(now, addr, &params)
         };
         let hit_cycles = if out.cache_hit || write { 1 } else { 0 };
+        // overflow: a same-cycle hit makes the window shorter than the
+        // busy charge; clamp the remainder to zero.
         let other = (out.done - now).saturating_sub(hit_cycles);
         nd.time = out.done;
         nd.stats.breakdown.add(Category::Busy, hit_cycles);
@@ -1085,6 +1087,8 @@ impl Simulation {
         {
             let nd = &mut self.nodes[pid];
             debug_assert_eq!(nd.status, ProcStatus::Blocked, "wake of non-blocked {pid}");
+            // overflow: zero-length waits can wake in the arrival cycle;
+            // clamp rather than underflow.
             let wait_dur = t.saturating_sub(nd.wait_start);
             reclass = nd.ipc_during_wait.min(wait_dur);
             stall = wait_dur - reclass;

@@ -29,7 +29,7 @@
 //! last also covering end-of-run drains) — the retransmit-aware conservation
 //! law `ncp2-verify` checks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ncp2_fault::FaultPlan;
 use ncp2_sim::{Category, Cycles, Priority};
@@ -95,8 +95,8 @@ struct LinkRx {
 #[derive(Debug)]
 pub(crate) struct FaultCtx {
     pub(crate) plan: FaultPlan,
-    tx: HashMap<(usize, usize), LinkTx>,
-    rx: HashMap<(usize, usize), LinkRx>,
+    tx: BTreeMap<(usize, usize), LinkTx>,
+    rx: BTreeMap<(usize, usize), LinkRx>,
     pub(crate) stats: crate::stats::FaultStats,
 }
 
@@ -104,8 +104,8 @@ impl FaultCtx {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         FaultCtx {
             plan,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
             stats: crate::stats::FaultStats::default(),
         }
     }
@@ -299,9 +299,10 @@ impl Simulation {
         }
         if lost || down {
             if down && !lost {
-                // invariant: checked ctx present just above
                 self.fault
                     .as_mut()
+                    // invariant: the `lost || down` arm is only reachable
+                    // with a fault ctx installed.
                     .expect("frame without fault ctx")
                     .stats
                     .drops_injected += 1;
@@ -544,9 +545,10 @@ impl Simulation {
             }
         };
         if shed {
-            // invariant: shed == true implies the ctx matched Some above
             self.fault
                 .as_mut()
+                // invariant: `shed == true` implies the ctx matched `Some`
+                // in the policy match above.
                 .expect("shed without fault ctx")
                 .stats
                 .prefetch_shed += 1;

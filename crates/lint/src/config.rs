@@ -1,0 +1,124 @@
+//! Workspace scoping: which files each rule polices, and which files are
+//! compiled only under a cargo feature (gated at their `mod` site, so the
+//! hygiene rule treats every line as gated).
+//!
+//! Paths are workspace-relative with forward slashes. Scopes are data, not
+//! code, so adding a file to a rule's beat is a one-line change here.
+
+/// Protocol hot paths: message handlers and synchronization machinery.
+/// Panic rules (`forbidden-panic`, `undocumented-panic`) police these.
+pub const HANDLER_FILES: &[&str] = &[
+    "crates/core/src/system.rs",
+    "crates/core/src/treadmarks.rs",
+    "crates/core/src/aurc.rs",
+    "crates/core/src/sync.rs",
+    "crates/core/src/transport.rs",
+    "crates/net/src/lib.rs",
+    "crates/net/src/router.rs",
+    "crates/net/src/topology.rs",
+];
+
+/// Data-plane files where unchecked indexing is additionally policed.
+pub const INDEX_FILES: &[&str] = &[
+    "crates/core/src/diff.rs",
+    "crates/core/src/bitvec.rs",
+    "crates/core/src/page.rs",
+];
+
+/// Crates whose sources are scanned for truncating cycle casts.
+pub const CYCLE_CAST_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/net/src",
+    "crates/mem/src",
+    "crates/stats/src",
+    "crates/obs/src",
+];
+
+/// Crates that must never read wall-clock time: the simulation and
+/// everything that post-processes its (deterministic) output.
+pub const SIMULATED_TIME_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/obs/src",
+    "crates/fault/src",
+    "crates/verify/src",
+];
+
+/// Directory whose binaries must route every simulation through the
+/// experiment engine.
+pub const ENGINE_ONLY_DIR: &str = "crates/bench/src/bin";
+
+/// Files whose `obs_edge(` emission sites must anchor to a recorded span.
+pub const EDGE_EMISSION_FILES: &[&str] = &[
+    "crates/core/src/system.rs",
+    "crates/core/src/sync.rs",
+    "crates/core/src/treadmarks.rs",
+    "crates/core/src/aurc.rs",
+];
+
+/// Directories scanned for uncapped retry/backoff sites.
+pub const RETRY_DIRS: &[&str] = &["crates/core/src", "crates/net/src"];
+
+/// How far (in lines, both directions) a retry/backoff site may be from the
+/// `MAX_`-prefixed cap constant that bounds it.
+pub const RETRY_CAP_WINDOW: u32 = 12;
+
+/// Crates whose output feeds checksums, metrics JSON, bench cache keys or
+/// committed golden files — iterating a hash-order collection there is a
+/// reproducibility hazard (`nondeterministic-iteration`).
+pub const DETERMINISTIC_OUTPUT_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/net/src",
+    "crates/mem/src",
+    "crates/stats/src",
+    "crates/obs/src",
+    "crates/apps/src",
+    "crates/verify/src",
+    "crates/fault/src",
+    "crates/bench/src",
+    "crates/lint/src",
+];
+
+/// Crates policed by `feature-hook-hygiene`.
+pub const HOOK_HYGIENE_DIRS: &[&str] = &["crates/core/src", "crates/net/src"];
+
+/// Feature-carrying fields: consulting `self.<field>` outside a matching
+/// `#[cfg(feature = …)]` region breaks the zero-cost hook guarantee.
+pub const HOOK_FIELDS: &[(&str, &str)] = &[
+    ("obs", "obs"),
+    ("observer", "verify"),
+    ("drop_notice_armed", "verify"),
+    ("fault", "fault"),
+    ("silent_frame_loss_armed", "fault"),
+    ("plan", "fault"),
+];
+
+/// Files compiled only under a feature via a `#[cfg(feature = …)] mod` in
+/// their parent — every line counts as gated for that feature.
+pub const WHOLE_FILE_GATES: &[(&str, &str)] = &[("crates/core/src/transport.rs", "fault")];
+
+/// Crates where saturating/wrapping arithmetic is overwhelmingly
+/// cycle-counter math and must justify overflow behavior.
+pub const CYCLE_ARITH_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/net/src",
+    "crates/mem/src",
+    "crates/obs/src",
+];
+
+/// True when `rel` lives under any of `dirs`.
+pub fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
+    dirs.iter()
+        .any(|d| rel.strip_prefix(d).is_some_and(|r| r.starts_with('/')))
+}
+
+/// The whole-file feature gate for `rel`, if any.
+pub fn whole_file_gate(rel: &str) -> Option<&'static str> {
+    WHOLE_FILE_GATES
+        .iter()
+        .find(|(f, _)| *f == rel)
+        .map(|&(_, feat)| feat)
+}

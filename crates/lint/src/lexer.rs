@@ -1,0 +1,476 @@
+//! A minimal Rust lexer with line/column tracking.
+//!
+//! The whole point of this module is what it *refuses* to see: the old
+//! line-oriented `contains()` scanner in xtask fired on rule patterns inside
+//! string literals and missed everything after the first `/*` of a block
+//! comment. This lexer produces a token stream in which string literals
+//! (plain, raw, byte, byte-raw), char literals, lifetimes and comments
+//! (line, doc, block — including *nested* block comments) are each a single
+//! token, so rules can pattern-match over code tokens and never trip on
+//! prose or test data.
+//!
+//! It is not a full Rust lexer — multi-character operators come out as
+//! individual punctuation tokens (`<<` is two `<`), and float exponents may
+//! split — but every token boundary that matters for lint soundness
+//! (string/comment/char/lifetime recognition, nesting) follows the real
+//! language.
+
+/// What a token is, at the granularity rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `fn`, `unwrap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` comment that is not a doc comment.
+    LineComment,
+    /// `/// …` or `//! …` doc comment.
+    DocLineComment,
+    /// `/* … */` comment (nesting folded into one token), not a doc comment.
+    BlockComment,
+    /// `/** … */` or `/*! … */` doc comment.
+    DocBlockComment,
+}
+
+impl TokKind {
+    /// True for the four comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment
+                | TokKind::DocLineComment
+                | TokKind::BlockComment
+                | TokKind::DocBlockComment
+        )
+    }
+
+    /// True for doc comments (which never carry lint suppressions — doc
+    /// prose routinely *describes* the suppression syntax).
+    pub fn is_doc(self) -> bool {
+        matches!(self, TokKind::DocLineComment | TokKind::DocBlockComment)
+    }
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Raw source text of the token, delimiters included.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into a flat token stream (comments included, whitespace
+/// dropped). Never fails: unterminated literals and comments extend to the
+/// end of input, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = match c {
+            '/' if cur.peek_at(1) == Some('/') => line_comment(&mut cur),
+            '/' if cur.peek_at(1) == Some('*') => block_comment(&mut cur),
+            '"' => string(&mut cur),
+            '\'' => char_or_lifetime(&mut cur),
+            'r' | 'b' if raw_or_byte_start(&cur) => raw_or_byte(&mut cur),
+            c if c == '_' || c.is_alphabetic() => ident(&mut cur),
+            c if c.is_ascii_digit() => number(&mut cur),
+            _ => {
+                let mut text = String::new();
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+                (TokKind::Punct, text)
+            }
+        };
+        toks.push(Tok {
+            kind: tok.0,
+            text: tok.1,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// True when the cursor sits on a raw string (`r"`, `r#`), byte string
+/// (`b"`), byte-raw string (`br"`, `br#`) or byte char (`b'`) prefix —
+/// as opposed to a plain identifier starting with `r` or `b`.
+fn raw_or_byte_start(cur: &Cursor) -> bool {
+    // `r#…` is a raw *string* only when a quote follows the hash run;
+    // otherwise it is a raw identifier (`r#type`) and belongs to `ident`.
+    let hashes_then_quote = |from: usize| {
+        let mut i = from;
+        while cur.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        i > from && cur.peek_at(i) == Some('"')
+    };
+    match (cur.peek(), cur.peek_at(1), cur.peek_at(2)) {
+        (Some('r'), Some('"'), _) => true,
+        (Some('r'), Some('#'), _) => hashes_then_quote(1),
+        (Some('b'), Some('"' | '\''), _) => true,
+        (Some('b'), Some('r'), Some('"')) => true,
+        (Some('b'), Some('r'), Some('#')) => hashes_then_quote(2),
+        _ => false,
+    }
+}
+
+fn line_comment(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // `///` (but not `////`) and `//!` are doc comments.
+    let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    let kind = if doc {
+        TokKind::DocLineComment
+    } else {
+        TokKind::LineComment
+    };
+    (kind, text)
+}
+
+fn block_comment(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    for _ in 0..2 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                for _ in 0..2 {
+                    if let Some(c) = cur.bump() {
+                        text.push(c);
+                    }
+                }
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                for _ in 0..2 {
+                    if let Some(c) = cur.bump() {
+                        text.push(c);
+                    }
+                }
+            }
+            (Some(_), _) => {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            (None, _) => break, // unterminated: runs to EOF
+        }
+    }
+    // `/**` (but not `/***` or the degenerate `/**/`) and `/*!` are doc.
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!");
+    let kind = if doc {
+        TokKind::DocBlockComment
+    } else {
+        TokKind::BlockComment
+    };
+    (kind, text)
+}
+
+/// Plain `"…"` string with backslash escapes.
+fn string(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening quote
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    (TokKind::Str, text)
+}
+
+/// `r"…"`, `r#"…"#` (any hash count), `b"…"`, `b'…'`, `br#"…"#`.
+fn raw_or_byte(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    // Consume the `r` / `b` / `br` prefix.
+    while matches!(cur.peek(), Some('r' | 'b')) {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        if text.len() >= 2 {
+            break;
+        }
+    }
+    if cur.peek() == Some('\'') {
+        // Byte char: delegate; it cannot be a lifetime.
+        let (_, rest) = char_literal(cur);
+        text.push_str(&rest);
+        return (TokKind::Char, text);
+    }
+    let raw = text.ends_with('r');
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c); // opening quote
+        }
+        // Scan for `"` followed by `hashes` hashes; no escapes in raw strings.
+        'outer: while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '"' {
+                for i in 0..hashes {
+                    if cur.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    if let Some(h) = cur.bump() {
+                        text.push(h);
+                    }
+                }
+                break;
+            }
+        }
+        (TokKind::Str, text)
+    } else {
+        // `b"…"`: same escape rules as a plain string.
+        let (_, rest) = string(cur);
+        text.push_str(&rest);
+        (TokKind::Str, text)
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) and lexes it.
+fn char_or_lifetime(cur: &mut Cursor) -> (TokKind, String) {
+    // A lifetime is `'` + ident whose run is NOT followed by a closing `'`.
+    let mut run = 0usize;
+    while let Some(c) = cur.peek_at(1 + run) {
+        if c == '_' || c.is_alphanumeric() {
+            run += 1;
+        } else {
+            break;
+        }
+    }
+    let lifetime = run > 0 && cur.peek_at(1 + run) != Some('\'');
+    if lifetime {
+        let mut text = String::new();
+        for _ in 0..=run {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        return (TokKind::Lifetime, text);
+    }
+    char_literal(cur)
+}
+
+/// A char literal, cursor on the opening `'`. Handles `'\''`, `'\\'` and
+/// `'\u{…}'`.
+fn char_literal(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    if let Some(c) = cur.bump() {
+        text.push(c); // opening quote
+    }
+    match cur.bump() {
+        Some('\\') => {
+            text.push('\\');
+            if let Some(e) = cur.bump() {
+                text.push(e);
+                if e == 'u' {
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(c) => text.push(c),
+        None => return (TokKind::Char, text),
+    }
+    if cur.peek() == Some('\'') {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    (TokKind::Char, text)
+}
+
+fn ident(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    // Raw identifier prefix `r#` is folded into the ident token.
+    if cur.peek() == Some('r') && cur.peek_at(1) == Some('#') {
+        cur.bump();
+        cur.bump();
+    }
+    while let Some(c) = cur.peek() {
+        if c == '_' || c.is_alphanumeric() {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    (TokKind::Ident, text)
+}
+
+fn number(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '_' || c.is_ascii_alphanumeric() {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part only when a digit follows the dot, so `0..10` stays
+    // three tokens.
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    (TokKind::Num, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_comment())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_swallow_rule_patterns() {
+        let toks = code(r#"let s = "a.unwrap() // no";"#);
+        assert_eq!(toks, vec!["let", "s", "=", r#""a.unwrap() // no""#, ";"]);
+    }
+
+    #[test]
+    fn nested_block_comments_fold() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn raw_strings_respect_hashes() {
+        let toks = code(r###"let s = r#"quote " inside"#;"###);
+        assert_eq!(toks[3], r###"r#"quote " inside"#"###);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a u8) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,131 @@
+//! Panic-path and unchecked-indexing rules for the protocol hot paths.
+
+use crate::config::{HANDLER_FILES, INDEX_FILES};
+use crate::diag::Diagnostic;
+use crate::engine::{FileCtx, Rule};
+use crate::rules::{macro_call, method_call};
+
+fn panic_scope(rel: &str) -> bool {
+    HANDLER_FILES.contains(&rel) || INDEX_FILES.contains(&rel)
+}
+
+/// `forbidden-panic`: `.unwrap()`, `todo!` and `unimplemented!` are
+/// forbidden outright in protocol hot paths — a lost diff must surface as
+/// a typed error or a documented invariant, never a bare unwrap.
+pub struct ForbiddenPanic;
+
+impl Rule for ForbiddenPanic {
+    fn id(&self) -> &'static str {
+        "forbidden-panic"
+    }
+    fn summary(&self) -> &'static str {
+        "`.unwrap()` / `todo!` / `unimplemented!` are forbidden in protocol hot paths"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        panic_scope(rel)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for i in 0..ctx.code.len() {
+            if method_call(&ctx.code, i, "unwrap") {
+                out.push(ctx.diag(
+                    &ctx.code[i + 1],
+                    self.id(),
+                    "`.unwrap()` in a protocol hot path".into(),
+                ));
+            }
+            for mac in ["todo", "unimplemented"] {
+                if macro_call(&ctx.code, i, mac) {
+                    out.push(ctx.diag(
+                        &ctx.code[i],
+                        self.id(),
+                        format!("`{mac}!` in a protocol hot path"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `undocumented-panic`: `.expect(…)` and `panic!(…)` must carry an
+/// `// invariant:` justification on the same line or in the comment block
+/// directly above.
+pub struct UndocumentedPanic;
+
+impl Rule for UndocumentedPanic {
+    fn id(&self) -> &'static str {
+        "undocumented-panic"
+    }
+    fn summary(&self) -> &'static str {
+        "`.expect(…)` / `panic!(…)` need an `// invariant:` justification"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        panic_scope(rel)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for i in 0..ctx.code.len() {
+            let hit = if method_call(&ctx.code, i, "expect") {
+                Some((&ctx.code[i + 1], "`.expect(…)`"))
+            } else if macro_call(&ctx.code, i, "panic") {
+                Some((&ctx.code[i], "`panic!(…)`"))
+            } else {
+                None
+            };
+            if let Some((tok, what)) = hit {
+                if !ctx.justified(tok.line, "invariant:") {
+                    out.push(ctx.diag(
+                        tok,
+                        self.id(),
+                        format!("{what} without an `// invariant:` justification"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `unchecked-index`: direct indexing of the page/bit-vector buffers (and
+/// `.try_into().expect` conversions) in the data-plane files needs an
+/// `// invariant:` naming the guarding check.
+pub struct UncheckedIndex;
+
+impl Rule for UncheckedIndex {
+    fn id(&self) -> &'static str {
+        "unchecked-index"
+    }
+    fn summary(&self) -> &'static str {
+        "data-plane `self.data[…]`/`self.bits[…]` need an `// invariant:` naming the guard"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        INDEX_FILES.contains(&rel)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let field_index = code[i].is_ident("self")
+                && code.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && code
+                    .get(i + 2)
+                    .is_some_and(|t| t.is_ident("data") || t.is_ident("bits"))
+                && code.get(i + 3).is_some_and(|t| t.is_punct('['));
+            let lossy_convert = method_call(code, i, "try_into")
+                && code.get(i + 3).is_some_and(|t| t.is_punct(')'))
+                && code.get(i + 4).is_some_and(|t| t.is_punct('.'))
+                && code.get(i + 5).is_some_and(|t| t.is_ident("expect"));
+            if field_index || lossy_convert {
+                let tok = if field_index {
+                    &code[i + 2]
+                } else {
+                    &code[i + 1]
+                };
+                if !ctx.justified(tok.line, "invariant:") {
+                    out.push(ctx.diag(
+                        tok,
+                        self.id(),
+                        "unchecked data-plane access without an `// invariant:` naming its guard"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Timing-plane rules: cycle counters must never silently truncate, wrap
+//! without justification, or come from the wall clock.
+
+use crate::config::{in_dirs, CYCLE_ARITH_DIRS, CYCLE_CAST_DIRS, SIMULATED_TIME_DIRS};
+use crate::diag::Diagnostic;
+use crate::engine::{FileCtx, Rule};
+use crate::lexer::TokKind;
+
+const TRUNCATING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `truncating-cycle-cast`: a line that handles a cycle quantity must not
+/// cast to a sub-64-bit integer — silent wraparound in the timing plane is
+/// exactly the class of bug tests cannot see.
+pub struct TruncatingCycleCast;
+
+impl Rule for TruncatingCycleCast {
+    fn id(&self) -> &'static str {
+        "truncating-cycle-cast"
+    }
+    fn summary(&self) -> &'static str {
+        "no `as u8/u16/u32/i8/i16/i32` on lines handling cycle quantities"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        in_dirs(rel, CYCLE_CAST_DIRS)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            if !code[i].is_ident("as") {
+                continue;
+            }
+            let Some(target) = code.get(i + 1) else {
+                continue;
+            };
+            if target.kind != TokKind::Ident || !TRUNCATING_TARGETS.contains(&target.text.as_str())
+            {
+                continue;
+            }
+            let cycle_line = ctx
+                .code_on_line(code[i].line)
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("cycle"));
+            if cycle_line {
+                out.push(ctx.diag(
+                    &code[i],
+                    self.id(),
+                    format!("truncating `as {}` on a cycle quantity", target.text),
+                ));
+            }
+        }
+    }
+}
+
+/// `wall-clock-in-sim`: `Instant`/`SystemTime` are forbidden in the
+/// simulated-time crates — every timestamp there must be simulated cycles,
+/// or determinism (and the byte-identical exports) dies.
+pub struct WallClockInSim;
+
+impl Rule for WallClockInSim {
+    fn id(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+    fn summary(&self) -> &'static str {
+        "no `Instant`/`SystemTime` in simulated-time crates"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        in_dirs(rel, SIMULATED_TIME_DIRS)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        for t in &ctx.code {
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                out.push(ctx.diag(
+                    t,
+                    self.id(),
+                    format!("`{}` in a simulated-time crate (use cycles)", t.text),
+                ));
+            }
+        }
+    }
+}
+
+/// `unjustified-saturating-cycle-arith`: saturating/wrapping arithmetic in
+/// the simulated-time crates is overwhelmingly cycle-counter math; each
+/// site must cite why overflow is impossible or intended via an
+/// `// overflow:` comment, or carry a suppression. A saturation that
+/// silently clamps a cycle counter bends every curve downstream of it.
+pub struct SaturatingCycleArith;
+
+impl Rule for SaturatingCycleArith {
+    fn id(&self) -> &'static str {
+        "unjustified-saturating-cycle-arith"
+    }
+    fn summary(&self) -> &'static str {
+        "`saturating_*`/`wrapping_*` need an `// overflow:` justification"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        in_dirs(rel, CYCLE_ARITH_DIRS)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let is_call = code[i].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| {
+                    t.kind == TokKind::Ident
+                        && (t.text.starts_with("saturating_") || t.text.starts_with("wrapping_"))
+                })
+                && code.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if !is_call {
+                continue;
+            }
+            let tok = &code[i + 1];
+            if !ctx.justified(tok.line, "overflow:") {
+                out.push(ctx.diag(
+                    tok,
+                    self.id(),
+                    format!(
+                        "`.{}(…)` without an `// overflow:` comment saying why \
+                         overflow is impossible or intended",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Regression fixtures for the comment/string handling the old line
+//! scanner got wrong. Its `strip_comment` only cut `//` tails and knew
+//! nothing of string literals or block comments, so rule patterns inside
+//! either produced false positives — and a `#[cfg(test)]` mentioned in a
+//! string truncated the whole scan, producing false negatives. Each case
+//! here drives a full `lint_source` pass, pinning the behavior end to end.
+
+use ncp2_lint::lint_source;
+
+fn finding_count(rel: &str, src: &str) -> usize {
+    lint_source(rel, src).findings.len()
+}
+
+#[test]
+fn rule_patterns_inside_string_literals_do_not_fire() {
+    // `.unwrap()` and `panic!` appear only as message text.
+    let src = r###"
+fn describe() -> &'static str {
+    "never call .unwrap() or panic!(..) in handlers"
+}
+
+fn raw() -> &'static str {
+    r#"todo!() and unimplemented!() are banned; so is x.unwrap()"#
+}
+"###;
+    assert_eq!(finding_count("crates/core/src/sync.rs", src), 0);
+}
+
+#[test]
+fn rule_patterns_inside_block_comments_do_not_fire() {
+    let src = r"
+/* A handler must never x.unwrap() — route the error.
+   /* nested: even panic!() in here is prose, */
+   and this tail is still comment. */
+fn route(&self) -> Option<usize> {
+    self.owner
+}
+";
+    assert_eq!(finding_count("crates/core/src/sync.rs", src), 0);
+}
+
+#[test]
+fn block_comment_tail_on_code_line_still_lints_the_code() {
+    // The code after `*/` is real and must still fire.
+    let src = "
+fn f(x: Option<u32>) -> u32 {
+    /* prose */ x.unwrap()
+}
+";
+    let report = lint_source("crates/core/src/sync.rs", src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "forbidden-panic");
+    assert_eq!(report.findings[0].line, 3);
+}
+
+#[test]
+fn string_containing_comment_opener_does_not_swallow_code() {
+    // `"/*"` must not start a comment: the unwrap after it is live code.
+    let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let _marker = "/*";
+    x.unwrap()
+}
+"#;
+    let report = lint_source("crates/core/src/sync.rs", src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "forbidden-panic");
+}
+
+#[test]
+fn cfg_test_inside_a_string_does_not_end_the_scan() {
+    // The old scanner truncated at the first textual `#[cfg(test)]`; the
+    // lexer only honors the real attribute, so the unwrap below the string
+    // still fires.
+    let src = r##"
+fn banner() -> &'static str {
+    "#[cfg(test)]"
+}
+
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"##;
+    let report = lint_source("crates/core/src/sync.rs", src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "forbidden-panic");
+    assert_eq!(report.findings[0].line, 7);
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_derail_the_lexer() {
+    let src = r"
+fn classify<'a>(c: char, s: &'a str) -> &'a str {
+    if c == '\'' || c == '{' {
+        s
+    } else {
+        s
+    }
+}
+";
+    assert_eq!(finding_count("crates/core/src/sync.rs", src), 0);
+}
+
+#[test]
+fn suppressions_inside_doc_comments_are_prose() {
+    // Doc text may *describe* the suppression syntax without emitting a
+    // (necessarily unused) directive.
+    let src = r"
+/// Silence a rule with `// lint: allow(forbidden-panic) -- reason`.
+fn documented(&self) -> Option<usize> {
+    self.owner
+}
+";
+    assert_eq!(finding_count("crates/core/src/sync.rs", src), 0);
+}
+
+#[test]
+fn diagnostics_carry_accurate_line_and_col() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let report = lint_source("crates/core/src/sync.rs", src);
+    assert_eq!(report.findings.len(), 1);
+    let d = &report.findings[0];
+    assert_eq!((d.line, d.col), (2, 7), "diagnostic must point at `unwrap`");
+    assert_eq!(d.snippet, "x.unwrap()");
+}

@@ -1,0 +1,63 @@
+//! The analyzer lints the workspace that ships it — including itself.
+//! Pinned here: zero unsuppressed findings, every suppression justified,
+//! and a byte-deterministic JSON report.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").is_file() && p.join("crates").is_dir())
+        .expect("workspace root above crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = ncp2_lint::lint_workspace(&workspace_root()).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint to zero unsuppressed findings:\n{}",
+        report.render_human()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+}
+
+#[test]
+fn every_suppression_is_justified() {
+    let report = ncp2_lint::lint_workspace(&workspace_root()).expect("scan");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression at {}:{} has an empty reason",
+            s.file,
+            s.line
+        );
+    }
+}
+
+#[test]
+fn json_report_is_byte_deterministic() {
+    let root = workspace_root();
+    let a = ncp2_lint::lint_workspace(&root).expect("scan").to_json();
+    let b = ncp2_lint::lint_workspace(&root).expect("scan").to_json();
+    assert_eq!(
+        a, b,
+        "two scans of the same tree must serialize identically"
+    );
+}
+
+#[test]
+fn committed_baseline_matches_current_suppressions() {
+    let root = workspace_root();
+    let report = ncp2_lint::lint_workspace(&root).expect("scan");
+    let current = ncp2_lint::baseline::Baseline::from_report(&report);
+    let text = std::fs::read_to_string(root.join("LINT_BASELINE.json"))
+        .expect("LINT_BASELINE.json committed at the workspace root");
+    let pinned = ncp2_lint::baseline::Baseline::parse(&text).expect("parseable baseline");
+    assert!(
+        pinned.regressions(&current).is_empty(),
+        "suppression debt grew past the committed baseline"
+    );
+}

@@ -56,6 +56,8 @@ impl WriteBuffer {
         if self.drains.len() == self.capacity {
             // Wait for the oldest entry to finish draining.
             let free_at = self.drains.pop_front().expect("buffer was full");
+            // overflow: the oldest drain may already have finished; a
+            // completed drain stalls for zero cycles.
             stall = free_at.saturating_sub(now);
             self.stall_cycles += stall;
         }

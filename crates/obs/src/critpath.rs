@@ -47,7 +47,7 @@
 //! the predictions systematically *conservative* (lower bounds on the
 //! ablation speedup).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ncp2_core::span::{EdgeKind, SpanKind};
 use ncp2_sim::{Category, Cycles};
@@ -173,7 +173,7 @@ pub fn critical_path(g: &ExecGraph) -> Result<CritPath, String> {
     segments.reverse();
 
     let mut exposed: Vec<(Category, Cycles)> = Category::ALL.iter().map(|&c| (c, 0)).collect();
-    let mut by_label: HashMap<&'static str, Cycles> = HashMap::new();
+    let mut by_label: BTreeMap<&'static str, Cycles> = BTreeMap::new();
     for s in &segments {
         let dur = s.end - s.start;
         if let Some(slot) = exposed.iter_mut().find(|(c, _)| *c == s.cat) {
@@ -181,8 +181,7 @@ pub fn critical_path(g: &ExecGraph) -> Result<CritPath, String> {
         }
         *by_label.entry(s.label).or_insert(0) += dur;
     }
-    let mut exposed_kinds: Vec<(&'static str, Cycles)> = by_label.into_iter().collect();
-    exposed_kinds.sort_unstable();
+    let exposed_kinds: Vec<(&'static str, Cycles)> = by_label.into_iter().collect();
     debug_assert_eq!(
         exposed.iter().map(|&(_, v)| v).sum::<Cycles>(),
         g.total,
@@ -232,6 +231,8 @@ pub fn slack(g: &ExecGraph) -> Vec<(u32, Cycles)> {
             }
             for &(v, dst_time) in &dep_from[u as usize] {
                 let (_, sv) = g.vertex_span(v);
+                // overflow: a binding edge can land after the span opens;
+                // negative lag means "no extra slack", i.e. zero.
                 let lag = sv.start.saturating_sub(dst_time);
                 s = s.min(shift[v as usize] + lag);
             }
@@ -584,6 +585,8 @@ pub fn what_if(g: &ExecGraph, scenario: Scenario) -> WhatIf {
         let trail_sum = |c: &Constraint| -> Cycles { c.trailing.iter().map(|&v| scaled(v)).sum() };
         let mut start = prev_end;
         for c in cons.iter().filter(|c| !c.elastic) {
+            // overflow: a constraint fully absorbed by its trailing spans
+            // wants no start shift; clamp to zero.
             let want = target(c.edge, &new_start, &new_end).saturating_sub(trail_sum(c));
             start = start.max(want);
         }
@@ -593,6 +596,7 @@ pub fn what_if(g: &ExecGraph, scenario: Scenario) -> WhatIf {
         } else {
             let mut end = start;
             for c in &elastic {
+                // overflow: same clamp as the inelastic pass above.
                 let want = target(c.edge, &new_start, &new_end).saturating_sub(trail_sum(c));
                 end = end.max(want);
             }

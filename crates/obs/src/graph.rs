@@ -249,6 +249,7 @@ impl<'a> ExecGraph<'a> {
             return None;
         }
         let pos = ch.partition_point(|&i| self.log.spans[i as usize].start < t);
+        // overflow: pos == 0 means "before the first span"; clamp to it.
         Some(self.voff[node] + pos.saturating_sub(1) as u32)
     }
 

@@ -193,6 +193,8 @@ impl SysParams {
     /// (~200 cycles all-clean, ~2100 cycles all-dirty for a 4-KB page).
     pub fn dma_scan(&self, dirty_words: u64) -> Cycles {
         let full = self.page_words();
+        // overflow: a degenerate config may set full <= base; treat the
+        // scan as flat instead of underflowing.
         let span = self.dma_scan_full.saturating_sub(self.dma_scan_base);
         self.dma_scan_base + span * dirty_words.min(full) / full
     }

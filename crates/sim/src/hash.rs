@@ -35,6 +35,7 @@ impl StableHasher {
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.state ^= b as u64;
+            // overflow: FNV-1a multiply — wraparound is the mixing step.
             self.state = self.state.wrapping_mul(FNV_PRIME);
         }
     }

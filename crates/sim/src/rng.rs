@@ -22,6 +22,7 @@ impl SimRng {
     /// Creates a generator from a seed. Equal seeds produce equal streams.
     pub fn new(seed: u64) -> Self {
         SimRng {
+            // overflow: splitmix64 seeding — wraparound is the mixing step.
             state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
         }
     }
@@ -29,15 +30,18 @@ impl SimRng {
     /// Derives an independent child generator; used to give each simulated
     /// processor its own stream without coupling their draws.
     pub fn split(&mut self, salt: u64) -> SimRng {
+        // overflow: salt scrambling — wraparound is the mixing step.
         SimRng::new(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
+        // overflow: splitmix64 — wraparound in every step is the mixing
+        // function itself.
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9); // overflow: splitmix64 mix
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB); // overflow: splitmix64 mix
         z ^ (z >> 31)
     }
 

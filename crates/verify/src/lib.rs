@@ -405,13 +405,13 @@ impl VerifyOracle {
         &mut self,
         pid: usize,
         page: PageId,
-        applied: &[(usize, IntervalId)],
+        applied_ivs: &[(usize, IntervalId)],
         data: &PageBuf,
     ) {
         let mut dups: Vec<(usize, IntervalId)> = Vec::new();
         {
             let seen = self.applied.entry((pid, page)).or_default();
-            for &(owner, interval) in applied {
+            for &(owner, interval) in applied_ivs {
                 // A whole-page fetch legitimately re-applies the node's own
                 // concurrent diffs on top of the shipped copy.
                 if owner == pid {
@@ -438,6 +438,7 @@ impl VerifyOracle {
         let kinds = |m: &HashMap<(MsgKind, bool), u64>, k: MsgKind, d: bool| {
             m.get(&(k, d)).copied().unwrap_or(0)
         };
+        // lint: allow(nondeterministic-iteration) -- tallies only feed `findings`, which is sorted before reporting
         for (&(kind, demand), &d) in &self.delivered {
             let s = kinds(&self.sent, kind, demand);
             if d > s {
@@ -450,6 +451,7 @@ impl VerifyOracle {
         // Demand traffic must drain: a demand message still in flight means
         // some processor is still blocked, contradicting run completion.
         // AurcUpdates are fire-and-forget and may legally die in the queue.
+        // lint: allow(nondeterministic-iteration) -- tallies only feed `findings`, which is sorted before reporting
         for (&(kind, demand), &s) in &self.sent {
             if !demand || kind == MsgKind::AurcUpdate {
                 continue;
@@ -482,6 +484,7 @@ impl VerifyOracle {
         // Retransmit-aware frame conservation: every physical copy the
         // transport sent must have reached exactly one terminal fate, so
         // per link `sent = accepted + duplicate-dropped + dropped`.
+        // lint: allow(nondeterministic-iteration) -- balances only feed `findings`, which is sorted before reporting
         for (&(src, dst, seq, attempt), &bal) in &self.frames {
             match bal.cmp(&0) {
                 std::cmp::Ordering::Greater => findings.push(format!(

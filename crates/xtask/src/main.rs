@@ -1,50 +1,24 @@
-//! Workspace automation: the `lint` static gate and the `bench-diff`
-//! performance-regression gate.
+//! Workspace automation — a thin driver over the in-tree tooling crates.
 //!
 //! # `cargo xtask lint`
 //!
-//! Protocol bugs in a DSM reproduction rarely fail a test: a lost diff or a
-//! truncated cycle counter just bends the curves. This gate therefore runs
-//! even when tests are output-identical, enforcing seven rules on the
-//! protocol hot paths plus the workspace-wide `cargo fmt --check` and
-//! `cargo clippy -- -D warnings`:
+//! Runs the `ncp2-lint` static analyzer (see `crates/lint` and DESIGN.md
+//! §13) over the whole workspace: a token-level lexer feeding a
+//! rule-registry engine that enforces the determinism, feature-gate
+//! hygiene and protocol-hazard rules, with justified inline suppressions
+//! (`// lint: allow(rule-id) -- reason`) and the `LINT_BASELINE.json`
+//! suppression-debt ratchet. Zero unsuppressed findings is the gate;
+//! growth in suppressed findings fails the build until the baseline is
+//! consciously refreshed. Without `--scan-only`, the workspace-wide
+//! `cargo fmt --check` and `cargo clippy -- -D warnings` run afterwards.
 //!
-//! 1. **No undocumented panic paths.** `.unwrap()`, `todo!` and
-//!    `unimplemented!` are forbidden in hot-path files; `.expect(...)` and
-//!    `panic!(...)` must carry an `// invariant:` justification (on the same
-//!    or a directly preceding line) or an explicit `lint:allow` marker.
-//! 2. **No unchecked indexing in the data plane.** Direct slice indexing of
-//!    the page/bit-vector buffers (`self.data[...]`, `self.bits[...]`) in
-//!    `diff.rs`, `bitvec.rs` and `page.rs` needs the same `invariant:`
-//!    annotation naming the guarding check.
-//! 3. **No truncating casts on cycle counters.** A line mentioning cycles
-//!    must not cast with `as u8/u16/u32/i8/i16/i32` — silent wraparound in
-//!    the timing plane is exactly the class of bug tests cannot see.
-//! 4. **No wall-clock time in simulated-time crates.** `std::time` sources
-//!    (`Instant`, `SystemTime`) are forbidden in `crates/core`, `crates/sim`
-//!    and `crates/obs` — every timestamp there must be simulated cycles, or
-//!    determinism (and the byte-identical observability exports) dies.
-//! 5. **No engine bypass in the bench binaries.** Direct simulation entry
-//!    points (`run_app(`, `run_app_with(`, `sequential_baseline(`,
-//!    `Simulation::new(`) are forbidden in `crates/bench/src/bin/` — every
-//!    experiment must go through the `Grid`/`Engine` scheduler, or it loses
-//!    parallelism, caching and the deterministic result ordering. Escape
-//!    hatch: a `lint:allow` marker on the line.
-//! 6. **No unanchored dependency edges.** Every `obs_edge(` emission site
-//!    in the protocol files must pass a span anchor obtained from
-//!    `obs_last_span(` within the same call — the execution-graph builder
-//!    rejects edges dangling off activity the span log never recorded, so
-//!    an unanchored edge is a guaranteed graph-validation failure.
-//! 7. **No unbounded retry loops.** Every retransmission/backoff site in
-//!    `crates/core/src` and `crates/net/src` — a `retransmit_timeout`
-//!    shifted for exponential backoff, or an `attempt` counter being
-//!    advanced — must reference a compile-time `MAX_`-prefixed cap constant
-//!    within a few surrounding lines (e.g. `MAX_BACKOFF_EXP`,
-//!    `MAX_RETX_ATTEMPTS`). An uncapped retry loop under a fault plan that
-//!    keeps dropping frames is a livelock, and under a shifted timeout it
-//!    is a cycle-counter overflow; both are invisible to fault-free tests.
+//! Flags:
 //!
-//! Test modules (`#[cfg(test)]` onward) are exempt.
+//! * `--json` — print the byte-deterministic JSON report to stdout
+//!   (exit status still reflects findings and the ratchet);
+//! * `--scan-only` — skip fmt/clippy (CI runs them separately);
+//! * `--update-baseline` — rewrite `LINT_BASELINE.json` with the current
+//!   per-rule suppression counts after a passing scan.
 //!
 //! # `cargo xtask bench-diff old.json new.json`
 //!
@@ -54,92 +28,14 @@
 //! `--update`, a passing (or missing) baseline is rewritten with the new
 //! numbers, which is how `BENCH_tier1.json` tracks the trajectory.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-/// Protocol hot paths: message handlers and synchronization machinery.
-const HANDLER_FILES: &[&str] = &[
-    "crates/core/src/system.rs",
-    "crates/core/src/treadmarks.rs",
-    "crates/core/src/aurc.rs",
-    "crates/core/src/sync.rs",
-    "crates/net/src/lib.rs",
-    "crates/net/src/router.rs",
-    "crates/net/src/topology.rs",
-];
+use ncp2_lint::baseline::Baseline;
 
-/// Data-plane files where unchecked indexing is additionally policed.
-const INDEX_FILES: &[&str] = &[
-    "crates/core/src/diff.rs",
-    "crates/core/src/bitvec.rs",
-    "crates/core/src/page.rs",
-];
+const BASELINE_FILE: &str = "LINT_BASELINE.json";
 
-/// Crates whose sources are scanned for truncating cycle casts.
-const CYCLE_CAST_DIRS: &[&str] = &[
-    "crates/core/src",
-    "crates/sim/src",
-    "crates/net/src",
-    "crates/mem/src",
-    "crates/stats/src",
-    "crates/obs/src",
-];
-
-const TRUNCATING_CASTS: &[&str] = &[
-    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
-];
-
-/// Crates that must never read wall-clock time: the simulation and
-/// everything that post-processes its (deterministic) output.
-const SIMULATED_TIME_DIRS: &[&str] = &["crates/core/src", "crates/sim/src", "crates/obs/src"];
-
-/// Wall-clock sources forbidden in [`SIMULATED_TIME_DIRS`].
-const WALL_CLOCK_PATTERNS: &[&str] = &[
-    "std::time::Instant",
-    "std::time::SystemTime",
-    "Instant::now(",
-    "SystemTime::now(",
-];
-
-/// Directory whose binaries must route every simulation through the
-/// experiment engine.
-const ENGINE_ONLY_DIR: &str = "crates/bench/src/bin";
-
-/// Direct simulation entry points forbidden in [`ENGINE_ONLY_DIR`].
-const ENGINE_BYPASS_PATTERNS: &[&str] = &[
-    "run_app(",
-    "run_app_with(",
-    "sequential_baseline(",
-    "Simulation::new(",
-];
-
-/// Files whose `obs_edge(` emission sites must anchor to a recorded span.
-const EDGE_EMISSION_FILES: &[&str] = &[
-    "crates/core/src/system.rs",
-    "crates/core/src/sync.rs",
-    "crates/core/src/treadmarks.rs",
-    "crates/core/src/aurc.rs",
-];
-
-/// How many lines an `obs_edge(` call may span while the scanner looks for
-/// its `obs_last_span(` anchor argument.
-const EDGE_CALL_WINDOW: usize = 12;
-
-/// Directories scanned for uncapped retry/backoff sites (rule 7).
-const RETRY_DIRS: &[&str] = &["crates/core/src", "crates/net/src"];
-
-/// How far (in lines, both directions) a retry/backoff site may be from the
-/// `MAX_`-prefixed cap constant that bounds it.
-const RETRY_CAP_WINDOW: usize = 12;
-
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    text: String,
-}
-
-const USAGE: &str = "usage: cargo xtask lint [--scan-only]\n\
+const USAGE: &str = "usage: cargo xtask lint [--scan-only] [--json] [--update-baseline]\n\
      \x20      cargo xtask bench-diff OLD.json NEW.json [--threshold PCT] [--update]";
 
 fn main() -> ExitCode {
@@ -152,33 +48,87 @@ fn main() -> ExitCode {
         }
     };
     match cmd {
-        "lint" => {}
-        "bench-diff" => return bench_diff(flags),
+        "lint" => lint(flags),
+        "bench-diff" => bench_diff(flags),
         _ => {
             eprintln!("unknown xtask `{cmd}`; available: lint, bench-diff\n{USAGE}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
+}
+
+/// The `lint` subcommand: run the analyzer, apply the suppression ratchet,
+/// then (unless `--scan-only`) fmt and clippy.
+fn lint(flags: &[String]) -> ExitCode {
     let scan_only = flags.iter().any(|f| f == "--scan-only");
+    let json = flags.iter().any(|f| f == "--json");
+    let update_baseline = flags.iter().any(|f| f == "--update-baseline");
 
     let root = workspace_root();
-    let mut findings = Vec::new();
-    scan_tree(&root, &mut findings);
-
-    if !findings.is_empty() {
-        eprintln!("xtask lint: {} finding(s)", findings.len());
-        for f in &findings {
-            eprintln!(
-                "  {}:{}: [{}] {}",
-                f.file.display(),
-                f.line,
-                f.rule,
-                f.text.trim()
-            );
+    let report = match ncp2_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: cannot scan workspace: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if !report.findings.is_empty() {
+        eprintln!(
+            "xtask lint: {} unsuppressed finding(s)",
+            report.findings.len()
+        );
         return ExitCode::FAILURE;
     }
-    println!("xtask lint: static scan clean");
+
+    // Suppression-debt ratchet against the committed baseline.
+    let current = Baseline::from_report(&report);
+    let baseline_path = root.join(BASELINE_FILE);
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, current.to_json()) {
+            eprintln!("xtask lint: cannot write {BASELINE_FILE}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: {BASELINE_FILE} updated ({} suppression(s))",
+            current.total()
+        );
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(pinned) => {
+                    let regressions = pinned.regressions(&current);
+                    if !regressions.is_empty() {
+                        for r in &regressions {
+                            eprintln!("xtask lint: {r}");
+                        }
+                        return ExitCode::FAILURE;
+                    }
+                    if !json {
+                        println!(
+                            "xtask lint: suppression ratchet ok ({}/{} of baseline)",
+                            current.total(),
+                            pinned.total()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: cannot parse {BASELINE_FILE}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!(
+                    "xtask lint: no {BASELINE_FILE}; run `cargo xtask lint --update-baseline` \
+                     to pin the suppression ratchet"
+                );
+            }
+        }
+    }
 
     if scan_only {
         return ExitCode::SUCCESS;
@@ -321,301 +271,4 @@ fn workspace_root() -> PathBuf {
         .find(|p| p.join("Cargo.toml").is_file() && p.join("crates").is_dir())
         .unwrap_or(&manifest)
         .to_path_buf()
-}
-
-fn scan_tree(root: &Path, findings: &mut Vec<Finding>) {
-    for rel in HANDLER_FILES {
-        scan_file(root, rel, false, findings);
-    }
-    for rel in INDEX_FILES {
-        scan_file(root, rel, true, findings);
-    }
-    for dir in CYCLE_CAST_DIRS {
-        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "rs") {
-                scan_cycle_casts(root, &path, findings);
-            }
-        }
-    }
-    for dir in SIMULATED_TIME_DIRS {
-        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "rs") {
-                scan_wall_clock(root, &path, findings);
-            }
-        }
-    }
-    if let Ok(entries) = std::fs::read_dir(root.join(ENGINE_ONLY_DIR)) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "rs") {
-                scan_engine_bypass(root, &path, findings);
-            }
-        }
-    }
-    for rel in EDGE_EMISSION_FILES {
-        scan_edge_anchors(root, rel, findings);
-    }
-    for dir in RETRY_DIRS {
-        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().is_some_and(|e| e == "rs") {
-                scan_unbounded_retry(root, &path, findings);
-            }
-        }
-    }
-}
-
-/// Rule 7: every retry/backoff site must sit next to a `MAX_` cap constant.
-fn scan_unbounded_retry(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
-    let Some(src) = non_test_source(path) else {
-        return;
-    };
-    let lines: Vec<&str> = src.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        let code = strip_comment(line);
-        let backoff_shift = code.contains("retransmit_timeout") && code.contains("<<");
-        let attempt_advance = code.contains("attempt += 1") || code.contains("attempt + 1");
-        if !(backoff_shift || attempt_advance) {
-            continue;
-        }
-        if line.contains("lint:allow") {
-            continue;
-        }
-        let lo = i.saturating_sub(RETRY_CAP_WINDOW);
-        let hi = (i + RETRY_CAP_WINDOW + 1).min(lines.len());
-        let capped = lines[lo..hi]
-            .iter()
-            .any(|l| strip_comment(l).contains("MAX_"));
-        if !capped {
-            let rel = path.strip_prefix(root).unwrap_or(path);
-            findings.push(Finding {
-                file: rel.to_path_buf(),
-                line: i + 1,
-                rule: "unbounded-retry",
-                text: format!(
-                    "retry/backoff site without a `MAX_` cap constant within \
-                     {RETRY_CAP_WINDOW} lines: {}",
-                    line.trim()
-                ),
-            });
-        }
-    }
-}
-
-/// Rule 6: every dependency-edge emission must anchor to a recorded span.
-fn scan_edge_anchors(root: &Path, rel: &str, findings: &mut Vec<Finding>) {
-    let path = root.join(rel);
-    let Some(src) = non_test_source(&path) else {
-        return;
-    };
-    let lines: Vec<&str> = src.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        let code = strip_comment(line);
-        // Emission sites only — skip the recorder definitions themselves.
-        if !code.contains("obs_edge(") || code.contains("fn obs_edge") {
-            continue;
-        }
-        if line.contains("lint:allow") {
-            continue;
-        }
-        let anchored = lines[i..]
-            .iter()
-            .take(EDGE_CALL_WINDOW)
-            .any(|l| strip_comment(l).contains("obs_last_span("));
-        if !anchored {
-            findings.push(Finding {
-                file: PathBuf::from(rel),
-                line: i + 1,
-                rule: "unanchored-edge",
-                text: format!(
-                    "`obs_edge(` without an `obs_last_span(` anchor in the call: {}",
-                    line.trim()
-                ),
-            });
-        }
-    }
-}
-
-/// Rule 5: bench binaries must run every simulation through the engine.
-fn scan_engine_bypass(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
-    let Some(src) = non_test_source(path) else {
-        return;
-    };
-    for (i, line) in src.lines().enumerate() {
-        let code = strip_comment(line);
-        if line.contains("lint:allow") {
-            continue;
-        }
-        for pat in ENGINE_BYPASS_PATTERNS {
-            if code.contains(pat) {
-                let rel = path.strip_prefix(root).unwrap_or(path);
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: i + 1,
-                    rule: "engine-bypass",
-                    text: format!(
-                        "direct `{pat}` in a bench binary (use Grid/Engine): {}",
-                        line.trim()
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Rule 4: wall-clock sources are forbidden in simulated-time crates.
-fn scan_wall_clock(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
-    let Some(src) = non_test_source(path) else {
-        return;
-    };
-    for (i, line) in src.lines().enumerate() {
-        let code = strip_comment(line);
-        if line.contains("lint:allow") {
-            continue;
-        }
-        for pat in WALL_CLOCK_PATTERNS {
-            if code.contains(pat) {
-                let rel = path.strip_prefix(root).unwrap_or(path);
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: i + 1,
-                    rule: "wall-clock-in-sim",
-                    text: format!(
-                        "`{pat}` in a simulated-time crate (use cycles): {}",
-                        line.trim()
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Returns the source of `path` with any trailing `#[cfg(test)]` module cut
-/// off (test code may panic freely), or `None` if unreadable.
-fn non_test_source(path: &Path) -> Option<String> {
-    let src = std::fs::read_to_string(path).ok()?;
-    let cut = src.find("#[cfg(test)]").unwrap_or(src.len());
-    Some(src[..cut].to_string())
-}
-
-/// True when the line (or the annotation block directly above it) justifies
-/// a flagged pattern.
-fn annotated(lines: &[&str], idx: usize) -> bool {
-    let has = |s: &str| s.contains("invariant:") || s.contains("lint:allow");
-    if has(lines[idx]) {
-        return true;
-    }
-    // Walk up through a contiguous comment block.
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("//") {
-            if has(t) {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
-}
-
-fn scan_file(root: &Path, rel: &str, index_rules: bool, findings: &mut Vec<Finding>) {
-    let path = root.join(rel);
-    let Some(src) = non_test_source(&path) else {
-        return;
-    };
-    let lines: Vec<&str> = src.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        let code = strip_comment(line);
-        if code.trim().is_empty() {
-            continue;
-        }
-        for pat in [".unwrap()", "todo!(", "unimplemented!("] {
-            if code.contains(pat) {
-                findings.push(Finding {
-                    file: path.clone(),
-                    line: i + 1,
-                    rule: "forbidden-panic",
-                    text: format!("`{pat}` in a protocol hot path: {}", line.trim()),
-                });
-            }
-        }
-        for pat in [".expect(", "panic!("] {
-            if code.contains(pat) && !annotated(&lines, i) {
-                findings.push(Finding {
-                    file: path.clone(),
-                    line: i + 1,
-                    rule: "undocumented-panic",
-                    text: format!(
-                        "`{pat}` without an `// invariant:` justification: {}",
-                        line.trim()
-                    ),
-                });
-            }
-        }
-        if index_rules {
-            for pat in ["self.data[", "self.bits[", ".try_into().expect"] {
-                if code.contains(pat) && !annotated(&lines, i) {
-                    findings.push(Finding {
-                        file: path.clone(),
-                        line: i + 1,
-                        rule: "unchecked-index",
-                        text: format!(
-                            "unchecked data-plane indexing `{pat}` needs an \
-                             `// invariant:` naming its guard: {}",
-                            line.trim()
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-fn scan_cycle_casts(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
-    let Some(src) = non_test_source(path) else {
-        return;
-    };
-    for (i, line) in src.lines().enumerate() {
-        let code = strip_comment(line);
-        if !code.to_ascii_lowercase().contains("cycle") {
-            continue;
-        }
-        if line.contains("lint:allow") {
-            continue;
-        }
-        for pat in TRUNCATING_CASTS {
-            if code.contains(pat) {
-                let rel = path.strip_prefix(root).unwrap_or(path);
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: i + 1,
-                    rule: "truncating-cycle-cast",
-                    text: format!("`{}` on a cycle quantity: {}", pat.trim(), line.trim()),
-                });
-            }
-        }
-    }
-}
-
-/// Drops a trailing `//` comment (naive: does not parse string literals, but
-/// the scanned patterns never appear inside strings in these files).
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
 }
