@@ -36,3 +36,18 @@ cargo run --release --bin chaos_report -- --check --no-cache --quiet
 # so the baseline tracks the trajectory).
 cargo run --release --bin obs_report -- --bench "$OBS_OUT/bench_new.json" --no-cache --quiet
 cargo xtask bench-diff BENCH_tier1.json "$OBS_OUT/bench_new.json" --update
+
+# Host-side profiling demo: one observed run with `--prof` (counting
+# allocator in) must still pass the determinism self-check — host-phase
+# attribution is wall-clock data and provably inert to everything simulated.
+cargo run --release --features prof --bin obs_report -- \
+    --app TSP --mode I+P+D --nprocs 4 --selfcheck --prof --quiet
+
+# Wall-clock trajectory: the microbench suite over the host hot paths, in
+# the fast smoke configuration, gated against the committed baseline —
+# median time may not double, exact allocation counts may not grow past
+# 10%. Archived next to the other artifacts; refreshed in place after a
+# pass so the baseline tracks the host the gate runs on.
+cargo run --release --features prof --bin wall_bench -- \
+    --fast --save-baseline "$OBS_OUT/wall_report.json"
+cargo xtask wall-diff BENCH_WALL.json "$OBS_OUT/wall_report.json" --update

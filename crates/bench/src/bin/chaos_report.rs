@@ -49,13 +49,14 @@ struct Args {
     jobs: Option<usize>,
     no_cache: bool,
     quiet: bool,
+    prof: bool,
     check: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos_report [--mode LABEL] [--rates P,P,...] [--nprocs N] [--seed S]\n\
-         \x20                  [--jobs N] [--no-cache] [--quiet] [--check]\n\
+         \x20                  [--jobs N] [--no-cache] [--quiet] [--prof] [--check]\n\
          rates are frame-drop permille (0..=500); modes: {}",
         ALL_MODE_LABELS.join(", ")
     );
@@ -71,6 +72,7 @@ fn parse_args() -> Args {
         jobs: None,
         no_cache: false,
         quiet: false,
+        prof: false,
         check: false,
     };
     let mut args = std::env::args().skip(1);
@@ -108,6 +110,7 @@ fn parse_args() -> Args {
             }
             "--no-cache" => a.no_cache = true,
             "--quiet" => a.quiet = true,
+            "--prof" => a.prof = true,
             "--check" => a.check = true,
             _ => usage(),
         }
@@ -125,6 +128,9 @@ fn engine(a: &Args) -> Engine {
     }
     if a.quiet {
         e = e.silent();
+    }
+    if a.prof {
+        e = e.with_prof();
     }
     e
 }

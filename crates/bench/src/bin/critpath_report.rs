@@ -58,6 +58,7 @@ struct Args {
     jobs: Option<usize>,
     no_cache: bool,
     quiet: bool,
+    prof: bool,
     check: bool,
     out: Option<PathBuf>,
 }
@@ -65,7 +66,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: critpath_report [--app NAME] [--nprocs N] [--jobs N] [--no-cache]\n\
-         \x20                      [--quiet] [--check] [--out FILE]\n\
+         \x20                      [--quiet] [--prof] [--check] [--out FILE]\n\
          apps: {} (default: all)",
         tier1_workloads()
             .iter()
@@ -83,6 +84,7 @@ fn parse_args() -> Args {
         jobs: None,
         no_cache: false,
         quiet: false,
+        prof: false,
         check: false,
         out: None,
     };
@@ -105,6 +107,7 @@ fn parse_args() -> Args {
             }
             "--no-cache" => a.no_cache = true,
             "--quiet" => a.quiet = true,
+            "--prof" => a.prof = true,
             "--check" => a.check = true,
             "--out" => a.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
@@ -177,6 +180,9 @@ fn analyze(a: &Args) -> Vec<AppAnalysis> {
     }
     if a.quiet {
         engine = engine.silent();
+    }
+    if a.prof {
+        engine = engine.with_prof();
     }
     let mut records = engine.run(&grid).into_iter();
 

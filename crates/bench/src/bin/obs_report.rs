@@ -38,13 +38,14 @@ struct Args {
     jobs: Option<usize>,
     no_cache: bool,
     quiet: bool,
+    prof: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: obs_report [--app NAME] [--mode LABEL] [--nprocs N] [--paper-size]\n\
          \x20                 [--out-dir DIR] [--selfcheck] [--bench FILE]\n\
-         \x20                 [--jobs N] [--no-cache] [--quiet]\n\
+         \x20                 [--jobs N] [--no-cache] [--quiet] [--prof]\n\
          modes: {}",
         ALL_MODE_LABELS.join(", ")
     );
@@ -63,6 +64,7 @@ fn parse_args() -> Args {
         jobs: None,
         no_cache: false,
         quiet: false,
+        prof: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -88,6 +90,7 @@ fn parse_args() -> Args {
             }
             "--no-cache" => a.no_cache = true,
             "--quiet" => a.quiet = true,
+            "--prof" => a.prof = true,
             _ => usage(),
         }
     }
@@ -112,6 +115,9 @@ fn engine(a: &Args) -> Engine {
     }
     if a.quiet {
         e = e.silent();
+    }
+    if a.prof {
+        e = e.with_prof();
     }
     e
 }
@@ -230,7 +236,14 @@ fn main() {
         let rec2 = run_observed();
         // invariant: observed_job sets obs, so the record carries a report.
         let report2 = rec2.report.expect("observed job carries a report");
-        if report2.to_json() != report.to_json() {
+        // Host-phase attribution is wall-clock data and legitimately differs
+        // between runs; the determinism contract covers everything simulated.
+        let sim_only = |r: &MetricsReport| {
+            let mut r = r.clone();
+            r.host.clear();
+            r.to_json()
+        };
+        if sim_only(&report2) != sim_only(&report) {
             eprintln!("selfcheck: metrics.json differs between identical runs");
             failed = true;
         }

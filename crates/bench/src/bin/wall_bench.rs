@@ -1,0 +1,30 @@
+//! Wall-clock microbench driver: runs [`ncp2_bench::wallbench`] through the
+//! criterion stand-in and (with `--save-baseline PATH`) writes the
+//! machine-readable wall report consumed by `cargo xtask wall-diff`.
+//!
+//! Flags (parsed by the criterion stand-in itself):
+//!
+//! * `--save-baseline PATH` — write the suite's results as deterministic
+//!   JSON (the `BENCH_WALL.json` format) instead of only printing them.
+//! * `--fast` — clamp sample counts and measurement time for CI smoke runs.
+//!
+//! Build with `--features prof` to install the counting allocator; without
+//! it the report still carries median wall times but `alloc_counting` is
+//! false and every allocation column is zero.
+
+use criterion::{AllocHooks, Criterion};
+
+fn main() {
+    criterion::set_alloc_hooks(AllocHooks {
+        counting: ncp2_prof::prof_enabled(),
+        thread_counts: ncp2_prof::prof_thread_counts,
+        reset_peak: ncp2_prof::prof_reset_peak,
+        peak: ncp2_prof::prof_peak,
+    });
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    ncp2_bench::wallbench::register_all(&mut c);
+    criterion::finalize();
+}

@@ -303,6 +303,9 @@ fn report_from(v: &JVal) -> Option<MetricsReport> {
             .iter()
             .map(u64s_from)
             .collect::<Option<Vec<_>>>()?,
+        // Host attribution is measurement about one particular execution,
+        // never part of the cached result (see `Engine::run_one`).
+        host: Vec::new(),
     })
 }
 
@@ -488,6 +491,7 @@ mod tests {
                 },
             )],
             epochs: vec![vec![1, 2, 3, 4, 5]],
+            host: Vec::new(),
         }
     }
 

@@ -35,7 +35,8 @@ use ncp2::apps::run_app_with;
 use ncp2::prelude::*;
 use ncp2::sim::StableHasher;
 use ncp2_fault::FaultPlan;
-use ncp2_obs::MetricsReport;
+use ncp2_obs::{HostPhase, MetricsReport};
+use ncp2_prof::PhaseClock;
 use ncp2_verify::VerifyOracle;
 
 use crate::cache;
@@ -220,6 +221,13 @@ pub struct RunRecord {
     pub report: Option<MetricsReport>,
     /// Whether this record was loaded from the cache.
     pub cached: bool,
+    /// Per-phase host-time/allocation attribution (`Engine::with_prof`
+    /// runs only; empty otherwise). Cache hits attribute `cache_io` alone;
+    /// fresh runs attribute `setup`/`sim`/`obs_export` plus `cache_io`
+    /// when a cache is configured. Also mirrored into the report's `host`
+    /// field — but never into the cache: host cost describes one
+    /// particular execution, not the result.
+    pub host: Vec<(String, HostPhase)>,
 }
 
 /// An ordered collection of jobs, built before anything runs.
@@ -399,6 +407,24 @@ pub fn tier1_grid(mode_labels: &[&str]) -> Grid {
     grid
 }
 
+/// Converts a finished phase clock into the report-facing host pairs.
+fn host_phases(clock: PhaseClock) -> Vec<(String, HostPhase)> {
+    clock
+        .finish()
+        .into_iter()
+        .map(|(n, c)| {
+            (
+                n.to_string(),
+                HostPhase {
+                    wall_ns: c.wall_ns,
+                    allocs: c.allocs,
+                    alloc_bytes: c.alloc_bytes,
+                },
+            )
+        })
+        .collect()
+}
+
 /// The work-queue scheduler.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -408,6 +434,11 @@ pub struct Engine {
     pub cache_dir: Option<PathBuf>,
     /// Suppress per-job progress lines on stderr.
     pub quiet: bool,
+    /// Attach per-phase host-time/allocation attribution to every record
+    /// (the `--prof` flag). Provably inert for the simulation itself:
+    /// cycles, checksums and reports (minus the `host` field) are
+    /// byte-identical either way — see `tests/prof_inert.rs`.
+    pub prof: bool,
 }
 
 /// Default cache location, relative to the working directory (binaries run
@@ -430,6 +461,7 @@ impl Engine {
                 .unwrap_or(1),
             cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
             quiet: false,
+            prof: false,
         }
     }
 
@@ -450,6 +482,16 @@ impl Engine {
     /// Disables progress output (tests).
     pub fn silent(mut self) -> Engine {
         self.quiet = true;
+        self
+    }
+
+    /// Enables host-side profiling: every record (and its report) carries
+    /// per-phase wall-time and allocation attribution, and the run prints
+    /// aggregate phase totals. Allocation counts are exact only when the
+    /// binary was built with the `prof` feature (counting allocator);
+    /// otherwise they read zero and only wall time is attributed.
+    pub fn with_prof(mut self) -> Engine {
+        self.prof = true;
         self
     }
 
@@ -488,7 +530,7 @@ impl Engine {
                 });
             }
         });
-        slots
+        let records: Vec<RunRecord> = slots
             .into_iter()
             .map(|m| {
                 m.into_inner()
@@ -496,7 +538,47 @@ impl Engine {
                     // invariant: the scope joined, so every slot was filled.
                     .expect("grid slot never filled")
             })
-            .collect()
+            .collect();
+        if self.prof {
+            self.print_prof_summary(&records);
+        }
+        records
+    }
+
+    /// Aggregate host-phase totals across all records, printed to stderr
+    /// whenever profiling was requested (`--prof` asks for this output, so
+    /// `--quiet` does not suppress it).
+    fn print_prof_summary(&self, records: &[RunRecord]) {
+        let mut agg: Vec<(String, HostPhase)> = Vec::new();
+        for rec in records {
+            for (name, h) in &rec.host {
+                match agg.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, a)) => {
+                        a.wall_ns += h.wall_ns;
+                        a.allocs += h.allocs;
+                        a.alloc_bytes += h.alloc_bytes;
+                    }
+                    None => agg.push((name.clone(), *h)),
+                }
+            }
+        }
+        eprintln!(
+            "[prof] host-phase totals over {} job(s){}:",
+            records.len(),
+            if ncp2_prof::prof_enabled() {
+                ""
+            } else {
+                " (alloc counts need --features prof)"
+            }
+        );
+        for (name, h) in &agg {
+            eprintln!(
+                "[prof]   {name:<12} {:>12.3} ms  {:>12} allocs  {:>14} bytes",
+                h.wall_ns as f64 / 1e6,
+                h.allocs,
+                h.alloc_bytes
+            );
+        }
     }
 
     /// Convenience: run a single ad-hoc job.
@@ -510,21 +592,32 @@ impl Engine {
     }
 
     fn run_one(&self, job: &Job) -> RunRecord {
+        // Host-phase attribution. Jobs run start-to-finish on one worker
+        // thread, so the clock's same-thread allocation deltas are exactly
+        // this job's allocations, whatever the worker count. A disabled
+        // clock (no `--prof`) touches neither the wall clock nor the
+        // counters.
+        let mut clock = PhaseClock::new(self.prof);
         // Trace runs exist for their raw timeline, which is not persisted —
         // never serve or store them from the cache.
         let cache_dir = self.cache_dir.as_deref().filter(|_| !job.params.trace);
         let key = job.cache_key();
         if let Some(dir) = cache_dir {
-            if let Some((result, mut report)) = cache::load(dir, key) {
+            let loaded = cache::load(dir, key);
+            clock.lap("cache_io");
+            if let Some((result, mut report)) = loaded {
+                let host = host_phases(clock);
                 if let Some(r) = &mut report {
                     // The label is presentation, not configuration: restore
                     // the caller's name.
                     r.name = job.label.clone();
+                    r.host.clone_from(&host);
                 }
                 return RunRecord {
                     result,
                     report,
                     cached: true,
+                    host,
                 };
             }
         }
@@ -533,6 +626,7 @@ impl Engine {
         let racy = workload.racy_ranges();
         let (params, protocol) = (job.params.clone(), job.protocol);
         let (verify, fault) = (job.verify, job.fault.clone());
+        clock.lap("setup");
         let result = run_app_with(job.params.clone(), job.protocol, workload, move |sim| {
             if obs {
                 sim.enable_obs();
@@ -548,18 +642,27 @@ impl Engine {
             // send path runs and results match a fault-free build exactly.
             sim.attach_fault_plan(fault);
         });
-        let report = obs.then(|| MetricsReport::from_run(&job.label, &result));
+        clock.lap("sim");
+        let mut report = obs.then(|| MetricsReport::from_run(&job.label, &result));
+        clock.lap("obs_export");
         if let Some(dir) = cache_dir {
             // Runs that tripped an invariant are not representative results;
-            // keep them out of the cache.
+            // keep them out of the cache. The report goes in *before* host
+            // attribution is attached — cache entries never carry host data.
             if result.violations.is_empty() {
                 cache::store(dir, key, &job.label, &result, report.as_ref());
             }
+            clock.lap("cache_io");
+        }
+        let host = host_phases(clock);
+        if let Some(r) = &mut report {
+            r.host.clone_from(&host);
         }
         RunRecord {
             result,
             report,
             cached: false,
+            host,
         }
     }
 }
@@ -630,6 +733,7 @@ mod tests {
             jobs: 2,
             cache_dir: Some(dir.clone()),
             quiet: true,
+            prof: false,
         };
         let cold = engine.run_job(tiny_job("Ocean/Base", true));
         assert!(!cold.cached);
@@ -655,6 +759,7 @@ mod tests {
             jobs: 1,
             cache_dir: Some(dir.clone()),
             quiet: true,
+            prof: false,
         };
         let mut job = tiny_job("Ocean/Base", false);
         job.params.trace = true;

@@ -52,11 +52,15 @@ pub struct Opts {
     pub no_cache: bool,
     /// Suppress per-job progress lines (`--quiet`).
     pub quiet: bool,
+    /// Attach host-side phase attribution — wall time and, under the `prof`
+    /// feature, allocation counts — to every run (`--prof`). Provably inert
+    /// with respect to simulated time (see `tests/prof_inert.rs`).
+    pub prof: bool,
 }
 
 impl Opts {
-    /// Parses `--paper-size`, `--app NAME`, `--jobs N`, `--no-cache` and
-    /// `--quiet` from `std::env::args`.
+    /// Parses `--paper-size`, `--app NAME`, `--jobs N`, `--no-cache`,
+    /// `--quiet` and `--prof` from `std::env::args`.
     pub fn parse() -> Opts {
         let mut opts = Opts::default();
         let mut args = std::env::args().skip(1);
@@ -73,9 +77,10 @@ impl Opts {
                 },
                 "--no-cache" => opts.no_cache = true,
                 "--quiet" => opts.quiet = true,
+                "--prof" => opts.prof = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: [--paper-size] [--app NAME] [--jobs N] [--no-cache] [--quiet]"
+                        "options: [--paper-size] [--app NAME] [--jobs N] [--no-cache] [--quiet] [--prof]"
                     );
                     std::process::exit(0);
                 }
@@ -99,6 +104,9 @@ impl Opts {
         }
         if self.quiet {
             e = e.silent();
+        }
+        if self.prof {
+            e = e.with_prof();
         }
         e
     }

@@ -10,3 +10,4 @@
 pub mod cache;
 pub mod engine;
 pub mod harness;
+pub mod wallbench;

@@ -294,6 +294,7 @@ proptest! {
             jobs: 2,
             cache_dir: Some(dir.clone()),
             quiet: true,
+            prof: false,
         };
         let job = Job {
             label: "Ocean/probe".into(),
@@ -343,6 +344,7 @@ fn warm_grid_runs_are_served_entirely_from_cache() {
         jobs: 2,
         cache_dir: Some(dir.clone()),
         quiet: true,
+        prof: false,
     };
     let mut grid = engine::Grid::new();
     let params = SysParams::default().with_nprocs(2);

@@ -79,10 +79,13 @@ pub const DETERMINISTIC_OUTPUT_DIRS: &[&str] = &[
     "crates/fault/src",
     "crates/bench/src",
     "crates/lint/src",
+    "crates/prof/src",
 ];
 
-/// Crates policed by `feature-hook-hygiene`.
-pub const HOOK_HYGIENE_DIRS: &[&str] = &["crates/core/src", "crates/net/src"];
+/// Crates policed by `feature-hook-hygiene`. `crates/prof/src` is here for
+/// its `prof_*` accessors, not `SIMULATED_TIME_DIRS`: reading the wall clock
+/// is that crate's whole job.
+pub const HOOK_HYGIENE_DIRS: &[&str] = &["crates/core/src", "crates/net/src", "crates/prof/src"];
 
 /// Feature-carrying fields: consulting `self.<field>` outside a matching
 /// `#[cfg(feature = …)]` region breaks the zero-cost hook guarantee.
@@ -93,7 +96,13 @@ pub const HOOK_FIELDS: &[(&str, &str)] = &[
     ("fault", "fault"),
     ("silent_frame_loss_armed", "fault"),
     ("plan", "fault"),
+    ("prof", "prof"),
 ];
+
+/// Hook-definition name prefixes: a `fn <prefix>*` definition in a hygiene
+/// dir must sit behind its feature's cfg gate (either polarity — the real
+/// implementation or its zero-cost stub).
+pub const HOOK_FN_PREFIXES: &[(&str, &str)] = &[("obs_", "obs"), ("prof_", "prof")];
 
 /// Files compiled only under a feature via a `#[cfg(feature = …)] mod` in
 /// their parent — every line counts as gated for that feature.

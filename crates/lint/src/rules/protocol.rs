@@ -2,8 +2,8 @@
 //! unbounded retries, and feature-gate hygiene on the zero-cost hooks.
 
 use crate::config::{
-    in_dirs, EDGE_EMISSION_FILES, ENGINE_ONLY_DIR, HOOK_FIELDS, HOOK_HYGIENE_DIRS,
-    RETRY_CAP_WINDOW, RETRY_DIRS,
+    in_dirs, EDGE_EMISSION_FILES, ENGINE_ONLY_DIR, HOOK_FIELDS, HOOK_FN_PREFIXES,
+    HOOK_HYGIENE_DIRS, RETRY_CAP_WINDOW, RETRY_DIRS,
 };
 use crate::diag::Diagnostic;
 use crate::engine::{FileCtx, Rule};
@@ -171,8 +171,10 @@ impl Rule for UnboundedRetry {
 /// region that mentions the matching feature breaks the zero-cost
 /// guarantee — the hook would compile (and cost cycles) in builds that
 /// promised it away, or fail to compile under a feature combination CI
-/// never builds. `fn obs_*` hook definitions must likewise be gated
-/// (either polarity: the real recorder or its inlined no-op stub).
+/// never builds. Hook definitions with a feature-owned name prefix
+/// (`fn obs_*`, `fn prof_*` — see `HOOK_FN_PREFIXES`) must likewise be
+/// gated (either polarity: the real implementation or its inlined no-op
+/// stub).
 pub struct FeatureHookHygiene;
 
 impl Rule for FeatureHookHygiene {
@@ -180,7 +182,7 @@ impl Rule for FeatureHookHygiene {
         "feature-hook-hygiene"
     }
     fn summary(&self) -> &'static str {
-        "hook-field consults and `fn obs_*` definitions must sit behind their cfg gate"
+        "hook-field consults and `fn obs_*`/`fn prof_*` definitions must sit behind their cfg gate"
     }
     fn applies(&self, rel: &str) -> bool {
         in_dirs(rel, HOOK_HYGIENE_DIRS)
@@ -214,22 +216,24 @@ impl Rule for FeatureHookHygiene {
                     }
                 }
             }
-            // `fn obs_*` definitions.
+            // `fn <feature-prefix>*` definitions.
             if code[i].is_ident("fn") {
                 if let Some(name) = code.get(i + 1) {
-                    if name.kind == TokKind::Ident
-                        && name.text.starts_with("obs_")
-                        && !ctx.gated_for(name.line, "obs")
-                    {
-                        out.push(ctx.diag(
-                            name,
-                            self.id(),
-                            format!(
-                                "`fn {}` defined outside a `#[cfg(feature = \"obs\")]` region \
-                                 (gate the recorder and its no-op stub)",
-                                name.text
-                            ),
-                        ));
+                    if name.kind == TokKind::Ident {
+                        for &(prefix, feature) in HOOK_FN_PREFIXES {
+                            if name.text.starts_with(prefix) && !ctx.gated_for(name.line, feature) {
+                                out.push(ctx.diag(
+                                    name,
+                                    self.id(),
+                                    format!(
+                                        "`fn {}` defined outside a `#[cfg(feature = \
+                                         \"{feature}\")]` region (gate the hook and its \
+                                         no-op stub)",
+                                        name.text
+                                    ),
+                                ));
+                            }
+                        }
                     }
                 }
             }

@@ -96,6 +96,35 @@ impl Simulation {
 "#,
         "feature-hook-hygiene",
     );
+    // The `prof` feature is policed the same way in the profiling crate: an
+    // ungated `fn prof_*` accessor fires…
+    let prof_rel = "crates/prof/src/lib.rs";
+    fires(
+        prof_rel,
+        r#"
+pub fn prof_thread_counts() -> (u64, u64) {
+    counting::thread_counts()
+}
+"#,
+        "feature-hook-hygiene",
+    );
+    // …while the gated pair (real reader + zero stub) is clean.
+    clean(
+        prof_rel,
+        r#"
+#[cfg(feature = "prof")]
+pub fn prof_thread_counts() -> (u64, u64) {
+    counting::thread_counts()
+}
+
+#[cfg(not(feature = "prof"))]
+#[inline(always)]
+pub fn prof_thread_counts() -> (u64, u64) {
+    (0, 0)
+}
+"#,
+        "feature-hook-hygiene",
+    );
 }
 
 #[test]

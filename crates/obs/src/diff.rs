@@ -168,6 +168,7 @@ mod tests {
                 },
             )],
             epochs: Vec::new(),
+            host: Vec::new(),
         }
     }
 

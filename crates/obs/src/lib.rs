@@ -43,4 +43,4 @@ pub use diff::{compare, parse_bench, write_bench, Regression};
 pub use graph::ExecGraph;
 pub use hist::LogHistogram;
 pub use perfetto::perfetto_json;
-pub use report::{HistSummary, MetricsReport};
+pub use report::{HistSummary, HostPhase, MetricsReport};

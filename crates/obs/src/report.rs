@@ -56,6 +56,19 @@ pub const HIST_NAMES: [&str; 7] = [
     "prefetch_to_use",
 ];
 
+/// Host cost of one engine phase attributed to a run by `--prof` (see
+/// `ncp2-prof`): wall time plus same-thread allocations. Pure data here —
+/// this crate never reads the wall clock itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostPhase {
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Allocations performed on the executing thread.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
 /// One run's metrics, ready for serialization or comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -86,6 +99,12 @@ pub struct MetricsReport {
     /// all nodes spent in category `Category::ALL[c]` during epoch `e`.
     /// Empty when the run carried no observability log.
     pub epochs: Vec<Vec<u64>>,
+    /// Host-side per-phase attribution (`--prof` runs only; empty — and
+    /// absent from the JSON — otherwise). Host data is measurement *about*
+    /// the run, not part of it: every simulated-time field above is
+    /// byte-identical whether or not this is populated, and the bench
+    /// cache never stores it.
+    pub host: Vec<(String, HostPhase)>,
 }
 
 impl MetricsReport {
@@ -187,6 +206,7 @@ impl MetricsReport {
             counters,
             hists,
             epochs,
+            host: Vec::new(),
         }
     }
 
@@ -273,7 +293,26 @@ impl MetricsReport {
                 .join(", ");
             out.push_str(&format!("{p}    [{row}]{comma}\n"));
         }
-        out.push_str(&format!("{p}  ]\n"));
+        if self.host.is_empty() {
+            out.push_str(&format!("{p}  ]\n"));
+        } else {
+            out.push_str(&format!("{p}  ],\n"));
+            let phases = self
+                .host
+                .iter()
+                .map(|(n, h)| {
+                    format!(
+                        "\"{}\": {{\"wall_ns\": {}, \"allocs\": {}, \"alloc_bytes\": {}}}",
+                        esc(n),
+                        h.wall_ns,
+                        h.allocs,
+                        h.alloc_bytes
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("{p}  \"host\": {{{phases}}}\n"));
+        }
         out.push_str(&format!("{p}}}"));
         out
     }
@@ -330,6 +369,18 @@ impl MetricsReport {
                 "  {n:<18} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
                 h.count, h.p50, h.p90, h.p99, h.max
             ));
+        }
+        if !self.host.is_empty() {
+            out.push_str(&format!(
+                "\n  {:<18} {:>14} {:>10} {:>12}\n",
+                "host phase", "wall_ns", "allocs", "alloc_bytes"
+            ));
+            for (n, h) in &self.host {
+                out.push_str(&format!(
+                    "  {n:<18} {:>14} {:>10} {:>12}\n",
+                    h.wall_ns, h.allocs, h.alloc_bytes
+                ));
+            }
         }
         if !self.epochs.is_empty() {
             out.push_str(&format!("\n  {:<8}", "epoch"));
@@ -414,6 +465,26 @@ pub(crate) fn report_from_jval(v: &JVal) -> Result<MetricsReport, String> {
                 .collect::<Result<Vec<u64>, String>>()
         })
         .collect::<Result<Vec<Vec<u64>>, String>>()?;
+    // Absent unless the run was profiled (`--prof`); order comes back
+    // alphabetical, like every other pair list.
+    let mut host = Vec::new();
+    if let Some(obj) = v.get("host").and_then(|x| x.as_obj()) {
+        for (n, h) in obj {
+            let f = |k: &str| -> Result<u64, String> {
+                h.get(k)
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| format!("host phase '{n}' missing '{k}'"))
+            };
+            host.push((
+                n.clone(),
+                HostPhase {
+                    wall_ns: f("wall_ns")?,
+                    allocs: f("allocs")?,
+                    alloc_bytes: f("alloc_bytes")?,
+                },
+            ));
+        }
+    }
     Ok(MetricsReport {
         name: str_field("name")?,
         protocol: str_field("protocol")?,
@@ -433,6 +504,7 @@ pub(crate) fn report_from_jval(v: &JVal) -> Result<MetricsReport, String> {
         counters: pairs_field("counters")?,
         hists,
         epochs,
+        host,
     })
 }
 
@@ -466,6 +538,7 @@ mod tests {
                 },
             )],
             epochs: vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9, 10]],
+            host: Vec::new(),
         }
     }
 
@@ -474,6 +547,43 @@ mod tests {
         let r = sample();
         let parsed = parse_metrics(&r.to_json()).expect("parse");
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn host_attribution_roundtrips_and_is_absent_when_empty() {
+        let plain = sample();
+        assert!(
+            !plain.to_json().contains("\"host\""),
+            "un-profiled reports must not mention host data"
+        );
+        let mut profiled = sample();
+        profiled.host = vec![
+            (
+                "cache_io".into(),
+                HostPhase {
+                    wall_ns: 1200,
+                    allocs: 3,
+                    alloc_bytes: 256,
+                },
+            ),
+            (
+                "sim".into(),
+                HostPhase {
+                    wall_ns: 987_654,
+                    allocs: 4210,
+                    alloc_bytes: 1 << 20,
+                },
+            ),
+        ];
+        let text = profiled.to_json();
+        assert!(text.contains("\"host\""));
+        let parsed = parse_metrics(&text).expect("parse");
+        assert_eq!(parsed, profiled);
+        // The simulated-time fields are untouched by host attribution.
+        let mut stripped = parsed;
+        stripped.host.clear();
+        assert_eq!(stripped, plain);
+        assert!(profiled.render_table().contains("host phase"));
     }
 
     #[test]

@@ -27,6 +27,16 @@
 //! past the threshold (default 5%, with a 100-cycle absolute floor). With
 //! `--update`, a passing (or missing) baseline is rewritten with the new
 //! numbers, which is how `BENCH_tier1.json` tracks the trajectory.
+//!
+//! # `cargo xtask wall-diff old.json new.json`
+//!
+//! The host-side twin of `bench-diff`: compares two wall reports produced
+//! by `wall_bench --save-baseline` and fails when any bench's median wall
+//! time more than doubled (noisy CI hosts get a generous gate) or its
+//! allocation count/bytes grew past 10% (exact counters get a tight one) —
+//! thresholds overridable with `--time-threshold` / `--alloc-threshold`.
+//! With `--update`, a passing (or missing) baseline is rewritten, which is
+//! how `BENCH_WALL.json` tracks the trajectory.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -36,7 +46,9 @@ use ncp2_lint::baseline::Baseline;
 const BASELINE_FILE: &str = "LINT_BASELINE.json";
 
 const USAGE: &str = "usage: cargo xtask lint [--scan-only] [--json] [--update-baseline]\n\
-     \x20      cargo xtask bench-diff OLD.json NEW.json [--threshold PCT] [--update]";
+     \x20      cargo xtask bench-diff OLD.json NEW.json [--threshold PCT] [--update]\n\
+     \x20      cargo xtask wall-diff OLD.json NEW.json [--time-threshold PCT]\n\
+     \x20                            [--alloc-threshold PCT] [--update]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,8 +62,9 @@ fn main() -> ExitCode {
     match cmd {
         "lint" => lint(flags),
         "bench-diff" => bench_diff(flags),
+        "wall-diff" => wall_diff(flags),
         _ => {
-            eprintln!("unknown xtask `{cmd}`; available: lint, bench-diff\n{USAGE}");
+            eprintln!("unknown xtask `{cmd}`; available: lint, bench-diff, wall-diff\n{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -259,6 +272,110 @@ fn bench_diff(flags: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("bench-diff: baseline {old_path} updated");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `wall-diff` subcommand: compare two wall-bench reports against the
+/// asymmetric host-side gates (loose on time, tight on allocation counts),
+/// optionally updating the baseline.
+fn wall_diff(flags: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut cfg = ncp2_prof::walldiff::WallDiffCfg::default();
+    let mut update = false;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--time-threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => cfg.time_pct = t,
+                None => {
+                    eprintln!("--time-threshold needs a numeric percentage\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--alloc-threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => cfg.alloc_pct = t,
+                None => {
+                    eprintln!("--alloc-threshold needs a numeric percentage\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--update" => update = true,
+            _ => paths.push(f),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let new_text = match std::fs::read_to_string(new_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("wall-diff: cannot read {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new_report = match ncp2_prof::walldiff::parse_wall(&new_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wall-diff: {new_path} is not a wall report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let old_text = match std::fs::read_to_string(old_path) {
+        Ok(t) => t,
+        Err(_) if update => {
+            // No baseline yet: seed it from the new numbers.
+            if let Err(e) = std::fs::write(old_path, &new_text) {
+                eprintln!("wall-diff: cannot seed baseline {old_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wall-diff: no baseline at {old_path}; seeded from {new_path}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("wall-diff: cannot read baseline {old_path}: {e} (pass --update to seed)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let old_report = match ncp2_prof::walldiff::parse_wall(&old_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wall-diff: {old_path} is not a wall report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (failures, notes) = ncp2_prof::walldiff::compare_wall(&old_report, &new_report, &cfg);
+    for n in &notes {
+        println!("wall-diff: {n}");
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "wall-diff: {} regression(s) (time gate {:.0}%, alloc gate {:.0}%):",
+            failures.len(),
+            cfg.time_pct,
+            cfg.alloc_pct
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wall-diff: {} bench(es) within gates (time {:.0}%, alloc {:.0}%)",
+        new_report.benches.len(),
+        cfg.time_pct,
+        cfg.alloc_pct
+    );
+    if update {
+        if let Err(e) = std::fs::write(old_path, &new_text) {
+            eprintln!("wall-diff: cannot update baseline {old_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wall-diff: baseline {old_path} updated");
     }
     ExitCode::SUCCESS
 }
