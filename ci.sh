@@ -29,6 +29,12 @@ cargo run --release --bin critpath_report -- \
 # as built.
 cargo run --release --bin chaos_report -- --check --no-cache --quiet
 
+# Scale smoke: one 256-node sweep step (Ocean under Base) with the verify
+# oracle on. The full 2..=256 doubling sweep is `fig01b_doubling --scale`;
+# here one cached step proves the calendar queue, flat tables and indexed
+# routing hold up at the full cluster size on every CI run.
+cargo run --release --bin fig01b_doubling -- --scale --app Ocean --quiet
+
 # Bench trajectory: regenerate the tier-1 suite through the parallel
 # experiment engine — cache disabled so the numbers reflect the code as
 # built, never a stale cached result — and gate on regressions against the

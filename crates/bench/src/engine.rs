@@ -380,6 +380,65 @@ pub fn tier1_workloads() -> Vec<(&'static str, WorkloadSpec)> {
     ]
 }
 
+/// Doubling processor counts 2..=256 — the scale sweep's x-axis. The paper
+/// stops at 16; everything beyond is the ROADMAP's node-count dimension.
+pub const SCALE_NPROCS: [usize; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The scale-sweep workloads: two applications whose parallel structure
+/// partitions cleanly to hundreds of processors (Ocean's row-block Jacobi,
+/// Em3d's bipartite graph relaxation), sized so the full 2..=256 doubling
+/// sweep stays CI-feasible. Their checksums are processor-count-invariant:
+/// the DSM is transparent, so every size must compute identical data.
+pub fn scale_workloads() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        ("Ocean", WorkloadSpec::Ocean(Ocean { grid: 32, iters: 2 })),
+        (
+            "Em3d",
+            WorkloadSpec::Em3d(Em3d {
+                nodes: 512,
+                degree: 2,
+                remote_pct: 25,
+                iters: 2,
+                seed: 15,
+            }),
+        ),
+    ]
+}
+
+/// Builds the scale grid: every scale workload (optionally restricted to
+/// `only_app`, case-insensitively) under each given mode label at each
+/// given processor count, observed (for critical-path conservation checks)
+/// and oracle-verified (violations land in the result).
+///
+/// # Panics
+///
+/// Panics on an unknown mode label.
+pub fn scale_grid(nprocs: &[usize], mode_labels: &[&str], only_app: Option<&str>) -> Grid {
+    let mut grid = Grid::new();
+    for &np in nprocs {
+        let params = SysParams::default().with_nprocs(np);
+        for label in mode_labels {
+            let protocol = crate::harness::protocol_from_label(label)
+                .unwrap_or_else(|| panic!("unknown mode label {label}"));
+            for (name, spec) in scale_workloads() {
+                if only_app.is_some_and(|o| !o.eq_ignore_ascii_case(name)) {
+                    continue;
+                }
+                grid.add(Job {
+                    label: format!("{name}/{label}@{np}"),
+                    params: params.clone(),
+                    protocol,
+                    workload: spec,
+                    obs: true,
+                    fault: FaultPlan::none(),
+                    verify: true,
+                });
+            }
+        }
+    }
+    grid
+}
+
 /// Builds the tier-1 grid: every tier-1 workload under each of the given
 /// mode labels (see `harness::ALL_MODE_LABELS`), observed, on 4 processors.
 ///

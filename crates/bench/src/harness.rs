@@ -56,6 +56,9 @@ pub struct Opts {
     /// feature, allocation counts — to every run (`--prof`). Provably inert
     /// with respect to simulated time (see `tests/prof_inert.rs`).
     pub prof: bool,
+    /// Run the 2..=256 processor doubling sweep instead of the paper-shaped
+    /// figure (`--scale`; honoured by `fig01b_doubling`).
+    pub scale: bool,
 }
 
 impl Opts {
@@ -78,9 +81,10 @@ impl Opts {
                 "--no-cache" => opts.no_cache = true,
                 "--quiet" => opts.quiet = true,
                 "--prof" => opts.prof = true,
+                "--scale" => opts.scale = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: [--paper-size] [--app NAME] [--jobs N] [--no-cache] [--quiet] [--prof]"
+                        "options: [--paper-size] [--app NAME] [--jobs N] [--no-cache] [--quiet] [--prof] [--scale]"
                     );
                     std::process::exit(0);
                 }

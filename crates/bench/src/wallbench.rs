@@ -155,6 +155,61 @@ fn bench_network(c: &mut Criterion) {
             h
         })
     });
+    // The 256-node variant walks every pair through the allocation-free
+    // `route_iter` — the path `transfer_timed` takes — so the gate watches
+    // the cost that actually scales with the cluster, not `Vec` building.
+    c.bench_function("network/route_iter_all_pairs_256", |b| {
+        let net = Network::new(256);
+        b.iter(|| {
+            let mut h = 0u64;
+            for s in 0..256 {
+                for d in 0..256 {
+                    h += net.mesh().route_iter(s, d).count() as u64;
+                }
+            }
+            h
+        })
+    });
+}
+
+/// Calendar-queue push/pop throughput with 10^5 events pending — the
+/// steady-state regime of a 256-node simulation, where every send lands in
+/// a deep future and every pop rescans the current bucket.
+fn bench_queue(c: &mut Criterion) {
+    use ncp2::sim::{EventQueue, Priority};
+    let mut rng = SimRng::new(7);
+    let seed: Vec<(u64, Priority)> = (0..100_000)
+        .map(|_| {
+            let t = rng.next_below(1 << 20);
+            let p = if rng.next_below(4) == 0 {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+            (t, p)
+        })
+        .collect();
+    c.bench_function("queue/push_pop_at_1e5_pending", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                for &(t, p) in &seed {
+                    q.push(t, p, 0u32);
+                }
+                q
+            },
+            |mut q| {
+                // 1024 pop-push cycles at full depth: the advancing-cursor
+                // and bucket-respread paths both get exercised.
+                for i in 0..1024u64 {
+                    let ev = q.pop().expect("queue stays full");
+                    q.push(ev.time + (1 << 20), ev.priority, i as u32);
+                }
+                q.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
 }
 
 /// Transport resequencing under retransmission: a complete (tiny) Ocean run
@@ -213,6 +268,7 @@ pub fn register_all(c: &mut Criterion) {
     bench_vtime(c);
     bench_obs_emit(c);
     bench_network(c);
+    bench_queue(c);
     bench_transport_resequence(c);
     bench_cache_key(c);
 }

@@ -1,0 +1,117 @@
+//! The pooled buffer arenas (`ncp2-core`'s `pool` module) are provably
+//! inert: recycling backing `Vec`s through thread-local free lists changes
+//! *where host memory comes from* and nothing the simulation computes.
+//! These tests run the full tier-1 application set under every protocol
+//! mode with pooling off and on and demand byte-identical simulated output
+//! — the same shape as the `--prof` and fault-plan inertness guarantees —
+//! and, when the counting allocator is compiled in (`--features prof`),
+//! prove the pools actually pay for themselves on the Ocean hot path.
+
+use std::sync::Mutex;
+
+use ncp2::apps::{run_app, Ocean};
+use ncp2::core::pool::set_pooling;
+use ncp2::prelude::*;
+use ncp2_bench::engine::{tier1_grid, Engine, RunRecord};
+use ncp2_bench::harness::ALL_MODE_LABELS;
+
+/// `set_pooling` flips a process-wide switch and the test harness runs
+/// tests concurrently, so every test here serializes on this lock (and
+/// restores the default before releasing it).
+static POOLING: Mutex<()> = Mutex::new(());
+
+/// Runs the 6-apps × 8-modes tier-1 grid under the current pooling mode.
+fn run_grid() -> Vec<RunRecord> {
+    Engine::new()
+        .no_cache()
+        .silent()
+        .run(&tier1_grid(&ALL_MODE_LABELS))
+}
+
+#[test]
+fn pooling_leaves_all_simulated_output_byte_identical() {
+    let _guard = POOLING.lock().unwrap();
+    set_pooling(false);
+    let fresh = run_grid();
+    set_pooling(true);
+    let pooled = run_grid();
+
+    assert_eq!(fresh.len(), pooled.len());
+    assert_eq!(fresh.len(), 6 * ALL_MODE_LABELS.len());
+    for (f, p) in fresh.iter().zip(&pooled) {
+        let mut rep1 = f.report.clone().expect("tier-1 jobs are observed");
+        let mut rep2 = p.report.clone().expect("tier-1 jobs are observed");
+        let label = rep1.name.clone();
+        assert_eq!(label, rep2.name);
+        let (r1, r2) = (&f.result, &p.result);
+        assert_eq!(r1.total_cycles, r2.total_cycles, "{label}");
+        assert_eq!(r1.checksum, r2.checksum, "{label}");
+        assert_eq!(r1.aggregate(), r2.aggregate(), "{label}");
+        assert_eq!(r1.nodes, r2.nodes, "{label}");
+        // The derived metrics report must be byte-identical too (host
+        // attribution is wall-clock and legitimately differs).
+        rep1.host.clear();
+        rep2.host.clear();
+        assert_eq!(rep1.to_json(), rep2.to_json(), "{label}");
+    }
+}
+
+/// One Ocean run at 64 nodes with the given iteration count, returning the
+/// result and how many host allocations the event-loop thread (where all
+/// protocol work happens) performed during it.
+fn ocean64(params: &SysParams, iters: usize) -> (RunResult, u64) {
+    let (a0, _) = ncp2_prof::prof_thread_counts();
+    let r = run_app(
+        params.clone(),
+        Protocol::TreadMarks(OverlapMode::Base),
+        Ocean { grid: 64, iters },
+    );
+    let (a1, _) = ncp2_prof::prof_thread_counts();
+    (r, a1 - a0)
+}
+
+#[test]
+fn pooling_cuts_ocean_hot_path_allocations() {
+    let _guard = POOLING.lock().unwrap();
+    let params = SysParams::default().with_nprocs(64);
+
+    // Measuring a 2-iteration and a 6-iteration run and dividing the
+    // difference by 4 cancels the per-run setup cost (page tables, node
+    // state, channels), leaving the *marginal* allocations of one Ocean
+    // iteration — the quantity that scales with simulated work and that
+    // pooling targets. Each mode warms up with one run first so the pooled
+    // side measures its steady state, not free-list population.
+    set_pooling(false);
+    let (r_off, _) = ocean64(&params, 2);
+    let (r2, off_2) = ocean64(&params, 2);
+    let (_, off_6) = ocean64(&params, 6);
+    let marginal_off = (off_6 - off_2) / 4;
+
+    set_pooling(true);
+    let (r_warm, _) = ocean64(&params, 2);
+    let (r_on, on_2) = ocean64(&params, 2);
+    let (_, on_6) = ocean64(&params, 6);
+    let marginal_on = (on_6 - on_2) / 4;
+
+    // Inert regardless of allocator strategy.
+    for r in [&r2, &r_warm, &r_on] {
+        assert_eq!(r_off.total_cycles, r.total_cycles);
+        assert_eq!(r_off.checksum, r.checksum);
+        assert_eq!(r_off.aggregate(), r.aggregate());
+        assert_eq!(r_off.nodes, r.nodes);
+    }
+
+    if ncp2_prof::prof_enabled() {
+        eprintln!(
+            "ocean@64 marginal allocs/iter: pooling off = {marginal_off}, on = {marginal_on}"
+        );
+        assert!(
+            marginal_off >= 5 * marginal_on,
+            "pooling must cut steady-state event-loop allocations >= 5x per \
+             Ocean@64 iteration: off = {marginal_off}/iter, on = {marginal_on}/iter"
+        );
+    } else {
+        // Without the counting allocator the counters are zero stubs.
+        assert_eq!((off_2, off_6, on_2, on_6), (0, 0, 0, 0));
+    }
+}

@@ -36,7 +36,7 @@ impl Simulation {
         };
         let page = page_of(addr, self.params.page_bytes);
         // Sharing-mode transition on first access by a new processor.
-        let mode = self.aurc_modes.get(&page).copied();
+        let mode = self.aurc_modes.get(page).copied();
         let (new_mode, fetch_from) = match mode {
             None => (AurcMode::Single(pid), None),
             Some(AurcMode::Single(a)) if a == pid => (AurcMode::Single(a), None),
@@ -57,7 +57,10 @@ impl Simulation {
             Some(AurcMode::Pairwise(a, b, false)) => {
                 // Third sharer replaces the first (§3.3); the replaced node
                 // re-joins through the home path if it comes back.
-                self.nodes[a].aurc_pages.entry(page).or_default().valid = false;
+                self.nodes[a]
+                    .aurc_pages
+                    .get_or_default(page)
+                    .set_valid(false);
                 (AurcMode::Pairwise(b, pid, true), Some(b))
             }
             Some(AurcMode::Pairwise(a, b, true)) => {
@@ -79,20 +82,20 @@ impl Simulation {
         };
         self.aurc_modes.insert(page, new_mode);
         let local_valid = {
-            let lp = self.nodes[pid].aurc_pages.entry(page).or_default();
+            let lp = self.nodes[pid].aurc_pages.get_or_default(page);
             match new_mode {
                 AurcMode::Single(a) if a == pid => {
-                    lp.valid = true;
+                    lp.set_valid(true);
                     true
                 }
                 AurcMode::Pairwise(a, b, _) if (a == pid || b == pid) && fetch_from.is_none() => {
-                    lp.valid
+                    lp.valid()
                 }
                 AurcMode::Home(h) if h == pid => {
-                    lp.valid = true;
+                    lp.set_valid(true);
                     true
                 }
-                _ => lp.valid && fetch_from.is_none(),
+                _ => lp.valid() && fetch_from.is_none(),
             }
         };
         if !local_valid {
@@ -110,15 +113,15 @@ impl Simulation {
             };
             if self.nodes[pid]
                 .aurc_pages
-                .get(&page)
-                .is_some_and(|lp| lp.prefetching)
+                .get(page)
+                .is_some_and(|lp| lp.prefetching())
             {
                 self.nodes[pid]
                     .aurc_pages
-                    .get_mut(&page)
+                    .get_mut(page)
                     // invariant: the joining access created the entry above
                     .expect("entry")
-                    .joined = true;
+                    .set_joined(true);
                 self.nodes[pid].stats.prefetch_joins += 1;
                 self.block(pid, Wait::AurcFault { page });
             } else {
@@ -156,11 +159,11 @@ impl Simulation {
         let line = addr / self.params.line_bytes;
         let off = (addr % page_bytes) as usize;
         // invariant: the faulting access classified the page before blocking
-        let mode = *self.aurc_modes.get(&page).expect("mode set by access path");
+        let mode = *self.aurc_modes.get(page).expect("mode set by access path");
         let was_prefetched = {
-            let lp = self.nodes[pid].aurc_pages.entry(page).or_default();
-            lp.referenced = true;
-            std::mem::take(&mut lp.prefetched_unused)
+            let lp = self.nodes[pid].aurc_pages.get_or_default(page);
+            lp.set_referenced(true);
+            lp.take_prefetched_unused()
         };
         if was_prefetched {
             self.nodes[pid].stats.prefetch_hits += 1;
@@ -180,9 +183,9 @@ impl Simulation {
         };
         if write {
             let newly_dirty = {
-                let lp = self.nodes[pid].aurc_pages.entry(page).or_default();
-                let nd = !lp.in_cur_dirty;
-                lp.in_cur_dirty = true;
+                let lp = self.nodes[pid].aurc_pages.get_or_default(page);
+                let nd = !lp.in_cur_dirty();
+                lp.set_in_cur_dirty(true);
                 nd
             };
             if newly_dirty {
@@ -301,11 +304,7 @@ impl Simulation {
         // AURC has no protocol controller: the home processor services every
         // fetch — including useless prefetches, the paper's AURC+P poison.
         let c0 = self.interrupt_proc(dst, t, params.interrupt, Category::Ipc, SpanKind::Service);
-        let horizon = self.nodes[dst]
-            .home_horizon
-            .get(&page)
-            .copied()
-            .unwrap_or(0);
+        let horizon = self.nodes[dst].home_horizon.get(page).copied().unwrap_or(0);
         let start = c0.max(horizon);
         let (_, mem_read) = self.nodes[dst]
             .mem
@@ -349,18 +348,18 @@ impl Simulation {
         self.record(t, dst, crate::trace::TraceKind::PageFetched { page });
         self.nodes[dst].stats.page_fetches += 1;
         let joined = {
-            let lp = self.nodes[dst].aurc_pages.entry(page).or_default();
+            let lp = self.nodes[dst].aurc_pages.get_or_default(page);
             if prefetch {
-                lp.prefetching = false;
-                let stale = std::mem::take(&mut lp.prefetch_stale);
+                lp.set_prefetching(false);
+                let stale = lp.take_prefetch_stale();
                 if !stale {
-                    lp.valid = true;
+                    lp.set_valid(true);
                 }
-                let joined = std::mem::take(&mut lp.joined);
-                lp.prefetched_unused = !stale && !joined;
+                let joined = lp.take_joined();
+                lp.set_prefetched_unused(!stale && !joined);
                 joined
             } else {
-                lp.valid = true;
+                lp.set_valid(true);
                 true
             }
         };
@@ -404,7 +403,7 @@ impl Simulation {
             .mem
             .dram
             .access(pci_end, params.line_words(), &params);
-        let h = self.nodes[dst].home_horizon.entry(page).or_insert(0);
+        let h = self.nodes[dst].home_horizon.get_or_default(page);
         *h = (*h).max(mem_end);
     }
 
@@ -432,7 +431,7 @@ impl Simulation {
             }
             for &page in &ann.pages {
                 c += params.list_processing;
-                let invalidate = match self.aurc_modes.get(&page) {
+                let invalidate = match self.aurc_modes.get(page) {
                     Some(AurcMode::Home(h)) => *h != pid,
                     _ => false,
                 };
@@ -440,16 +439,16 @@ impl Simulation {
                     continue;
                 }
                 let (had_copy, was_prefetched) = {
-                    let lp = self.nodes[pid].aurc_pages.entry(page).or_default();
-                    let had = lp.valid;
-                    lp.valid = false;
-                    if lp.prefetching {
-                        lp.prefetch_stale = true;
+                    let lp = self.nodes[pid].aurc_pages.get_or_default(page);
+                    let had = lp.valid();
+                    lp.set_valid(false);
+                    if lp.prefetching() {
+                        lp.set_prefetch_stale(true);
                     }
-                    lp.was_referenced |= lp.referenced;
-                    lp.recently_referenced = lp.referenced;
-                    lp.referenced = false;
-                    (had, std::mem::take(&mut lp.prefetched_unused))
+                    lp.set_was_referenced(lp.was_referenced() | lp.referenced());
+                    lp.set_recently_referenced(lp.referenced());
+                    lp.set_referenced(false);
+                    (had, lp.take_prefetched_unused())
                 };
                 if was_prefetched {
                     self.nodes[pid].stats.useless_prefetches += 1;
@@ -476,12 +475,12 @@ impl Simulation {
             .iter()
             .filter(|(_, lp)| {
                 let interested = match strategy {
-                    ncp2_sim::PrefetchStrategy::RecentlyReferenced => lp.recently_referenced,
-                    _ => lp.was_referenced,
+                    ncp2_sim::PrefetchStrategy::RecentlyReferenced => lp.recently_referenced(),
+                    _ => lp.was_referenced(),
                 };
-                !lp.valid && interested && !lp.prefetching
+                !lp.valid() && interested && !lp.prefetching()
             })
-            .filter_map(|(&page, _)| match self.aurc_modes.get(&page) {
+            .filter_map(|(page, _)| match self.aurc_modes.get(page) {
                 Some(AurcMode::Home(h)) if *h != pid => Some((page, *h)),
                 _ => None,
             })
@@ -508,10 +507,10 @@ impl Simulation {
             };
             self.dispatch(c, pid, home, msg);
             // invariant: the prefetch decision read this entry just above
-            let lp = self.nodes[pid].aurc_pages.get_mut(&page).expect("entry");
-            lp.prefetching = true;
-            lp.prefetch_stale = false;
-            lp.joined = false;
+            let lp = self.nodes[pid].aurc_pages.get_mut(page).expect("entry");
+            lp.set_prefetching(true);
+            lp.set_prefetch_stale(false);
+            lp.set_joined(false);
         }
         c
     }

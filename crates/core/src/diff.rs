@@ -29,7 +29,7 @@ pub const DIFF_HEADER_BYTES: u64 = 16;
 /// d.apply(&mut other);
 /// assert_eq!(other.word(10), 0xAB);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Diff {
     /// Page the diff belongs to.
     pub page: PageId,
@@ -37,8 +37,29 @@ pub struct Diff {
     pub owner: usize,
     /// Interval (of the writing processor) the diff covers.
     pub interval: IntervalId,
-    /// `(word index, new value)` pairs in increasing index order.
+    /// `(word index, new value)` pairs in increasing index order. Pooled
+    /// storage (see [`crate::pool`]): diffs are created, shipped and dropped
+    /// constantly on the hot path.
     words: Vec<(u32, u32)>,
+}
+
+impl Clone for Diff {
+    fn clone(&self) -> Self {
+        let mut words = crate::pool::take_words();
+        words.extend_from_slice(&self.words);
+        Diff {
+            page: self.page,
+            owner: self.owner,
+            interval: self.interval,
+            words,
+        }
+    }
+}
+
+impl Drop for Diff {
+    fn drop(&mut self) {
+        crate::pool::put_words(std::mem::take(&mut self.words));
+    }
 }
 
 impl Diff {
@@ -51,10 +72,12 @@ impl Diff {
         current: &PageBuf,
         twin: &PageBuf,
     ) -> Self {
-        let words = current
-            .words_differing(twin)
-            .map(|i| (i as u32, current.word(i)))
-            .collect();
+        let mut words = crate::pool::take_words();
+        words.extend(
+            current
+                .words_differing(twin)
+                .map(|i| (i as u32, current.word(i))),
+        );
         Diff {
             page,
             owner,
@@ -72,10 +95,8 @@ impl Diff {
         current: &PageBuf,
         dirty: &DirtyVec,
     ) -> Self {
-        let words = dirty
-            .iter_set()
-            .map(|i| (i as u32, current.word(i)))
-            .collect();
+        let mut words = crate::pool::take_words();
+        words.extend(dirty.iter_set().map(|i| (i as u32, current.word(i))));
         Diff {
             page,
             owner,
@@ -103,7 +124,8 @@ impl Diff {
         for &(i, v) in &later.words {
             map.insert(i, v);
         }
-        self.words = map.into_iter().collect();
+        self.words.clear();
+        self.words.extend(map);
     }
 
     /// Applies the diff to `target`, scatter-writing each recorded word.
@@ -134,6 +156,69 @@ impl Diff {
     /// The recorded `(word index, value)` pairs.
     pub fn entries(&self) -> &[(u32, u32)] {
         &self.words
+    }
+}
+
+/// A pooled list of diffs — the payload of diff replies and the
+/// accumulator a faulting node collects them in. The backing storage
+/// recycles through [`crate::pool`]; clearing it drops each diff, whose
+/// word list is pooled in turn.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DiffList(Vec<Diff>);
+
+impl Default for DiffList {
+    fn default() -> Self {
+        DiffList(crate::pool::take_diffs())
+    }
+}
+
+impl Clone for DiffList {
+    fn clone(&self) -> Self {
+        let mut v = crate::pool::take_diffs();
+        v.extend(self.0.iter().cloned());
+        DiffList(v)
+    }
+}
+
+impl Drop for DiffList {
+    fn drop(&mut self) {
+        crate::pool::put_diffs(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for DiffList {
+    type Target = [Diff];
+    fn deref(&self) -> &[Diff] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for DiffList {
+    fn deref_mut(&mut self) -> &mut [Diff] {
+        &mut self.0
+    }
+}
+
+impl DiffList {
+    /// An empty, pool-backed list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diff.
+    pub fn push(&mut self, diff: Diff) {
+        self.0.push(diff);
+    }
+
+    /// Moves every diff out, leaving the container empty (and still
+    /// pool-backed).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Diff> {
+        self.0.drain(..)
+    }
+
+    /// Keeps only the diffs matching `keep`, preserving order.
+    pub fn retain(&mut self, keep: impl FnMut(&Diff) -> bool) {
+        self.0.retain(keep);
     }
 }
 

@@ -6,7 +6,7 @@
 //! invalidate pages named by notices whose intervals they have not yet seen
 //! (§2 of the paper).
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use crate::page::PageId;
 use crate::vtime::{IntervalId, VectorTime};
@@ -24,7 +24,7 @@ pub struct Notice {
 
 /// A full interval announcement as shipped on lock-grant and barrier
 /// messages: identity, timestamp and the pages it dirtied.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct IntervalAnnouncement {
     /// Processor that created the interval.
     pub owner: usize,
@@ -34,6 +34,28 @@ pub struct IntervalAnnouncement {
     pub vt: VectorTime,
     /// Pages dirtied during the interval.
     pub pages: Vec<PageId>,
+}
+
+impl Clone for IntervalAnnouncement {
+    fn clone(&self) -> Self {
+        // Announcements are cloned onto every lock grant and barrier
+        // broadcast (O(n) copies per barrier); the page list is recycled
+        // through the thread-local pool.
+        let mut pages = crate::pool::take_ids();
+        pages.extend_from_slice(&self.pages);
+        IntervalAnnouncement {
+            owner: self.owner,
+            id: self.id,
+            vt: self.vt.clone(),
+            pages,
+        }
+    }
+}
+
+impl Drop for IntervalAnnouncement {
+    fn drop(&mut self) {
+        crate::pool::put_ids(std::mem::take(&mut self.pages));
+    }
 }
 
 impl IntervalAnnouncement {
@@ -53,12 +75,126 @@ impl IntervalAnnouncement {
     }
 }
 
-/// Every interval a node has learned about (its own and others'), keyed by
-/// `(owner, id)`. Used to compute the announcements a releaser must ship to
-/// an acquirer, and garbage-collected at barriers.
+/// A pooled list of interval announcements — the payload of lock grants
+/// and barrier traffic, and the result type of [`IntervalStore`] queries.
+/// The backing storage recycles through [`crate::pool`]; clearing it also
+/// drops each announcement, returning *its* pooled internals.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AnnList(Vec<IntervalAnnouncement>);
+
+impl Default for AnnList {
+    fn default() -> Self {
+        AnnList(crate::pool::take_anns())
+    }
+}
+
+impl Clone for AnnList {
+    fn clone(&self) -> Self {
+        let mut v = crate::pool::take_anns();
+        v.extend(self.0.iter().cloned());
+        AnnList(v)
+    }
+}
+
+impl Drop for AnnList {
+    fn drop(&mut self) {
+        crate::pool::put_anns(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for AnnList {
+    type Target = [IntervalAnnouncement];
+    fn deref(&self) -> &[IntervalAnnouncement] {
+        &self.0
+    }
+}
+
+impl AnnList {
+    /// An empty, pool-backed list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one announcement.
+    pub fn push(&mut self, ann: IntervalAnnouncement) {
+        self.0.push(ann);
+    }
+
+    /// Moves every announcement out, leaving the container empty (and
+    /// still pool-backed).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, IntervalAnnouncement> {
+        self.0.drain(..)
+    }
+}
+
+/// A pooled list of interval ids — the per-writer payload of a diff
+/// request.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IvlList(Vec<IntervalId>);
+
+impl Default for IvlList {
+    fn default() -> Self {
+        IvlList(crate::pool::take_clock())
+    }
+}
+
+impl Clone for IvlList {
+    fn clone(&self) -> Self {
+        let mut v = crate::pool::take_clock();
+        v.extend_from_slice(&self.0);
+        IvlList(v)
+    }
+}
+
+impl Drop for IvlList {
+    fn drop(&mut self) {
+        crate::pool::put_clock(std::mem::take(&mut self.0));
+    }
+}
+
+impl std::ops::Deref for IvlList {
+    type Target = [IntervalId];
+    fn deref(&self) -> &[IntervalId] {
+        &self.0
+    }
+}
+
+impl IvlList {
+    /// An empty, pool-backed list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one interval id.
+    pub fn push(&mut self, ivl: IntervalId) {
+        self.0.push(ivl);
+    }
+}
+
+/// Every interval a node has learned about (its own and others'). Used to
+/// compute the announcements a releaser must ship to an acquirer, and
+/// garbage-collected at barriers.
+///
+/// Laid out struct-of-arrays style: one id-ordered run per owner instead
+/// of a `BTreeMap` keyed by `(owner, id)`. Along any causal chain a node
+/// learns an owner's intervals in increasing id order, so `record` is an
+/// amortized O(1) `push_back`, coverage queries are prefix splits, and the
+/// barrier GC pops from the front — all without per-entry tree nodes, which
+/// dominated the allocator profile at 256 nodes.
 #[derive(Debug, Clone, Default)]
 pub struct IntervalStore {
-    map: BTreeMap<(usize, IntervalId), IntervalAnnouncement>,
+    /// `by_owner[p]` holds owner `p`'s known intervals in ascending id
+    /// order (runs reuse their ring capacity across the GC cycle).
+    by_owner: Vec<VecDeque<IntervalAnnouncement>>,
+    /// `sums[p][id]` is the component sum of owner `p`'s interval `id`'s
+    /// close-time vector time — the causal sort key for diff application.
+    /// Deliberately **not** garbage-collected: a page's pending notices can
+    /// outlive the barrier that collects the full announcements, and the
+    /// fault that finally services them still needs the causal order. At
+    /// 8 B per interval this retains ~50× less than keeping whole
+    /// announcements (identity + vector time + page list) alive.
+    sums: Vec<Vec<u64>>,
+    count: usize,
 }
 
 impl IntervalStore {
@@ -69,49 +205,103 @@ impl IntervalStore {
 
     /// Records an interval (idempotent: re-announcements are ignored).
     pub fn record(&mut self, ann: IntervalAnnouncement) {
-        self.map.entry((ann.owner, ann.id)).or_insert(ann);
+        if self.by_owner.len() <= ann.owner {
+            self.by_owner.resize_with(ann.owner + 1, VecDeque::new);
+            self.sums.resize_with(ann.owner + 1, Vec::new);
+        }
+        let sums = &mut self.sums[ann.owner];
+        let idx = ann.id as usize;
+        if sums.len() <= idx {
+            sums.resize(idx + 1, 0);
+        }
+        sums[idx] = ann.vt.iter().map(|(_, v)| v as u64).sum();
+        let run = &mut self.by_owner[ann.owner];
+        if run.back().is_none_or(|last| last.id < ann.id) {
+            run.push_back(ann);
+        } else {
+            // Out-of-order announcement (e.g. a barrier manager merging
+            // arrival sets from several nodes): splice into id order,
+            // ignoring duplicates.
+            let pos = run.partition_point(|a| a.id < ann.id);
+            if run.get(pos).is_some_and(|a| a.id == ann.id) {
+                return;
+            }
+            run.insert(pos, ann);
+        }
+        self.count += 1;
     }
 
     /// Looks up one interval.
     pub fn get(&self, owner: usize, id: IntervalId) -> Option<&IntervalAnnouncement> {
-        self.map.get(&(owner, id))
+        let run = self.by_owner.get(owner)?;
+        let pos = run.partition_point(|a| a.id < id);
+        run.get(pos).filter(|a| a.id == id)
+    }
+
+    /// The component sum of the interval's close-time vector time, or 0 if
+    /// the interval was never recorded here. Unlike [`Self::get`], this
+    /// survives [`Self::gc_covered`] — fault-time causal ordering of diffs
+    /// needs it long after the full announcements are collected.
+    pub fn vt_sum(&self, owner: usize, id: IntervalId) -> u64 {
+        self.sums
+            .get(owner)
+            .and_then(|s| s.get(id as usize))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of intervals retained.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.count
     }
 
     /// Whether the store holds no intervals.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.count == 0
     }
 
     /// Intervals known here but **not** covered by `their_vt` — exactly what
     /// a releaser must announce to an acquirer. Returned in deterministic
     /// `(owner, id)` order.
-    pub fn missing_for(&self, their_vt: &VectorTime) -> Vec<IntervalAnnouncement> {
-        self.map
-            .values()
-            .filter(|a| !their_vt.covers_interval(a.owner, a.id))
-            .cloned()
-            .collect()
+    pub fn missing_for(&self, their_vt: &VectorTime) -> AnnList {
+        let mut out = AnnList::new();
+        for (owner, run) in self.by_owner.iter().enumerate() {
+            // Covered ids form a prefix of the ascending run.
+            let from = run.partition_point(|a| their_vt.covers_interval(owner, a.id));
+            for a in run.iter().skip(from) {
+                out.push(a.clone());
+            }
+        }
+        out
     }
 
     /// Every retained interval in deterministic `(owner, id)` order (used
     /// by barrier managers to broadcast the merged announcement set).
-    pub fn all(&self) -> Vec<IntervalAnnouncement> {
-        self.map.values().cloned().collect()
+    pub fn all(&self) -> AnnList {
+        let mut out = AnnList::new();
+        for run in &self.by_owner {
+            for a in run {
+                out.push(a.clone());
+            }
+        }
+        out
     }
 
     /// Drops every interval covered by `floor` (a vector time all
     /// processors are known to have reached, e.g. the previous barrier's
     /// merged time). Returns how many intervals were collected.
     pub fn gc_covered(&mut self, floor: &VectorTime) -> usize {
-        let before = self.map.len();
-        self.map
-            .retain(|&(owner, id), _| !floor.covers_interval(owner, id));
-        before - self.map.len()
+        let before = self.count;
+        for (owner, run) in self.by_owner.iter_mut().enumerate() {
+            while run
+                .front()
+                .is_some_and(|a| floor.covers_interval(owner, a.id))
+            {
+                run.pop_front();
+                self.count -= 1;
+            }
+        }
+        before - self.count
     }
 }
 

@@ -41,11 +41,13 @@ pub mod interval;
 pub mod msg;
 pub mod observe;
 pub mod page;
+pub mod pool;
 pub mod protocol;
 pub mod span;
 pub mod stats;
 pub mod sync;
 pub mod system;
+mod table;
 pub mod trace;
 #[cfg(feature = "fault")]
 pub mod transport;

@@ -3,10 +3,10 @@
 use ncp2_sim::ops::{BarrierId, LockId};
 use ncp2_sim::Cycles;
 
-use crate::diff::Diff;
-use crate::interval::IntervalAnnouncement;
+use crate::diff::DiffList;
+use crate::interval::{AnnList, IntervalAnnouncement, IvlList};
 use crate::page::{PageBuf, PageId};
-use crate::vtime::{IntervalId, VectorTime};
+use crate::vtime::VectorTime;
 
 /// Fixed per-message header bytes (type, source, destination, sequencing).
 pub const MSG_HEADER_BYTES: u64 = 16;
@@ -37,7 +37,7 @@ pub enum Msg {
         /// Lock granted.
         lock: LockId,
         /// Intervals (write notices) the acquirer has not seen.
-        anns: Vec<IntervalAnnouncement>,
+        anns: AnnList,
         /// AURC: time by which all updates the releaser flushed toward the
         /// acquirer will have arrived (0 for TreadMarks).
         update_horizon: Cycles,
@@ -47,7 +47,7 @@ pub enum Msg {
         /// Page whose diffs are needed.
         page: PageId,
         /// The writer's interval ids being requested.
-        intervals: Vec<IntervalId>,
+        intervals: IvlList,
         /// Requesting processor.
         requester: usize,
         /// Requester's vector time. A writer may substitute a whole page for
@@ -66,7 +66,7 @@ pub enum Msg {
         /// Page the reply covers.
         page: PageId,
         /// The requested diffs that were available.
-        diffs: Vec<Diff>,
+        diffs: DiffList,
         /// Full page contents plus the writer's vector time, when the writer
         /// chose (or was asked) to ship the page.
         full_page: Option<(PageBuf, VectorTime)>,
@@ -82,7 +82,7 @@ pub enum Msg {
         /// Its vector time after closing its interval.
         vt: VectorTime,
         /// Intervals the manager may not have seen.
-        anns: Vec<IntervalAnnouncement>,
+        anns: AnnList,
         /// AURC: per-destination arrival horizon of this node's flushed
         /// updates (empty for TreadMarks).
         horizons: Vec<Cycles>,
@@ -93,8 +93,10 @@ pub enum Msg {
         barrier: BarrierId,
         /// Merged vector time of all participants.
         vt: VectorTime,
-        /// All intervals merged at the manager.
-        anns: Vec<IntervalAnnouncement>,
+        /// All intervals merged at the manager. The release is an `n`-way
+        /// broadcast of the same set; sharing it keeps the barrier's host
+        /// cost O(n) instead of O(n²) announcement clones.
+        anns: std::sync::Arc<AnnList>,
         /// AURC: time by which all updates destined to the receiver have
         /// arrived (0 for TreadMarks).
         update_horizon: Cycles,
@@ -189,16 +191,18 @@ mod tests {
             vt: vt.clone(),
             pages: vec![1, 2],
         };
+        let mut anns = AnnList::new();
+        anns.push(ann);
         let grant = Msg::LockGrant {
             lock: 0,
-            anns: vec![ann],
+            anns,
             update_horizon: 0,
         };
         assert_eq!(grant.bytes(4096, 1024), 16 + 8 + 24 + 16);
 
         let reply = Msg::DiffReply {
             page: 0,
-            diffs: vec![],
+            diffs: DiffList::new(),
             full_page: Some((PageBuf::new(4096), vt)),
             prefetch: false,
         };
@@ -210,7 +214,7 @@ mod tests {
         let vt = VectorTime::new(4);
         let req = Msg::DiffReq {
             page: 0,
-            intervals: vec![],
+            intervals: IvlList::new(),
             requester: 0,
             requester_vt: vt.clone(),
             prefetch: true,
@@ -219,7 +223,7 @@ mod tests {
         assert!(req.is_prefetch());
         let req2 = Msg::DiffReq {
             page: 0,
-            intervals: vec![],
+            intervals: IvlList::new(),
             requester: 0,
             requester_vt: vt,
             prefetch: false,

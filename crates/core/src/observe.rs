@@ -414,12 +414,12 @@ mod tests {
             },
             Msg::LockGrant {
                 lock: 0,
-                anns: Vec::new(),
+                anns: Default::default(),
                 update_horizon: 0,
             },
             Msg::DiffReq {
                 page: 0,
-                intervals: Vec::new(),
+                intervals: Default::default(),
                 requester: 0,
                 requester_vt: vt.clone(),
                 prefetch: false,
@@ -427,7 +427,7 @@ mod tests {
             },
             Msg::DiffReply {
                 page: 0,
-                diffs: Vec::new(),
+                diffs: Default::default(),
                 full_page: None,
                 prefetch: false,
             },
@@ -435,13 +435,13 @@ mod tests {
                 barrier: 0,
                 from: 0,
                 vt: vt.clone(),
-                anns: Vec::new(),
+                anns: Default::default(),
                 horizons: Vec::new(),
             },
             Msg::BarrierRelease {
                 barrier: 0,
                 vt,
-                anns: Vec::new(),
+                anns: Default::default(),
                 update_horizon: 0,
             },
             Msg::AurcUpdate { page: 0, from: 0 },

@@ -36,6 +36,10 @@ pub enum PageState {
 
 /// One page's worth of actual data.
 ///
+/// Backed by a pooled buffer (see [`crate::pool`]): pages, twins and
+/// whole-page reply payloads are created and dropped constantly on the hot
+/// path, so the backing storage is recycled per thread.
+///
 /// ```
 /// use ncp2_core::page::PageBuf;
 /// let mut p = PageBuf::new(4096);
@@ -43,17 +47,31 @@ pub enum PageState {
 /// assert_eq!(p.read(8, 4), 0xDEAD_BEEF);
 /// assert_eq!(p.read(12, 4), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct PageBuf {
     data: Vec<u8>,
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        let mut data = crate::pool::take_bytes();
+        data.extend_from_slice(&self.data);
+        PageBuf { data }
+    }
+}
+
+impl Drop for PageBuf {
+    fn drop(&mut self) {
+        crate::pool::put_bytes(std::mem::take(&mut self.data));
+    }
 }
 
 impl PageBuf {
     /// A zero-filled page of `bytes` bytes.
     pub fn new(bytes: u64) -> Self {
-        PageBuf {
-            data: vec![0; bytes as usize],
-        }
+        let mut data = crate::pool::take_bytes();
+        data.resize(bytes as usize, 0);
+        PageBuf { data }
     }
 
     /// Page size in bytes.

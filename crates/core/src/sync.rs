@@ -12,7 +12,7 @@
 use ncp2_sim::ops::{BarrierId, LockId};
 use ncp2_sim::{Category, Cycles};
 
-use crate::interval::IntervalAnnouncement;
+use crate::interval::{AnnList, IntervalAnnouncement};
 use crate::msg::Msg;
 use crate::protocol::Protocol;
 use crate::span::SpanKind;
@@ -47,13 +47,13 @@ impl Simulation {
             self.aurc_flush_wcache(pid, Category::Synch);
         }
         self.close_interval(pid);
-        self.nodes[pid].held_locks.remove(&lock);
+        self.nodes[pid].held_locks.remove(lock);
         let waiter = self.nodes[pid]
             .lock_queue
-            .get_mut(&lock)
+            .get_mut(lock)
             .and_then(|q| q.pop_front());
         if let Some((acquirer, vt)) = waiter {
-            self.nodes[pid].owned_locks.remove(&lock);
+            self.nodes[pid].owned_locks.remove(lock);
             let t = self.nodes[pid].time;
             self.grant_lock(pid, t, lock, acquirer, &vt, false);
         }
@@ -106,8 +106,8 @@ impl Simulation {
             Protocol::TreadMarks(_) => self.tm_close_pages(pid, id, &pages),
             Protocol::Aurc { .. } => {
                 for &page in &pages {
-                    if let Some(lp) = self.nodes[pid].aurc_pages.get_mut(&page) {
-                        lp.in_cur_dirty = false;
+                    if let Some(lp) = self.nodes[pid].aurc_pages.get_mut(page) {
+                        lp.set_in_cur_dirty(false);
                     }
                 }
             }
@@ -145,7 +145,7 @@ impl Simulation {
             Category::Ipc,
             SpanKind::Service,
         );
-        let last = match self.lock_last.get(&lock) {
+        let last = match self.lock_last.get(lock) {
             Some(&l) => l,
             None => {
                 // First touch: the manager holds the grant token.
@@ -158,7 +158,7 @@ impl Simulation {
             // Re-acquire with no intervening owner: nothing new to learn.
             let msg = Msg::LockGrant {
                 lock,
-                anns: Vec::new(),
+                anns: AnnList::new(),
                 update_horizon: 0,
             };
             let mut tc = c;
@@ -179,8 +179,8 @@ impl Simulation {
         acquirer: usize,
         vt: VectorTime,
     ) {
-        let can_grant = self.nodes[holder].owned_locks.contains(&lock)
-            && !self.nodes[holder].held_locks.contains(&lock);
+        let can_grant = self.nodes[holder].owned_locks.contains(lock)
+            && !self.nodes[holder].held_locks.contains(lock);
         let c = self.interrupt_proc(
             holder,
             t,
@@ -189,15 +189,14 @@ impl Simulation {
             SpanKind::Service,
         );
         if can_grant {
-            self.nodes[holder].owned_locks.remove(&lock);
+            self.nodes[holder].owned_locks.remove(lock);
             self.grant_lock(holder, c, lock, acquirer, &vt, true);
         } else {
             // Still inside (or still waiting for) the critical section: the
             // request waits here and is granted at the next unlock.
             self.nodes[holder]
                 .lock_queue
-                .entry(lock)
-                .or_default()
+                .get_or_default(lock)
                 .push_back((acquirer, vt));
         }
     }
@@ -243,7 +242,7 @@ impl Simulation {
         acquirer: usize,
         t: Cycles,
         lock: LockId,
-        anns: Vec<IntervalAnnouncement>,
+        anns: AnnList,
         update_horizon: Cycles,
     ) {
         debug_assert!(
@@ -286,7 +285,7 @@ impl Simulation {
         barrier: BarrierId,
         from: usize,
         vt: VectorTime,
-        anns: Vec<IntervalAnnouncement>,
+        mut anns: AnnList,
         horizons: Vec<Cycles>,
     ) {
         let n = self.params.nprocs;
@@ -297,16 +296,13 @@ impl Simulation {
             Category::Ipc,
             SpanKind::Service,
         );
-        let bs = self
-            .barriers
-            .entry(barrier)
-            .or_insert_with(|| BarrierState {
-                arrived: 0,
-                merged_vt: None,
-                anns: crate::interval::IntervalStore::new(),
-                horizons: vec![Vec::new(); n],
-            });
-        for ann in anns {
+        let bs = self.barriers.get_or_insert_with(barrier, || BarrierState {
+            arrived: 0,
+            merged_vt: None,
+            anns: crate::interval::IntervalStore::new(),
+            horizons: vec![Vec::new(); n],
+        });
+        for ann in anns.drain() {
             bs.anns.record(ann);
         }
         match &mut bs.merged_vt {
@@ -321,13 +317,13 @@ impl Simulation {
         // Last arrival: release everyone.
         let bs = self
             .barriers
-            .remove(&barrier)
+            .remove(barrier)
             // invariant: this is the nth arrival, so the state the first
             // arrival created is still present
             .expect("barrier state exists");
         // invariant: every arrival merges its vector time before this point
         let merged = bs.merged_vt.expect("at least one arrival");
-        let all_anns = bs.anns.all();
+        let all_anns = std::sync::Arc::new(bs.anns.all());
         for k in 0..n {
             let update_horizon = bs
                 .horizons
@@ -339,7 +335,7 @@ impl Simulation {
             let msg = Msg::BarrierRelease {
                 barrier,
                 vt: merged.clone(),
-                anns: all_anns.clone(),
+                anns: std::sync::Arc::clone(&all_anns),
                 update_horizon,
             };
             self.send_msg(&mut c, manager, k, msg, Category::Ipc, true);
@@ -351,7 +347,7 @@ impl Simulation {
         pid: usize,
         t: Cycles,
         vt: VectorTime,
-        anns: Vec<IntervalAnnouncement>,
+        anns: std::sync::Arc<AnnList>,
         update_horizon: Cycles,
     ) {
         debug_assert!(
@@ -359,8 +355,16 @@ impl Simulation {
             "release for a barrier processor {pid} is not waiting on"
         );
         let mut end = self.process_anns(pid, &anns, t);
-        self.nodes[pid].vt.merge(&vt);
-        self.nodes[pid].last_barrier_vt = vt;
+        let nd = &mut self.nodes[pid];
+        nd.vt.merge(&vt);
+        // The merged time is a floor every processor's vector time now
+        // covers, so the intervals it covers can never again appear in a
+        // `missing_for` result — collect them (TreadMarks GCs interval
+        // records at barriers). Host-side only: message contents and
+        // list-processing costs are computed from coverage-filtered sets
+        // that never included these records.
+        nd.store.gc_covered(&vt);
+        nd.last_barrier_vt = vt;
         end = self.issue_prefetches(pid, end);
         self.nodes[pid].stats.barriers += 1;
         let wake = end.max(update_horizon);

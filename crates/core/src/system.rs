@@ -7,11 +7,11 @@
 //! handles the earliest pending event, whichever comes first — so a run is
 //! a deterministic function of (parameters, protocol, workload).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use ncp2_mem::NodeMemory;
 use ncp2_net::Network;
-use ncp2_sim::ops::{BarrierId, LockId};
+use ncp2_sim::ops::LockId;
 use ncp2_sim::{
     Breakdown, Category, Cycles, EventQueue, Priority, ProcHarness, ProcOp, ProcReply, ProcStatus,
     SysParams,
@@ -19,13 +19,14 @@ use ncp2_sim::{
 
 use crate::bitvec::DirtyVec;
 use crate::controller::Controller;
-use crate::diff::Diff;
+use crate::diff::DiffList;
 use crate::interval::IntervalStore;
 use crate::msg::Msg;
 use crate::page::{page_of, PageBuf, PageId, PageState};
 use crate::protocol::Protocol;
 use crate::span::{CtrlCmd, EdgeKind, Engine, SpanId, SpanKind};
 use crate::stats::{NodeStats, RunResult};
+use crate::table::{DiffTable, FlatMap, IdSet};
 use crate::vtime::{IntervalId, VectorTime};
 
 /// Back-end events.
@@ -74,7 +75,7 @@ pub(crate) struct FaultWait {
     pub page: PageId,
     pub outstanding: usize,
     pub ready_at: Cycles,
-    pub diffs: Vec<Diff>,
+    pub diffs: DiffList,
     pub full_page: Option<(PageBuf, VectorTime)>,
 }
 
@@ -158,7 +159,7 @@ impl TmPage {
 pub(crate) struct PrefetchState {
     pub outstanding: usize,
     pub ready_at: Cycles,
-    pub diffs: Vec<Diff>,
+    pub diffs: DiffList,
     pub full_page: Option<(PageBuf, VectorTime)>,
     /// Notices the prefetch will satisfy.
     pub requested: Vec<(usize, IntervalId)>,
@@ -166,21 +167,68 @@ pub(crate) struct PrefetchState {
     pub joined: bool,
 }
 
-/// AURC per-node view of one page.
+/// AURC per-node view of one page: nine protocol flags packed into one
+/// word, so the per-node page table is a flat array of 2-byte records
+/// instead of a hash map of bool structs.
 #[derive(Debug, Default)]
 pub(crate) struct AurcLocal {
-    pub valid: bool,
-    pub referenced: bool,
-    pub was_referenced: bool,
-    pub recently_referenced: bool,
-    pub prefetched_unused: bool,
-    pub prefetching: bool,
+    flags: u16,
+}
+
+/// Generates `name()` / `set_name()` (and optionally `take_name()`)
+/// accessors for one packed flag bit.
+macro_rules! aurc_flags {
+    ($($(#[$doc:meta])* $bit:literal => $get:ident, $set:ident $(, $take:ident)?;)+) => {
+        impl AurcLocal {
+            $(
+                $(#[$doc])*
+                pub fn $get(&self) -> bool {
+                    self.flags & (1 << $bit) != 0
+                }
+
+                /// Sets the flag read by the same-named accessor.
+                pub fn $set(&mut self, v: bool) {
+                    if v {
+                        self.flags |= 1 << $bit;
+                    } else {
+                        self.flags &= !(1 << $bit);
+                    }
+                }
+
+                $(
+                    /// Returns the flag and clears it.
+                    pub fn $take(&mut self) -> bool {
+                        let v = self.$get();
+                        self.$set(false);
+                        v
+                    }
+                )?
+            )+
+        }
+    };
+}
+
+aurc_flags! {
+    /// The local copy (or home/pairwise mapping) is up to date.
+    0 => valid, set_valid;
+    /// Referenced since last (re)validation.
+    1 => referenced, set_referenced;
+    /// Referenced at the time it was last invalidated (prefetch heuristic).
+    2 => was_referenced, set_was_referenced;
+    /// Referenced during the most recent validity window (the non-sticky
+    /// variant used by `PrefetchStrategy::RecentlyReferenced`).
+    3 => recently_referenced, set_recently_referenced;
+    /// Completed prefetch not yet used by any access.
+    4 => prefetched_unused, set_prefetched_unused, take_prefetched_unused;
+    /// A prefetch for this page is in flight.
+    5 => prefetching, set_prefetching;
     /// The page was invalidated again while a prefetch was in flight; the
     /// reply must not re-validate it.
-    pub prefetch_stale: bool,
-    pub in_cur_dirty: bool,
+    6 => prefetch_stale, set_prefetch_stale, take_prefetch_stale;
+    /// Dirtied in the open interval.
+    7 => in_cur_dirty, set_in_cur_dirty;
     /// A fault is blocked waiting for an in-flight prefetch of this page.
-    pub joined: bool,
+    8 => joined, set_joined, take_joined;
 }
 
 /// AURC global sharing mode of one page.
@@ -250,24 +298,24 @@ pub(crate) struct Node {
     pub stats: NodeStats,
     // --- TreadMarks state ---
     pub vt: VectorTime,
-    pub pages: HashMap<PageId, TmPage>,
+    pub pages: FlatMap<TmPage>,
     pub store: IntervalStore,
     /// Diffs this node created for its own writes, keyed by (page, interval).
-    pub diffs: HashMap<(PageId, IntervalId), Diff>,
+    pub diffs: DiffTable,
     pub cur_dirty: Vec<PageId>,
     pub last_barrier_vt: VectorTime,
-    pub held_locks: HashSet<LockId>,
+    pub held_locks: IdSet,
     /// Locks whose grant token this node possesses (held or last released
     /// here and not yet passed on).
-    pub owned_locks: HashSet<LockId>,
+    pub owned_locks: IdSet,
     /// Forwarded acquire requests queued while this node holds the lock.
-    pub lock_queue: HashMap<LockId, VecDeque<(usize, VectorTime)>>,
-    pub prefetches: HashMap<PageId, PrefetchState>,
+    pub lock_queue: FlatMap<VecDeque<(usize, VectorTime)>>,
+    pub prefetches: FlatMap<PrefetchState>,
     // --- AURC state ---
-    pub aurc_pages: HashMap<PageId, AurcLocal>,
+    pub aurc_pages: FlatMap<AurcLocal>,
     pub wcache: WriteCache,
     /// At a home node: per-page arrival horizon of incoming updates.
-    pub home_horizon: HashMap<PageId, Cycles>,
+    pub home_horizon: FlatMap<Cycles>,
     /// Per-destination arrival horizon of updates this node has emitted.
     pub out_horizon: Vec<Cycles>,
 }
@@ -286,21 +334,21 @@ impl Node {
             ctrl: Controller::new(),
             stats: NodeStats::default(),
             vt: VectorTime::new(params.nprocs),
-            pages: HashMap::new(),
+            pages: FlatMap::new(),
             store: IntervalStore::new(),
-            diffs: HashMap::new(),
+            diffs: DiffTable::new(),
             cur_dirty: Vec::new(),
             last_barrier_vt: VectorTime::new(params.nprocs),
-            held_locks: HashSet::new(),
-            owned_locks: HashSet::new(),
-            lock_queue: HashMap::new(),
-            prefetches: HashMap::new(),
-            aurc_pages: HashMap::new(),
+            held_locks: IdSet::new(),
+            owned_locks: IdSet::new(),
+            lock_queue: FlatMap::new(),
+            prefetches: FlatMap::new(),
+            aurc_pages: FlatMap::new(),
             wcache: WriteCache {
                 entries: VecDeque::new(),
                 capacity: params.write_cache_entries,
             },
-            home_horizon: HashMap::new(),
+            home_horizon: FlatMap::new(),
             out_horizon: vec![0; params.nprocs],
         }
     }
@@ -324,11 +372,11 @@ pub struct Simulation {
     pub(crate) net: Network,
     pub(crate) nodes: Vec<Node>,
     /// Lock manager state: last owner per lock (chain head).
-    pub(crate) lock_last: HashMap<LockId, usize>,
-    pub(crate) barriers: HashMap<BarrierId, BarrierState>,
+    pub(crate) lock_last: FlatMap<usize>,
+    pub(crate) barriers: FlatMap<BarrierState>,
     /// AURC master data plane and global sharing modes.
-    pub(crate) master: HashMap<PageId, PageBuf>,
-    pub(crate) aurc_modes: HashMap<PageId, AurcMode>,
+    pub(crate) master: FlatMap<PageBuf>,
+    pub(crate) aurc_modes: FlatMap<AurcMode>,
     pub(crate) done: usize,
     pub(crate) seq: bool,
     pub(crate) trace: Vec<crate::trace::TraceEvent>,
@@ -370,10 +418,10 @@ impl Simulation {
             queue: EventQueue::new(),
             net: Network::new(n),
             nodes: (0..n).map(|p| Node::new(p, &params)).collect(),
-            lock_last: HashMap::new(),
-            barriers: HashMap::new(),
-            master: HashMap::new(),
-            aurc_modes: HashMap::new(),
+            lock_last: FlatMap::new(),
+            barriers: FlatMap::new(),
+            master: FlatMap::new(),
+            aurc_modes: FlatMap::new(),
             done: 0,
             seq: n == 1,
             trace: Vec::new(),
@@ -682,23 +730,18 @@ impl Simulation {
                 .filter(|(_, nd)| nd.status == ProcStatus::Runnable)
                 .min_by_key(|(pid, nd)| (nd.time, *pid))
                 .map(|(pid, nd)| (pid, nd.time));
-            let next_ev = self.queue.peek_time();
+            // `peek` memoizes the minimum event's position inside the
+            // calendar queue, so the `pop` in the arms below reuses the scan
+            // instead of repeating it.
+            let next_ev = self.queue.peek().map(|ev| ev.time);
             match (next_proc, next_ev) {
-                (Some((pid, pt)), Some(et)) => {
-                    if et <= pt {
-                        // invariant: peek_time returned Some just above
-                        let ev = self.queue.pop().expect("peeked event");
-                        self.handle_event(ev.time, ev.payload, &harness);
-                    } else {
-                        self.step_proc(pid, &harness);
-                    }
-                }
-                (Some((pid, _)), None) => self.step_proc(pid, &harness),
-                (None, Some(_)) => {
-                    // invariant: peek_time returned Some just above
+                (Some((pid, pt)), Some(et)) if et > pt => self.step_proc(pid, &harness),
+                (_, Some(_)) => {
+                    // invariant: peek returned Some just above
                     let ev = self.queue.pop().expect("peeked event");
                     self.handle_event(ev.time, ev.payload, &harness);
                 }
+                (Some((pid, _)), None) => self.step_proc(pid, &harness),
                 (None, None) => {
                     let stuck: Vec<usize> = self
                         .nodes
@@ -836,10 +879,8 @@ impl Simulation {
         };
         self.charge_mem(pid, addr, write);
         let page = page_of(addr, self.params.page_bytes);
-        let buf = self
-            .master
-            .entry(page)
-            .or_insert_with(|| PageBuf::new(self.params.page_bytes));
+        let pb = self.params.page_bytes;
+        let buf = self.master.get_or_insert_with(page, || PageBuf::new(pb));
         let off = (addr % self.params.page_bytes) as usize;
         match op {
             ProcOp::Read { bytes, .. } => ProcReply::Value(buf.read(off, bytes)),
@@ -1253,14 +1294,13 @@ impl Simulation {
         let (pb, pw) = (self.params.page_bytes, self.params.page_words());
         self.nodes[pid]
             .pages
-            .entry(page)
-            .or_insert_with(|| TmPage::new(pb, pw))
+            .get_or_insert_with(page, || TmPage::new(pb, pw))
     }
 
     /// Lazily materializes the AURC master copy of `page`.
     pub(crate) fn master_page(&mut self, page: PageId) -> &mut PageBuf {
         let pb = self.params.page_bytes;
-        self.master.entry(page).or_insert_with(|| PageBuf::new(pb))
+        self.master.get_or_insert_with(page, || PageBuf::new(pb))
     }
 
     /// Aggregated breakdown over every node (testing aid).

@@ -14,13 +14,11 @@
 //!   bit vectors and the DMA engine generates diffs eagerly when an interval
 //!   closes and applies incoming diffs by scatter-gather.
 
-use std::collections::BTreeMap;
-
 use ncp2_sim::{Category, Cycles, ProcOp, ProcReply};
 
 use crate::controller::Controller;
-use crate::diff::Diff;
-use crate::interval::IntervalAnnouncement;
+use crate::diff::{Diff, DiffList};
+use crate::interval::{IntervalAnnouncement, IvlList};
 use crate::msg::Msg;
 use crate::page::{page_of, word_index, PageBuf, PageId, PageState};
 use crate::span::{CtrlCmd, Engine, SpanKind};
@@ -41,7 +39,7 @@ impl Simulation {
         let state = self.tm_page(pid, page).state;
         match state {
             PageState::Invalid => {
-                if let Some(ps) = self.nodes[pid].prefetches.get_mut(&page) {
+                if let Some(ps) = self.nodes[pid].prefetches.get_mut(page) {
                     ps.joined = true;
                     self.nodes[pid].stats.prefetch_joins += 1;
                     self.block(pid, Wait::PrefetchJoin { page });
@@ -258,14 +256,9 @@ impl Simulation {
     fn tm_store_diff(&mut self, pid: usize, diff: Diff) {
         let key = (diff.page, diff.interval);
         let nd = &mut self.nodes[pid];
-        match nd.diffs.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().merge(&diff),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(diff);
-            }
-        }
+        nd.diffs.merge_or_insert(diff);
         // invariant: the diff being stored was created from this page entry
-        let tp = nd.pages.get_mut(&key.0).expect("page exists");
+        let tp = nd.pages.get_mut(key.0).expect("page exists");
         if !tp.own_intervals.contains(&key.1) {
             tp.own_intervals.push(key.1);
         }
@@ -350,7 +343,8 @@ impl Simulation {
             Category::Other,
             SpanKind::Interrupt,
         );
-        let pending = self.tm_page(pid, page).pending.clone();
+        let mut pending = crate::pool::take_pairs();
+        pending.extend_from_slice(&self.tm_page(pid, page).pending);
         assert!(
             !pending.is_empty(),
             "fault on page {page} with no pending notices"
@@ -362,6 +356,7 @@ impl Simulation {
             SpanKind::NoticeMgmt,
         );
         let requests = self.tm_build_requests(pid, page, &pending, false);
+        crate::pool::put_pairs(pending);
         let outstanding = requests.len();
         let mut t = self.nodes[pid].time;
         for (owner, msg) in requests {
@@ -374,7 +369,7 @@ impl Simulation {
                 page,
                 outstanding,
                 ready_at: t,
-                diffs: Vec::new(),
+                diffs: DiffList::new(),
                 full_page: None,
             }),
         );
@@ -389,10 +384,13 @@ impl Simulation {
         pending: &[(usize, IntervalId)],
         prefetch: bool,
     ) -> Vec<(usize, Msg)> {
-        let mut by_owner: BTreeMap<usize, Vec<IntervalId>> = BTreeMap::new();
-        for &(owner, ivl) in pending {
-            by_owner.entry(owner).or_default().push(ivl);
-        }
+        // Sorting `(owner, interval)` pairs groups them by ascending owner
+        // with ascending intervals inside each group — the same deterministic
+        // order the previous `BTreeMap<owner, Vec<_>>` grouping produced,
+        // without its per-node allocations.
+        let mut by_owner = crate::pool::take_pairs();
+        by_owner.extend_from_slice(pending);
+        by_owner.sort_unstable();
         let want_page_from = if pending.len() > self.params.page_req_threshold {
             pending
                 .iter()
@@ -401,31 +399,33 @@ impl Simulation {
         } else {
             None
         };
-        by_owner
-            .into_iter()
-            .map(|(owner, mut ivls)| {
-                ivls.sort_unstable();
-                let msg = Msg::DiffReq {
-                    page,
-                    intervals: ivls,
-                    requester: pid,
-                    requester_vt: self.nodes[pid].vt.clone(),
-                    prefetch,
-                    want_page: want_page_from == Some(owner),
-                };
-                (owner, msg)
-            })
-            .collect()
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < by_owner.len() {
+            let owner = by_owner[i].0;
+            let mut ivls = IvlList::new();
+            while i < by_owner.len() && by_owner[i].0 == owner {
+                ivls.push(by_owner[i].1);
+                i += 1;
+            }
+            let msg = Msg::DiffReq {
+                page,
+                intervals: ivls,
+                requester: pid,
+                requester_vt: self.nodes[pid].vt.clone(),
+                prefetch,
+                want_page: want_page_from == Some(owner),
+            };
+            out.push((owner, msg));
+        }
+        crate::pool::put_pairs(by_owner);
+        out
     }
 
     /// Linear extension key for causal apply order: the component sum of an
     /// interval's vector time (strictly monotone along causal chains).
     fn vt_sum(&self, pid: usize, owner: usize, ivl: IntervalId) -> u64 {
-        self.nodes[pid]
-            .store
-            .get(owner, ivl)
-            .map(|a| a.vt.iter().map(|(_, v)| v as u64).sum())
-            .unwrap_or(0)
+        self.nodes[pid].store.vt_sum(owner, ivl)
     }
 
     // ----- servicing diff requests ------------------------------------------
@@ -436,7 +436,7 @@ impl Simulation {
         dst: usize,
         t: Cycles,
         page: PageId,
-        intervals: Vec<IntervalId>,
+        intervals: IvlList,
         requester: usize,
         requester_vt: VectorTime,
         prefetch: bool,
@@ -461,7 +461,7 @@ impl Simulation {
             )
         };
         self.tm_page(dst, page);
-        let mut diffs_out: Vec<Diff> = Vec::new();
+        let mut diffs_out = DiffList::new();
         let mut full: Option<(PageBuf, VectorTime)> = None;
         // A full page is only a sound substitute for diffs when this copy is
         // completely up to date: the reply tags the page with this node's
@@ -473,14 +473,14 @@ impl Simulation {
         // would clobber concurrent intervals the requester already applied.
         let clean = self.nodes[dst]
             .pages
-            .get(&page)
+            .get(page)
             .is_some_and(|p| p.pending.is_empty())
             && self.nodes[dst].vt.covers(&requester_vt);
         let need_full = (want_page && clean) || {
             intervals.iter().any(|&ivl| {
-                !self.nodes[dst].diffs.contains_key(&(page, ivl))
+                !self.nodes[dst].diffs.contains(page, ivl)
                     && !matches!(
-                        self.nodes[dst].pages.get(&page).and_then(|p| p.twin.as_ref()),
+                        self.nodes[dst].pages.get(page).and_then(|p| p.twin.as_ref()),
                         Some((tivl, _)) if *tivl == ivl
                     )
             })
@@ -493,7 +493,7 @@ impl Simulation {
             c = e;
             let data = self.nodes[dst]
                 .pages
-                .get(&page)
+                .get(page)
                 // invariant: a whole-page request only reaches a node that
                 // has served or written the page (entry created on access)
                 .expect("page exists")
@@ -501,19 +501,26 @@ impl Simulation {
                 .clone();
             full = Some((data, self.nodes[dst].vt.clone()));
         } else {
-            for &ivl in &intervals {
+            for &ivl in intervals.iter() {
                 // Settle a live twin for this interval even when a partial
                 // diff already exists (an invalidation may have forced an
                 // early diff and the page was re-dirtied afterwards within
                 // the same interval); creation merges into the stored diff.
                 let live_twin = matches!(
-                    self.nodes[dst].pages.get(&page).and_then(|p| p.twin.as_ref()),
+                    self.nodes[dst].pages.get(page).and_then(|p| p.twin.as_ref()),
                     Some((tivl, _)) if *tivl == ivl
                 );
-                if live_twin || !self.nodes[dst].diffs.contains_key(&(page, ivl)) {
+                if live_twin || !self.nodes[dst].diffs.contains(page, ivl) {
                     c = self.tm_create_diff_for_service(dst, page, ivl, c, prefetch);
                 }
-                diffs_out.push(self.nodes[dst].diffs[&(page, ivl)].clone());
+                diffs_out.push(
+                    self.nodes[dst]
+                        .diffs
+                        .get(page, ivl)
+                        // invariant: stored by the service path just above
+                        .expect("diff stored")
+                        .clone(),
+                );
             }
         }
         let msg = Msg::DiffReply {
@@ -600,7 +607,7 @@ impl Simulation {
         dst: usize,
         t: Cycles,
         page: PageId,
-        diffs: Vec<Diff>,
+        mut diffs: DiffList,
         full_page: Option<(PageBuf, VectorTime)>,
         prefetch: bool,
     ) {
@@ -615,7 +622,9 @@ impl Simulation {
                 panic!("diff reply for page {page} but processor {dst} is not faulting");
             };
             debug_assert_eq!(f.page, page, "diff reply for the wrong page");
-            f.diffs.extend(diffs);
+            for d in diffs.drain() {
+                f.diffs.push(d);
+            }
             if full_page.is_some() {
                 f.full_page = full_page;
             }
@@ -647,14 +656,16 @@ impl Simulation {
         dst: usize,
         t: Cycles,
         page: PageId,
-        diffs: Vec<Diff>,
+        mut diffs: DiffList,
         full_page: Option<(PageBuf, VectorTime)>,
     ) {
         let complete = {
-            let Some(ps) = self.nodes[dst].prefetches.get_mut(&page) else {
+            let Some(ps) = self.nodes[dst].prefetches.get_mut(page) else {
                 return; // stale reply for an abandoned prefetch
             };
-            ps.diffs.extend(diffs);
+            for d in diffs.drain() {
+                ps.diffs.push(d);
+            }
             if full_page.is_some() {
                 ps.full_page = full_page;
             }
@@ -667,7 +678,7 @@ impl Simulation {
         }
         let ps = self.nodes[dst]
             .prefetches
-            .remove(&page)
+            .remove(page)
             // invariant: a prefetch reply matches the outstanding prefetch
             // record that produced the request
             .expect("prefetch state");
@@ -713,7 +724,7 @@ impl Simulation {
         &mut self,
         pid: usize,
         page: PageId,
-        mut diffs: Vec<Diff>,
+        mut diffs: DiffList,
         full: Option<(PageBuf, VectorTime)>,
         start: Cycles,
         satisfied: &[(usize, IntervalId)],
@@ -725,18 +736,20 @@ impl Simulation {
         if let Some((data, pvt)) = &full {
             // Words this node wrote concurrently with the page's view must
             // survive the copy: re-apply own uncovered diffs on top.
-            let own: Vec<IntervalId> = self
-                .tm_page(pid, page)
-                .own_intervals
-                .iter()
-                .copied()
-                .filter(|&ivl| !pvt.covers_interval(pid, ivl))
-                .collect();
-            for ivl in own {
-                if let Some(d) = self.nodes[pid].diffs.get(&(page, ivl)) {
+            let mut own = crate::pool::take_clock();
+            own.extend(
+                self.tm_page(pid, page)
+                    .own_intervals
+                    .iter()
+                    .copied()
+                    .filter(|&ivl| !pvt.covers_interval(pid, ivl)),
+            );
+            for &ivl in &own {
+                if let Some(d) = self.nodes[pid].diffs.get(page, ivl) {
                     diffs.push(d.clone());
                 }
             }
+            crate::pool::put_clock(own);
             diffs.retain(|d| d.owner == pid || !pvt.covers_interval(d.owner, d.interval));
             self.tm_page(pid, page).data.copy_from(data);
             mem_words += params.page_words();
@@ -745,7 +758,7 @@ impl Simulation {
         }
         diffs.sort_by_key(|d| (self.vt_sum(pid, d.owner, d.interval), d.owner, d.interval));
         let mut cpu: Cycles = 0;
-        for d in &diffs {
+        for d in diffs.iter() {
             let words = d.word_count();
             mem_words += words;
             cpu += if mode.hw_diffs() {
@@ -756,7 +769,7 @@ impl Simulation {
         }
         {
             let tp = self.tm_page(pid, page);
-            for d in &diffs {
+            for d in diffs.iter() {
                 d.apply(&mut tp.data);
             }
             tp.pending.retain(|n| !satisfied.contains(n));
@@ -925,9 +938,9 @@ impl Simulation {
                 tp.state == PageState::Invalid
                     && interested
                     && !tp.pending.is_empty()
-                    && !self.nodes[pid].prefetches.contains_key(page)
+                    && !self.nodes[pid].prefetches.contains(*page)
             })
-            .map(|(&page, _)| page)
+            .map(|(page, _)| page)
             .collect();
         candidates.sort_unstable();
         if let ncp2_sim::PrefetchStrategy::Capped(cap) = strategy {
@@ -964,7 +977,7 @@ impl Simulation {
                 PrefetchState {
                     outstanding,
                     ready_at: c,
-                    diffs: Vec::new(),
+                    diffs: DiffList::new(),
                     full_page: None,
                     requested: pending,
                     joined: false,

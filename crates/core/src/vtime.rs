@@ -22,13 +22,31 @@ pub type IntervalId = u32;
 /// b.merge(&a);
 /// assert!(b.covers_interval(0, 1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VectorTime(Vec<IntervalId>);
+
+impl Clone for VectorTime {
+    fn clone(&self) -> Self {
+        // Vector times are cloned onto every synchronization message; the
+        // component array is recycled through the thread-local pool.
+        let mut v = crate::pool::take_clock();
+        v.extend_from_slice(&self.0);
+        VectorTime(v)
+    }
+}
+
+impl Drop for VectorTime {
+    fn drop(&mut self) {
+        crate::pool::put_clock(std::mem::take(&mut self.0));
+    }
+}
 
 impl VectorTime {
     /// The zero timestamp for `n` processors.
     pub fn new(n: usize) -> Self {
-        VectorTime(vec![0; n])
+        let mut v = crate::pool::take_clock();
+        v.resize(n, 0);
+        VectorTime(v)
     }
 
     /// Number of processors this timestamp spans.

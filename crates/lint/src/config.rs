@@ -108,6 +108,11 @@ pub const HOOK_FN_PREFIXES: &[(&str, &str)] = &[("obs_", "obs"), ("prof_", "prof
 /// their parent — every line counts as gated for that feature.
 pub const WHOLE_FILE_GATES: &[(&str, &str)] = &[("crates/core/src/transport.rs", "fault")];
 
+/// Crates whose per-event cost multiplies by the cluster size: linear
+/// container scans (`Vec::remove`, `retain`) there need a `// linear:`
+/// bound (`linear-scan-in-hot-path`).
+pub const HOT_SCAN_DIRS: &[&str] = &["crates/sim/src", "crates/net/src"];
+
 /// Crates where saturating/wrapping arithmetic is overwhelmingly
 /// cycle-counter math and must justify overflow behavior.
 pub const CYCLE_ARITH_DIRS: &[&str] = &[

@@ -9,6 +9,7 @@
 
 mod determinism;
 mod panics;
+mod perf;
 mod protocol;
 mod timing;
 
@@ -17,6 +18,7 @@ use crate::lexer::Tok;
 
 pub use determinism::NondeterministicIteration;
 pub use panics::{ForbiddenPanic, UncheckedIndex, UndocumentedPanic};
+pub use perf::LinearScanInHotPath;
 pub use protocol::{EngineBypass, FeatureHookHygiene, UnanchoredEdge, UnboundedRetry};
 pub use timing::{SaturatingCycleArith, TruncatingCycleCast, WallClockInSim};
 
@@ -46,6 +48,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(EngineBypass),
         Box::new(FeatureHookHygiene),
         Box::new(ForbiddenPanic),
+        Box::new(LinearScanInHotPath),
         Box::new(MetaRule {
             id: META_MALFORMED,
             summary: "every `lint: allow(…)` must name known rules and carry a `-- reason`",

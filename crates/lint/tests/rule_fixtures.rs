@@ -151,6 +151,52 @@ fn holder(&self, lock: u32) -> Option<usize> {
 }
 
 #[test]
+fn linear_scan_in_hot_path() {
+    let rel = "crates/sim/src/queue.rs";
+    fires(
+        rel,
+        r#"
+fn cancel(&mut self, seq: u64) {
+    self.pending.retain(|e| e.seq != seq);
+}
+"#,
+        "linear-scan-in-hot-path",
+    );
+    fires(
+        rel,
+        r#"
+fn take_first(&mut self) -> Event {
+    self.pending.remove(0)
+}
+"#,
+        "linear-scan-in-hot-path",
+    );
+    // A `// linear:` comment bounding the scan silences the rule, and
+    // `swap_remove` is O(1) so it never fires.
+    clean(
+        rel,
+        r#"
+fn cancel(&mut self, bucket: usize, slot: usize) -> Event {
+    // linear: bucket scan is bounded by the calendar width, not the queue.
+    self.buckets[bucket].retain(|e| e.live);
+    self.buckets[bucket].swap_remove(slot)
+}
+"#,
+        "linear-scan-in-hot-path",
+    );
+    // Out of scope: the same scan in a protocol crate belongs to other rules.
+    clean(
+        "crates/core/src/interval.rs",
+        r#"
+fn drop_covered(&mut self) {
+    self.anns.remove(0);
+}
+"#,
+        "linear-scan-in-hot-path",
+    );
+}
+
+#[test]
 fn malformed_suppression() {
     let rel = "crates/core/src/sync.rs";
     // No ` -- reason`: the directive itself becomes the finding.
@@ -500,6 +546,7 @@ fn every_registered_rule_has_a_fixture_here() {
         "engine-bypass",
         "feature-hook-hygiene",
         "forbidden-panic",
+        "linear-scan-in-hot-path",
         "malformed-suppression",
         "nondeterministic-iteration",
         "truncating-cycle-cast",

@@ -138,12 +138,20 @@ impl Network {
                 arrival,
             };
         }
-        let path = self.mesh.route(src, dst);
-        let ready = path.iter().map(|&l| self.link_free[l]).max().unwrap_or(0);
+        // Walk the path twice with the allocation-free iterator (reserve
+        // lookup, then booking) instead of materializing it; transfers are
+        // the single hottest operation at 256 nodes.
+        let link_free = &self.link_free;
+        let ready = self
+            .mesh
+            .route_iter(src, dst)
+            .map(|l| link_free[l])
+            .max()
+            .unwrap_or(0);
         let start = now.max(ready);
-        let head = path.len() as Cycles * params.hop_latency();
+        let head = self.mesh.hops(src, dst) * params.hop_latency();
         let arrival = start + head + serialization;
-        for &l in &path {
+        for l in self.mesh.route_iter(src, dst) {
             self.link_free[l] = arrival;
         }
         // A fault-plan latency spike delays *this* message's delivery but

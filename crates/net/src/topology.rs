@@ -117,25 +117,86 @@ impl Mesh {
         }
     }
 
-    /// The dimension-order (X then Y) route from `src` to `dst` as a list of
-    /// directed link ids. Empty when `src == dst`.
-    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
-        let (mut x, mut y) = self.coords(src);
+    /// The dimension-order (X then Y) route from `src` to `dst`, one
+    /// directed link id per hop, computed on the fly with no allocation.
+    /// Yields nothing when `src == dst`. This is the hot-path form: the
+    /// router walks every path twice per transfer (reservation lookup, then
+    /// booking) and a per-transfer `Vec` would dominate the allocator
+    /// profile at 256 nodes.
+    pub fn route_iter(&self, src: usize, dst: usize) -> RouteIter<'_> {
+        let (x, y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
-        while x != dx {
-            let nx = if dx > x { x + 1 } else { x - 1 };
-            links.push(self.link_id(self.node_at(x, y), self.node_at(nx, y)));
-            x = nx;
+        RouteIter {
+            mesh: self,
+            x,
+            y,
+            dx,
+            dy,
         }
-        while y != dy {
-            let ny = if dy > y { y + 1 } else { y - 1 };
-            links.push(self.link_id(self.node_at(x, y), self.node_at(x, ny)));
-            y = ny;
-        }
-        links
+    }
+
+    /// The dimension-order route as a collected list of link ids. Empty when
+    /// `src == dst`. Convenience wrapper over [`Mesh::route_iter`] for tests
+    /// and diagnostics; the router itself never materializes paths.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        let it = self.route_iter(src, dst);
+        let mut hops = Vec::with_capacity(it.len());
+        hops.extend(it);
+        hops
     }
 }
+
+/// Allocation-free walk of a dimension-order route (see
+/// [`Mesh::route_iter`]).
+#[derive(Debug, Clone)]
+pub struct RouteIter<'a> {
+    mesh: &'a Mesh,
+    x: usize,
+    y: usize,
+    dx: usize,
+    dy: usize,
+}
+
+impl Iterator for RouteIter<'_> {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        if self.x != self.dx {
+            let nx = if self.dx > self.x {
+                self.x + 1
+            } else {
+                self.x - 1
+            };
+            let id = self.mesh.link_id(
+                self.mesh.node_at(self.x, self.y),
+                self.mesh.node_at(nx, self.y),
+            );
+            self.x = nx;
+            Some(id)
+        } else if self.y != self.dy {
+            let ny = if self.dy > self.y {
+                self.y + 1
+            } else {
+                self.y - 1
+            };
+            let id = self.mesh.link_id(
+                self.mesh.node_at(self.x, self.y),
+                self.mesh.node_at(self.x, ny),
+            );
+            self.y = ny;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.x.abs_diff(self.dx) + self.y.abs_diff(self.dy);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RouteIter<'_> {}
 
 #[cfg(test)]
 mod tests {
