@@ -21,12 +21,20 @@ cargo run --release --bin obs_report -- \
 cargo run --release --bin critpath_report -- \
     --app TSP --no-cache --quiet --check --out "$OBS_OUT/critpath.json"
 
+# Timeline smoke: the windowed time-series recorder plus the assertion
+# engine. A congestion fault window must fire the retransmit-storm
+# assertion inside the injected cycle range, the fault-free twin must fire
+# nothing, and the archived JSON must be byte-identical across reruns.
+cargo run --release --bin timeline_report -- \
+    --check --no-cache --quiet --out-dir "$OBS_OUT"
+
 # Chaos gate: every tier-1 workload under every protocol mode, faulted
 # (drop + duplicate + corrupt + ack loss + a reordering latency spike) and
 # fault-free. Checksums must match their fault-free twins, the verification
-# oracle must stay silent, and total cycles must stay within the bounded
-# degradation budget. Cache disabled: the gate must exercise the transport
-# as built.
+# oracle must stay silent, total cycles must stay within the bounded
+# degradation budget, and the window-assertion engine must see the faults
+# (>= 1 firing across the faulted runs, zero on any fault-free twin).
+# Cache disabled: the gate must exercise the transport as built.
 cargo run --release --bin chaos_report -- --check --no-cache --quiet
 
 # Scale smoke: one 256-node sweep step (Ocean under Base) with the verify

@@ -198,6 +198,7 @@ fn sweep(a: &Args) -> bool {
                 obs: false,
                 fault: drop_plan(a.seed, rate),
                 verify: false,
+                timeseries: false,
             });
         }
     }
@@ -266,6 +267,7 @@ fn check(a: &Args) -> bool {
                 obs: false,
                 fault: plan.clone(),
                 verify: true,
+                timeseries: true,
             });
             grid.add(Job {
                 label: format!("{name}/{label}/clean"),
@@ -275,17 +277,33 @@ fn check(a: &Args) -> bool {
                 obs: false,
                 fault: FaultPlan::none(),
                 verify: true,
+                timeseries: true,
             });
         }
     }
     let records = engine(a).run(&grid);
 
     let mut ok = true;
-    let (mut injected, mut retransmits) = (0u64, 0u64);
+    let assertions = ncp2_obs::default_check_assertions();
+    let (mut injected, mut retransmits, mut firings) = (0u64, 0u64, 0usize);
     for (name, pair) in names.iter().zip(records.chunks(2)) {
         let (chaos, clean) = (&pair[0].result, &pair[1].result);
         injected += chaos.fault.injected();
         retransmits += chaos.fault.retransmits;
+        // Window assertions: faulted runs may fire (the aggregate must,
+        // below); a fault-free run has no hardened transport and must not.
+        // invariant: both check jobs set `timeseries`, so both carry a log.
+        let chaos_ts = chaos.ts.as_ref().expect("check jobs record a time series");
+        let clean_ts = clean.ts.as_ref().expect("check jobs record a time series");
+        firings += ncp2_obs::evaluate_all(&assertions, chaos_ts).len();
+        for f in ncp2_obs::evaluate_all(&assertions, clean_ts) {
+            eprintln!(
+                "{name} (clean): assertion '{}' fired on a fault-free run \
+                 (windows {}..={}, cycles {}..{})",
+                f.assertion, f.first_window, f.last_window, f.start_cycle, f.end_cycle
+            );
+            ok = false;
+        }
         if chaos.checksum != clean.checksum {
             eprintln!(
                 "{name}: checksum diverged under faults ({:#x} != {:#x})",
@@ -327,10 +345,18 @@ fn check(a: &Args) -> bool {
         eprintln!("chaos gate triggered no retransmissions — the transport is not being exercised");
         ok = false;
     }
+    if firings == 0 {
+        eprintln!(
+            "chaos gate fired no window assertions anywhere — the time-series \
+             recorder is not seeing the faults"
+        );
+        ok = false;
+    }
     if ok {
         println!(
             "chaos check passed: {} runs, {injected} faults injected, {retransmits} \
-             retransmissions, checksums equal, zero violations, slowdown <= {MAX_SLOWDOWN}x",
+             retransmissions, {firings} assertion firings (faulted runs only), \
+             checksums equal, zero violations, slowdown <= {MAX_SLOWDOWN}x",
             records.len()
         );
     }

@@ -156,6 +156,7 @@ fn analyze(a: &Args) -> Vec<AppAnalysis> {
             obs: true,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         });
         for mode in MEASURED_MODES {
             grid.add(Job {
@@ -167,6 +168,7 @@ fn analyze(a: &Args) -> Vec<AppAnalysis> {
                 obs: false,
                 fault: FaultPlan::none(),
                 verify: false,
+                timeseries: false,
             });
         }
     }

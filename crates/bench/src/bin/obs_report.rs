@@ -31,6 +31,7 @@ struct Args {
     app: String,
     mode: String,
     nprocs: usize,
+    top_k: usize,
     paper_size: bool,
     out_dir: Option<PathBuf>,
     selfcheck: bool,
@@ -43,10 +44,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: obs_report [--app NAME] [--mode LABEL] [--nprocs N] [--paper-size]\n\
-         \x20                 [--out-dir DIR] [--selfcheck] [--bench FILE]\n\
+        "usage: obs_report [--app NAME] [--mode LABEL] [--nprocs N] [--top-k K]\n\
+         \x20                 [--paper-size] [--out-dir DIR] [--selfcheck] [--bench FILE]\n\
          \x20                 [--jobs N] [--no-cache] [--quiet] [--prof]\n\
-         modes: {}",
+         top-k bounds the per-node table (0 = every node); modes: {}",
         ALL_MODE_LABELS.join(", ")
     );
     std::process::exit(2);
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
         app: "TSP".into(),
         mode: "I+P+D".into(),
         nprocs: SysParams::default().nprocs,
+        top_k: 16,
         paper_size: false,
         out_dir: None,
         selfcheck: false,
@@ -73,6 +75,12 @@ fn parse_args() -> Args {
             "--mode" => a.mode = args.next().unwrap_or_else(|| usage()),
             "--nprocs" => {
                 a.nprocs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--top-k" => {
+                a.top_k = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -143,6 +151,7 @@ fn observed_job(app: &str, mode: &str, nprocs: usize, paper_size: bool) -> Job {
         obs: true,
         fault: FaultPlan::none(),
         verify: false,
+        timeseries: false,
     }
 }
 
@@ -203,6 +212,11 @@ fn main() {
     // invariant: observed_job sets obs, so the record carries a report.
     let report = rec.report.clone().expect("observed job carries a report");
     print!("{}", report.render_table());
+
+    // Per-node breakdown, hottest (most overhead) nodes first; anything past
+    // the top K collapses into one summed row so 256-node runs stay legible.
+    println!();
+    print!("{}", ncp2_obs::render_node_table(&r.nodes, a.top_k));
 
     let mut failed = false;
     if !r.violations.is_empty() {

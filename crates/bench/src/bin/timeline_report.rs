@@ -1,0 +1,420 @@
+//! `timeline_report` — run one application with the windowed time-series
+//! recorder enabled and render/export the timeline: per-window counters and
+//! gauges over simulated time, hot-page/hot-lock attribution, and SLO-style
+//! window assertions.
+//!
+//! ```sh
+//! # Print the timeline summary and hot-spot tables for one run.
+//! cargo run --release --bin timeline_report -- --app TSP --mode I+P+D
+//!
+//! # Fixed 4096-cycle windows, full hot-spot tables, JSON + CSV export.
+//! cargo run --release --bin timeline_report -- --app Water --mode AURC+P \
+//!     --window 4096 --top-k 0 --out-dir /tmp/timeline
+//!
+//! # Evaluate an SLO assertion (exit 1 if it fires).
+//! cargo run --release --bin timeline_report -- --app TSP --mode I+P+D \
+//!     --assert 'occupancy_pct >= 95 for 4'
+//!
+//! # CI smoke: a congestion-window fault plan must fire the retransmit-storm
+//! # assertion inside the injected window; the fault-free twin must fire
+//! # nothing; the export must be byte-identical across reruns.
+//! cargo run --release --bin timeline_report -- --check --quiet --out-dir /tmp/timeline
+//! ```
+
+use std::path::PathBuf;
+
+use ncp2::prelude::*;
+use ncp2_bench::engine::{tier1_workloads, Engine, Grid, Job, WorkloadSpec};
+use ncp2_bench::harness::{protocol_from_label, ALL_MODE_LABELS};
+use ncp2_fault::{FaultPlan, Window};
+use ncp2_obs::{render_hotspots, Assertion, Firing, TimelineReport};
+
+/// Fault seed for `--check`; fixed so the smoke run is reproducible.
+const CHECK_SEED: u64 = 0x71AE11;
+
+/// `--check` congestion window: `[0, CHECK_FAULT_END)` with extra delivery
+/// latency far above the 20k-cycle retransmit timeout, so every frame sent
+/// inside the window times out and retransmits — a storm that provably
+/// lands inside the injected window.
+const CHECK_FAULT_END: u64 = 150_000;
+const CHECK_EXTRA_LATENCY: u64 = 40_000;
+
+/// `--check` uses a fixed window width so the assertion windows (and the
+/// archived JSON) are independent of run length.
+const CHECK_WINDOW: u64 = 8_192;
+
+/// The `--check` assertion: two consecutive windows with retransmissions.
+const CHECK_ASSERTION: &str = "retransmits > 0 for 2";
+
+struct Args {
+    app: String,
+    mode: String,
+    nprocs: usize,
+    window: u64,
+    top_k: usize,
+    asserts: Vec<Assertion>,
+    out_dir: Option<PathBuf>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    quiet: bool,
+    prof: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: timeline_report [--app NAME] [--mode LABEL] [--nprocs N] [--window W]\n\
+         \x20                      [--top-k K] [--assert EXPR]... [--out-dir DIR]\n\
+         \x20                      [--jobs N] [--no-cache] [--quiet] [--prof] [--check]\n\
+         window is the width in cycles (0 = auto); top-k 0 prints full tables;\n\
+         assertions: 'SERIES OP N for K' or 'monotone SERIES for K'; modes: {}",
+        ALL_MODE_LABELS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        app: "TSP".into(),
+        mode: "I+P+D".into(),
+        nprocs: SysParams::default().nprocs,
+        window: 0,
+        top_k: 16,
+        asserts: Vec::new(),
+        out_dir: None,
+        jobs: None,
+        no_cache: false,
+        quiet: false,
+        prof: false,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--app" => a.app = args.next().unwrap_or_else(|| usage()),
+            "--mode" => a.mode = args.next().unwrap_or_else(|| usage()),
+            "--nprocs" => {
+                a.nprocs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--window" => {
+                a.window = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--top-k" => {
+                a.top_k = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--assert" => {
+                let expr = args.next().unwrap_or_else(|| usage());
+                match Assertion::parse(&expr) {
+                    Ok(asrt) => a.asserts.push(asrt),
+                    Err(e) => {
+                        eprintln!("bad assertion: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out-dir" => a.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--jobs" => {
+                a.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-cache" => a.no_cache = true,
+            "--quiet" => a.quiet = true,
+            "--prof" => a.prof = true,
+            "--check" => a.check = true,
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn engine(a: &Args) -> Engine {
+    let mut e = Engine::new();
+    if let Some(jobs) = a.jobs {
+        e = e.with_jobs(jobs);
+    }
+    if a.no_cache {
+        e = e.no_cache();
+    }
+    if a.quiet {
+        e = e.silent();
+    }
+    if a.prof {
+        e = e.with_prof();
+    }
+    e
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn firings_json(firings: &[Firing], base: usize) -> String {
+    let p = " ".repeat(base);
+    let mut out = format!("{p}[\n");
+    for (i, f) in firings.iter().enumerate() {
+        let comma = if i + 1 == firings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "{p}  {{\"assertion\": \"{}\", \"first_window\": {}, \"last_window\": {}, \
+             \"start_cycle\": {}, \"end_cycle\": {}}}{comma}\n",
+            f.assertion, f.first_window, f.last_window, f.start_cycle, f.end_cycle
+        ));
+    }
+    out.push_str(&format!("{p}]"));
+    out
+}
+
+fn print_firings(firings: &[Firing]) {
+    for f in firings {
+        println!(
+            "FIRED: {} — windows {}..={} (cycles {}..{})",
+            f.assertion, f.first_window, f.last_window, f.start_cycle, f.end_cycle
+        );
+    }
+}
+
+/// One run with the time-series recorder on. Time-series jobs bypass the
+/// result cache, so this always re-simulates.
+fn timeline_run(a: &Args) -> TimelineReport {
+    let protocol = protocol_from_label(&a.mode).unwrap_or_else(|| {
+        eprintln!(
+            "unknown mode '{}'; known: {}",
+            a.mode,
+            ALL_MODE_LABELS.join(", ")
+        );
+        std::process::exit(2);
+    });
+    let mut params = SysParams::default().with_nprocs(a.nprocs);
+    params.ts_window = a.window;
+    let mut grid = Grid::new();
+    grid.add(Job {
+        label: format!("{}/{}", a.app, a.mode),
+        params,
+        protocol,
+        workload: WorkloadSpec::named(&a.app, false),
+        obs: false,
+        fault: FaultPlan::none(),
+        verify: false,
+        timeseries: true,
+    });
+    let rec = engine(a)
+        .silent()
+        .run(&grid)
+        .pop()
+        // invariant: run() returns exactly one record per job.
+        .expect("one job in, one record out");
+    // invariant: the job sets `timeseries`, so the result carries a log.
+    TimelineReport::from_run(&format!("{}/{}", a.app, a.mode), &rec.result, a.top_k)
+        .expect("time-series job carries a log")
+}
+
+fn report(a: &Args) -> bool {
+    let rep = timeline_run(a);
+    println!(
+        "{}: {} cycles, {} windows x {} cycles",
+        rep.name,
+        rep.total_cycles,
+        rep.log.windows.len(),
+        rep.log.width
+    );
+    print!("{}", render_hotspots(&rep.log, a.top_k));
+
+    let firings = ncp2_obs::evaluate_all(&a.asserts, &rep.log);
+    print_firings(&firings);
+
+    if let Some(dir) = &a.out_dir {
+        write_file(&dir.join("timeline_report.json"), &rep.to_json());
+        write_file(&dir.join("timeline_report.csv"), &rep.to_csv());
+        println!(
+            "wrote timeline_report.json, timeline_report.csv to {}",
+            dir.display()
+        );
+    }
+    if !firings.is_empty() {
+        eprintln!("{} assertion firing(s)", firings.len());
+        return false;
+    }
+    true
+}
+
+/// The `--check` smoke (see the module docs): the assertion engine must fire
+/// inside an injected fault window and stay silent on the fault-free twin,
+/// and the archived JSON must be byte-identical across reruns.
+fn check(a: &Args) -> bool {
+    let plan = FaultPlan {
+        seed: CHECK_SEED,
+        congestion: vec![Window {
+            start: 0,
+            end: CHECK_FAULT_END,
+            extra: CHECK_EXTRA_LATENCY,
+        }],
+        ..FaultPlan::none()
+    };
+    // invariant: the tier-1 table always contains TSP.
+    let (app, spec) = tier1_workloads()
+        .into_iter()
+        .find(|(n, _)| *n == "TSP")
+        .expect("tier-1 table contains TSP");
+    let protocol = protocol_from_label("I+P+D").expect("known mode label");
+    let mut params = SysParams::default().with_nprocs(a.nprocs);
+    params.ts_window = CHECK_WINDOW;
+
+    let build_grid = || {
+        let mut grid = Grid::new();
+        grid.add(Job {
+            label: format!("{app}/I+P+D/congested"),
+            params: params.clone(),
+            protocol,
+            workload: spec.clone(),
+            obs: false,
+            fault: plan.clone(),
+            verify: true,
+            timeseries: true,
+        });
+        grid.add(Job {
+            label: format!("{app}/I+P+D/clean"),
+            params: params.clone(),
+            protocol,
+            workload: spec.clone(),
+            obs: false,
+            fault: FaultPlan::none(),
+            verify: true,
+            timeseries: true,
+        });
+        grid
+    };
+    let records = engine(a).run(&build_grid());
+    let (chaos, clean) = (&records[0].result, &records[1].result);
+
+    let mut ok = true;
+    // invariant: both check jobs set `timeseries`, so both carry a log.
+    let chaos_rep =
+        TimelineReport::from_run("TSP/I+P+D/congested", chaos, a.top_k).expect("ts log");
+    let clean_rep = TimelineReport::from_run("TSP/I+P+D/clean", clean, a.top_k).expect("ts log");
+    let assertion = Assertion::parse(CHECK_ASSERTION).expect("built-in assertion");
+
+    // 1. The faulted run fires, and the firing overlaps the injected window
+    //    (extended by one timeout: frames sent at the very end of the window
+    //    time out at most one RTO later).
+    let firings = assertion.evaluate(&chaos_rep.log);
+    let horizon = CHECK_FAULT_END + 2 * SysParams::default().retransmit_timeout;
+    if firings.is_empty() {
+        eprintln!("check: '{CHECK_ASSERTION}' did not fire under the congestion plan");
+        ok = false;
+    } else if !firings.iter().any(|f| f.start_cycle < horizon) {
+        eprintln!(
+            "check: no firing overlaps the injected fault window [0, {CHECK_FAULT_END}) \
+             (+{} cycles of timeout slack)",
+            horizon - CHECK_FAULT_END
+        );
+        ok = false;
+    }
+    if !a.quiet {
+        print_firings(&firings);
+    }
+
+    // 2. The fault-free twin is silent.
+    let clean_firings = assertion.evaluate(&clean_rep.log);
+    if !clean_firings.is_empty() {
+        eprintln!(
+            "check: '{CHECK_ASSERTION}' fired {} time(s) on the fault-free twin",
+            clean_firings.len()
+        );
+        print_firings(&clean_firings);
+        ok = false;
+    }
+
+    // 3. Memory stays correct under the plan, and the oracle agrees.
+    if chaos.checksum != clean.checksum {
+        eprintln!(
+            "check: checksum diverged under congestion ({:#x} != {:#x})",
+            chaos.checksum, clean.checksum
+        );
+        ok = false;
+    }
+    if !chaos.violations.is_empty() || !clean.violations.is_empty() {
+        eprintln!(
+            "check: {} oracle violation(s)",
+            chaos.violations.len() + clean.violations.len()
+        );
+        ok = false;
+    }
+
+    // The archived artifact: the assertion verdicts plus both timelines.
+    let doc = {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"assertion\": \"{CHECK_ASSERTION}\",\n"));
+        out.push_str(&format!(
+            "  \"firings\": {},\n",
+            firings_json(&firings, 2).trim_start()
+        ));
+        out.push_str(&format!(
+            "  \"clean_firings\": {},\n",
+            firings_json(&clean_firings, 2).trim_start()
+        ));
+        out.push_str(&format!(
+            "  \"congested\": {},\n",
+            chaos_rep.to_json_indented(2).trim_start()
+        ));
+        out.push_str(&format!(
+            "  \"clean\": {}\n",
+            clean_rep.to_json_indented(2).trim_start()
+        ));
+        out.push_str("}\n");
+        out
+    };
+
+    // 4. Byte-determinism: a fresh rerun of the same grid must reproduce the
+    //    artifact exactly (time-series jobs never hit the cache, so this
+    //    genuinely re-simulates).
+    let records2 = engine(a).silent().run(&build_grid());
+    let chaos_rep2 = TimelineReport::from_run("TSP/I+P+D/congested", &records2[0].result, a.top_k)
+        .expect("ts log");
+    if chaos_rep2.to_json() != chaos_rep.to_json() {
+        eprintln!("check: timeline JSON differs between identical runs");
+        ok = false;
+    }
+
+    if let Some(dir) = &a.out_dir {
+        write_file(&dir.join("timeline_report.json"), &doc);
+        if !a.quiet {
+            println!("wrote timeline_report.json to {}", dir.display());
+        }
+    }
+    if ok {
+        println!(
+            "timeline check passed: '{CHECK_ASSERTION}' fired {} time(s) inside the fault \
+             window, clean twin silent, export deterministic",
+            firings.len()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let a = parse_args();
+    let ok = if a.check { check(&a) } else { report(&a) };
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -31,10 +31,10 @@ use ncp2_obs::{HistSummary, MetricsReport};
 
 /// Bumped whenever the serialized layout changes; part of every cache key,
 /// so stale layouts can never be misread as current ones.
-pub const FORMAT_VERSION: u64 = 3;
+pub const FORMAT_VERSION: u64 = 4;
 
 /// Number of scalar columns in a serialized node row.
-const NODE_COLS: usize = 24;
+const NODE_COLS: usize = 27;
 
 /// Number of scalar columns in the serialized transport-fault row.
 const FAULT_COLS: usize = 9 + ncp2::core::RETX_BUCKETS;
@@ -63,11 +63,14 @@ fn node_row(n: &NodeStats) -> [u64; NODE_COLS] {
         invalidations,
         diffs_created,
         diffs_applied,
+        diff_bytes_created,
+        diff_bytes_applied,
         page_fetches,
         prefetches,
         useless_prefetches,
         prefetch_joins,
         prefetch_hits,
+        prefetch_fills,
         au_updates,
         au_combined,
     } = *n;
@@ -89,11 +92,14 @@ fn node_row(n: &NodeStats) -> [u64; NODE_COLS] {
         invalidations,
         diffs_created,
         diffs_applied,
+        diff_bytes_created,
+        diff_bytes_applied,
         page_fetches,
         prefetches,
         useless_prefetches,
         prefetch_joins,
         prefetch_hits,
+        prefetch_fills,
         au_updates,
         au_combined,
     ]
@@ -124,13 +130,16 @@ fn node_from_row(row: &[u64]) -> Option<NodeStats> {
         invalidations: row[14],
         diffs_created: row[15],
         diffs_applied: row[16],
-        page_fetches: row[17],
-        prefetches: row[18],
-        useless_prefetches: row[19],
-        prefetch_joins: row[20],
-        prefetch_hits: row[21],
-        au_updates: row[22],
-        au_combined: row[23],
+        diff_bytes_created: row[17],
+        diff_bytes_applied: row[18],
+        page_fetches: row[19],
+        prefetches: row[20],
+        useless_prefetches: row[21],
+        prefetch_joins: row[22],
+        prefetch_hits: row[23],
+        prefetch_fills: row[24],
+        au_updates: row[25],
+        au_combined: row[26],
     })
 }
 
@@ -389,6 +398,9 @@ pub fn decode(text: &str) -> Option<(RunResult, Option<MetricsReport>)> {
         violations: Vec::new(),
         obs: None,
         fault,
+        // Time-series jobs are never cached (like trace jobs), so a decoded
+        // entry carries no log by construction.
+        ts: None,
     };
     Some((result, report))
 }
@@ -458,6 +470,7 @@ mod tests {
             trace: Vec::new(),
             violations: Vec::new(),
             obs: None,
+            ts: None,
             fault: ncp2::core::FaultStats {
                 frames_sent: 20,
                 retransmits: 3,

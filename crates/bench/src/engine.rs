@@ -25,7 +25,9 @@
 //! *unchanged* grid points free during iterative figure work.
 //!
 //! Jobs with `params.trace` set are never cached: their value is the raw
-//! event timeline, which the cache does not persist.
+//! event timeline, which the cache does not persist. Jobs with
+//! `timeseries` set are never cached for the same reason: their value is
+//! the windowed [`ncp2::core::TsLog`], which the cache does not persist.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -190,6 +192,11 @@ pub struct Job {
     /// Attach the `ncp2-verify` shadow oracle (with the workload's annotated
     /// benign races exempted); violations land in the result.
     pub verify: bool,
+    /// Record the windowed time-series log (`RunResult::ts`). Like trace
+    /// jobs, time-series jobs bypass the cache: their value is the log,
+    /// which the cache does not persist. Provably inert for the simulation
+    /// itself — see `tests/timeseries_inert.rs`.
+    pub timeseries: bool,
 }
 
 impl Job {
@@ -203,6 +210,7 @@ impl Job {
         h.write_str(&self.protocol.to_string());
         h.write_bool(self.obs);
         h.write_bool(self.verify);
+        h.write_bool(self.timeseries);
         self.fault.stable_hash(&mut h);
         self.workload.stable_hash(&mut h);
         h.finish()
@@ -269,6 +277,7 @@ impl Grid {
             obs: false,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         })
     }
 
@@ -288,6 +297,7 @@ impl Grid {
             obs: true,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         })
     }
 
@@ -303,6 +313,7 @@ impl Grid {
             obs: false,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         })
     }
 
@@ -432,6 +443,7 @@ pub fn scale_grid(nprocs: &[usize], mode_labels: &[&str], only_app: Option<&str>
                     obs: true,
                     fault: FaultPlan::none(),
                     verify: true,
+                    timeseries: false,
                 });
             }
         }
@@ -460,6 +472,7 @@ pub fn tier1_grid(mode_labels: &[&str]) -> Grid {
                 obs: true,
                 fault: FaultPlan::none(),
                 verify: false,
+                timeseries: false,
             });
         }
     }
@@ -657,9 +670,13 @@ impl Engine {
         // clock (no `--prof`) touches neither the wall clock nor the
         // counters.
         let mut clock = PhaseClock::new(self.prof);
-        // Trace runs exist for their raw timeline, which is not persisted —
-        // never serve or store them from the cache.
-        let cache_dir = self.cache_dir.as_deref().filter(|_| !job.params.trace);
+        // Trace and time-series runs exist for their raw timeline /
+        // windowed log, which is not persisted — never serve or store them
+        // from the cache.
+        let cache_dir = self
+            .cache_dir
+            .as_deref()
+            .filter(|_| !job.params.trace && !job.timeseries);
         let key = job.cache_key();
         if let Some(dir) = cache_dir {
             let loaded = cache::load(dir, key);
@@ -681,6 +698,7 @@ impl Engine {
             }
         }
         let obs = job.obs;
+        let timeseries = job.timeseries;
         let workload = job.workload.build();
         let racy = workload.racy_ranges();
         let (params, protocol) = (job.params.clone(), job.protocol);
@@ -689,6 +707,9 @@ impl Engine {
         let result = run_app_with(job.params.clone(), job.protocol, workload, move |sim| {
             if obs {
                 sim.enable_obs();
+            }
+            if timeseries {
+                sim.enable_timeseries();
             }
             if verify {
                 let mut oracle = VerifyOracle::new(&params, &protocol);
@@ -739,6 +760,7 @@ mod tests {
             obs,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         }
     }
 
@@ -754,6 +776,7 @@ mod tests {
                 obs: false,
                 fault: FaultPlan::none(),
                 verify: false,
+                timeseries: false,
             });
         }
         let serial = Engine::new().no_cache().silent().with_jobs(1).run(&grid);
@@ -782,6 +805,32 @@ mod tests {
         let mut other_protocol = tiny_job("a", false);
         other_protocol.protocol = Protocol::Aurc { prefetch: false };
         assert_ne!(a.cache_key(), other_protocol.cache_key());
+        let mut timeseries = tiny_job("a", false);
+        timeseries.timeseries = true;
+        assert_ne!(a.cache_key(), timeseries.cache_key());
+    }
+
+    #[test]
+    fn timeseries_jobs_bypass_the_cache_and_carry_a_log() {
+        let dir = std::env::temp_dir().join(format!("ncp2-engine-ts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+            prof: false,
+        };
+        let mut job = tiny_job("Ocean/Base", false);
+        job.timeseries = true;
+        let first = engine.run_job(job.clone());
+        let second = engine.run_job(job);
+        assert!(!first.cached && !second.cached);
+        let ts = second.result.ts.expect("time-series log must be recorded");
+        assert_eq!(
+            ts.counter_total(ncp2::core::TsCounter::Barriers),
+            second.result.nodes.iter().map(|n| n.barriers).sum::<u64>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

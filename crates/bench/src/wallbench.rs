@@ -254,6 +254,7 @@ fn bench_cache_key(c: &mut Criterion) {
         obs: true,
         fault: FaultPlan::none(),
         verify: false,
+        timeseries: false,
     };
     c.bench_function("cache/job_key_hash", |b| {
         b.iter(|| black_box(&job).cache_key())

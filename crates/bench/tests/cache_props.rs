@@ -21,7 +21,7 @@ use proptest::prelude::*;
 /// just one hand-picked alternative.
 type Mutator = (&'static str, fn(&mut SysParams, u64));
 
-const MUTATORS: [Mutator; 30] = [
+const MUTATORS: [Mutator; 31] = [
     ("nprocs", |p, d| p.nprocs += d as usize),
     ("tlb_entries", |p, d| p.tlb_entries += d as usize),
     ("tlb_fill", |p, d| p.tlb_fill += d),
@@ -69,6 +69,7 @@ const MUTATORS: [Mutator; 30] = [
     ("seed", |p, d| p.seed ^= d),
     ("ack_overhead", |p, d| p.ack_overhead += d),
     ("retransmit_timeout", |p, d| p.retransmit_timeout += d),
+    ("ts_window", |p, d| p.ts_window += d),
 ];
 
 /// Compile-time guard that [`MUTATORS`] stays exhaustive: adding a
@@ -107,8 +108,9 @@ fn assert_mutators_cover_every_field(p: &SysParams) -> usize {
         seed: _,
         ack_overhead: _,
         retransmit_timeout: _,
+        ts_window: _,
     } = p;
-    30
+    31
 }
 
 /// One mutator per `FaultPlan` field, mirroring [`MUTATORS`]: a faulted run
@@ -202,6 +204,7 @@ fn job_with(params: SysParams) -> Job {
         obs: false,
         fault: FaultPlan::none(),
         verify: false,
+        timeseries: false,
     }
 }
 
@@ -307,6 +310,7 @@ proptest! {
             obs,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         };
 
         let cold = engine.run_job(job.clone());
@@ -357,6 +361,7 @@ fn warm_grid_runs_are_served_entirely_from_cache() {
             obs: true,
             fault: FaultPlan::none(),
             verify: false,
+            timeseries: false,
         });
     }
     let cold = engine.run(&grid);

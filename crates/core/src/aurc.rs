@@ -239,6 +239,8 @@ impl Simulation {
         let bytes = msg.bytes(self.params.page_bytes, self.params.page_words());
         let params = self.params.clone();
         let tr = self.net.transfer_timed(t, pid, dst, bytes, &params);
+        self.ts_count(crate::timeseries::TsCounter::Messages, t, 1);
+        self.ts_count(crate::timeseries::TsCounter::MessageBytes, t, bytes);
         self.obs_flight(pid, dst, msg.kind(), bytes, false, t, tr.start, tr.arrival);
         self.obs_edge(
             crate::span::EdgeKind::Msg(msg.kind()),
@@ -347,6 +349,8 @@ impl Simulation {
             .invalidate_page(base, params.page_bytes);
         self.record(t, dst, crate::trace::TraceKind::PageFetched { page });
         self.nodes[dst].stats.page_fetches += 1;
+        self.ts_count(crate::timeseries::TsCounter::PageFetches, t, 1);
+        self.ts_page(page, 1, 0, 0);
         let joined = {
             let lp = self.nodes[dst].aurc_pages.get_or_default(page);
             if prefetch {
@@ -369,6 +373,10 @@ impl Simulation {
                 dst,
                 crate::trace::TraceKind::PrefetchCompleted { page },
             );
+            // The transfer itself was already attributed by the page-fetch
+            // site above; this only counts the completed prefetch.
+            self.nodes[dst].stats.prefetch_fills += 1;
+            self.ts_count(crate::timeseries::TsCounter::PrefetchFills, mem_end, 1);
             self.obs_prefetch_done(dst, page, mem_end);
             if joined {
                 // Zero prefetch-to-use distance: a fault was already waiting.
@@ -455,6 +463,8 @@ impl Simulation {
                 }
                 if had_copy {
                     self.nodes[pid].stats.invalidations += 1;
+                    self.ts_count(crate::timeseries::TsCounter::Invalidations, c, 1);
+                    self.ts_page(page, 0, 0, 1);
                 }
             }
         }
@@ -499,6 +509,7 @@ impl Simulation {
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
             self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;
+            self.ts_count(crate::timeseries::TsCounter::PrefetchIssued, c, 1);
             c += self.params.messaging_overhead;
             let msg = Msg::AurcPageReq {
                 page,

@@ -48,6 +48,7 @@ pub mod stats;
 pub mod sync;
 pub mod system;
 mod table;
+pub mod timeseries;
 pub mod trace;
 #[cfg(feature = "fault")]
 pub mod transport;
@@ -67,6 +68,10 @@ pub use span::{
 };
 pub use stats::{FaultStats, NodeStats, RunResult, RETX_BUCKETS};
 pub use system::Simulation;
+pub use timeseries::{
+    LockHot, PageHot, TsCounter, TsGauge, TsLog, TsRecorder, WindowRow, TS_BASE_WIDTH,
+    TS_MAX_WINDOWS,
+};
 pub use trace::{trace_csv, TraceEvent, TraceKind};
 #[cfg(feature = "fault")]
 pub use transport::{MAX_BACKOFF_EXP, MAX_RETX_ATTEMPTS, SHED_UNACKED_MAX};

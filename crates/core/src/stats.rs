@@ -35,6 +35,10 @@ pub struct NodeStats {
     pub diffs_created: u64,
     /// Diffs applied to this node's pages.
     pub diffs_applied: u64,
+    /// Bytes of diff data created on behalf of this node's writes.
+    pub diff_bytes_created: u64,
+    /// Bytes of diff data applied to this node's pages.
+    pub diff_bytes_applied: u64,
     /// Whole-page fetches (TreadMarks overflow path or AURC).
     pub page_fetches: u64,
     /// Prefetches issued.
@@ -45,6 +49,8 @@ pub struct NodeStats {
     pub prefetch_joins: u64,
     /// Faults avoided entirely because a prefetch had completed.
     pub prefetch_hits: u64,
+    /// Prefetch replies that filled a page (completed prefetches).
+    pub prefetch_fills: u64,
     /// AURC automatic-update messages emitted.
     pub au_updates: u64,
     /// AURC write-cache combining hits.
@@ -133,6 +139,10 @@ pub struct RunResult {
     /// Transport/fault-injection counters (all-zero unless a fault plan was
     /// attached to a `fault`-feature build).
     pub fault: FaultStats,
+    /// Windowed time series (`None` unless `ncp2-core` is built with the
+    /// `obs` feature and recording was enabled via
+    /// `Simulation::enable_timeseries`).
+    pub ts: Option<crate::timeseries::TsLog>,
 }
 
 impl RunResult {
@@ -204,6 +214,7 @@ mod tests {
             violations: Vec::new(),
             obs: None,
             fault: FaultStats::default(),
+            ts: None,
         }
     }
 

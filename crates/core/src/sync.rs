@@ -165,6 +165,9 @@ impl Simulation {
             self.send_msg(&mut tc, manager, acquirer, msg, Category::Ipc, true);
         } else {
             self.lock_last.insert(lock, acquirer);
+            // The grant token leaves `last` for a different node: an owner
+            // migration, the expensive case the hot-spot table counts.
+            self.ts_lock(lock as u64, 0, 0, 1);
             let msg = Msg::LockForward { lock, acquirer, vt };
             let mut tc = c;
             self.send_msg(&mut tc, manager, last, msg, Category::Ipc, true);
@@ -194,10 +197,12 @@ impl Simulation {
         } else {
             // Still inside (or still waiting for) the critical section: the
             // request waits here and is granted at the next unlock.
-            self.nodes[holder]
-                .lock_queue
-                .get_or_default(lock)
-                .push_back((acquirer, vt));
+            let depth = {
+                let q = self.nodes[holder].lock_queue.get_or_default(lock);
+                q.push_back((acquirer, vt));
+                q.len() as u64
+            };
+            self.ts_gauge(crate::timeseries::TsGauge::LockWaiters, c, depth);
         }
     }
 
@@ -259,6 +264,8 @@ impl Simulation {
         self.nodes[acquirer].held_locks.insert(lock);
         self.nodes[acquirer].owned_locks.insert(lock);
         self.nodes[acquirer].stats.lock_acquires += 1;
+        self.ts_count(crate::timeseries::TsCounter::LockAcquires, t, 1);
+        self.ts_lock(lock as u64, 0, 1, 0);
         let wake = end.max(update_horizon);
         self.record(
             wake,
@@ -311,7 +318,13 @@ impl Simulation {
         }
         bs.horizons[from] = horizons;
         bs.arrived += 1;
-        if bs.arrived < n {
+        let arrived = bs.arrived;
+        self.ts_gauge(
+            crate::timeseries::TsGauge::BarrierWaiters,
+            c,
+            arrived as u64,
+        );
+        if arrived < n {
             return;
         }
         // Last arrival: release everyone.
@@ -367,6 +380,7 @@ impl Simulation {
         nd.last_barrier_vt = vt;
         end = self.issue_prefetches(pid, end);
         self.nodes[pid].stats.barriers += 1;
+        self.ts_count(crate::timeseries::TsCounter::Barriers, t, 1);
         let wake = end.max(update_horizon);
         self.record(wake, pid, crate::trace::TraceKind::BarrierReleased);
         self.obs_edge(

@@ -391,6 +391,10 @@ pub struct Simulation {
     /// [`Simulation::enable_obs`]).
     #[cfg(feature = "obs")]
     pub(crate) obs: Option<crate::span::ObsRecorder>,
+    /// Windowed time-series recorder (`obs` feature only, armed via
+    /// [`Simulation::enable_timeseries`]).
+    #[cfg(feature = "obs")]
+    pub(crate) ts: Option<crate::timeseries::TsRecorder>,
     /// Hardened-transport state (`fault` feature only, engaged via
     /// [`Simulation::attach_fault_plan`] with an active plan; `None` means
     /// every message takes the legacy exactly-once path).
@@ -431,6 +435,8 @@ impl Simulation {
             drop_notice_armed: false,
             #[cfg(feature = "obs")]
             obs: None,
+            #[cfg(feature = "obs")]
+            ts: None,
             #[cfg(feature = "fault")]
             fault: None,
             #[cfg(all(feature = "fault", feature = "verify"))]
@@ -470,6 +476,22 @@ impl Simulation {
         #[cfg(feature = "obs")]
         {
             self.obs = Some(crate::span::ObsRecorder::new(self.params.nprocs));
+        }
+    }
+
+    /// Arms windowed time-series recording over simulated time; the finished
+    /// series lands in [`RunResult::ts`]. The window width comes from
+    /// [`SysParams::ts_window`] (`0` auto-picks, doubling as the run grows).
+    /// Only effective when `ncp2-core` is built with the `obs` feature —
+    /// without it this is a no-op and every recording site compiles away,
+    /// exactly like the `verify` hooks.
+    pub fn enable_timeseries(&mut self) {
+        #[cfg(feature = "obs")]
+        {
+            self.ts = Some(crate::timeseries::TsRecorder::new(
+                self.params.nprocs,
+                self.params.ts_window,
+            ));
         }
     }
 
@@ -690,6 +712,108 @@ impl Simulation {
     #[inline(always)]
     pub(crate) fn obs_prefetch_issued(&mut self, _node: usize, _page: PageId, _t: Cycles) {}
 
+    // ----- time-series recording (compiled away without `obs`) ------------
+
+    /// Charges `n` events of counter `c` into the window holding cycle `t`.
+    #[cfg(feature = "obs")]
+    pub(crate) fn ts_count(&mut self, c: crate::timeseries::TsCounter, t: Cycles, n: u64) {
+        if let Some(r) = self.ts.as_mut() {
+            r.count(c, t, n);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn ts_count(&mut self, _c: crate::timeseries::TsCounter, _t: Cycles, _n: u64) {}
+
+    /// Samples gauge `g` at value `v`; the window keeps the peak.
+    #[cfg(feature = "obs")]
+    pub(crate) fn ts_gauge(&mut self, g: crate::timeseries::TsGauge, t: Cycles, v: u64) {
+        if let Some(r) = self.ts.as_mut() {
+            r.gauge(g, t, v);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn ts_gauge(&mut self, _g: crate::timeseries::TsGauge, _t: Cycles, _v: u64) {}
+
+    /// Notes a retransmission on link `src -> dst` (global counter plus the
+    /// per-link series). Only the hardened transport retransmits, so the
+    /// hook has no callers without the `fault` feature.
+    #[cfg(feature = "obs")]
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    pub(crate) fn ts_retransmit(&mut self, src: usize, dst: usize, t: Cycles) {
+        if let Some(r) = self.ts.as_mut() {
+            r.retransmit(src, dst, t);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    pub(crate) fn ts_retransmit(&mut self, _src: usize, _dst: usize, _t: Cycles) {}
+
+    /// Notes a transport frame entering (`up`) or leaving flight on link
+    /// `src -> dst`. Flight is a hardened-transport notion, so the hook has
+    /// no callers without the `fault` feature.
+    #[cfg(feature = "obs")]
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    pub(crate) fn ts_flight(&mut self, src: usize, dst: usize, t: Cycles, up: bool) {
+        if let Some(r) = self.ts.as_mut() {
+            r.flight(src, dst, t, up);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    pub(crate) fn ts_flight(&mut self, _src: usize, _dst: usize, _t: Cycles, _up: bool) {}
+
+    /// Charges controller busy cycles `[start, end)` to `node`'s occupancy
+    /// series, clipped across window boundaries.
+    #[cfg(feature = "obs")]
+    pub(crate) fn ts_ctrl_span(&mut self, node: usize, start: Cycles, end: Cycles) {
+        if let Some(r) = self.ts.as_mut() {
+            r.span(node, start, end);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn ts_ctrl_span(&mut self, _node: usize, _start: Cycles, _end: Cycles) {}
+
+    /// Accumulates page hot-spot attribution.
+    #[cfg(feature = "obs")]
+    pub(crate) fn ts_page(&mut self, page: PageId, transfers: u64, diff_bytes: u64, invals: u64) {
+        if let Some(r) = self.ts.as_mut() {
+            r.page(page, transfers, diff_bytes, invals);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn ts_page(
+        &mut self,
+        _page: PageId,
+        _transfers: u64,
+        _diff_bytes: u64,
+        _invals: u64,
+    ) {
+    }
+
+    /// Accumulates lock hot-spot attribution.
+    #[cfg(feature = "obs")]
+    pub(crate) fn ts_lock(&mut self, lock: u64, wait: Cycles, acquires: u64, migrations: u64) {
+        if let Some(r) = self.ts.as_mut() {
+            r.lock(lock, wait, acquires, migrations);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub(crate) fn ts_lock(&mut self, _lock: u64, _wait: Cycles, _acquires: u64, _migrations: u64) {}
+
     /// Degradation-policy stub: without the `fault` feature (or without an
     /// attached plan — see `transport.rs`) no prefetch is ever shed.
     #[cfg(not(feature = "fault"))]
@@ -739,6 +863,8 @@ impl Simulation {
                 (_, Some(_)) => {
                     // invariant: peek returned Some just above
                     let ev = self.queue.pop().expect("peeked event");
+                    let depth = self.queue.len() as u64;
+                    self.ts_gauge(crate::timeseries::TsGauge::QueueDepth, ev.time, depth);
                     self.handle_event(ev.time, ev.payload, &harness);
                 }
                 (Some((pid, _)), None) => self.step_proc(pid, &harness),
@@ -783,6 +909,10 @@ impl Simulation {
         let obs = self.obs.take().map(|r| r.into_log());
         #[cfg(not(feature = "obs"))]
         let obs: Option<crate::span::ObsLog> = None;
+        #[cfg(feature = "obs")]
+        let ts = self.ts.take().map(|r| r.into_log(total));
+        #[cfg(not(feature = "obs"))]
+        let ts: Option<crate::timeseries::TsLog> = None;
         if let Some(log) = &obs {
             for (node, detail) in log.conservation_errors(&nodes) {
                 violations.push(crate::observe::Violation::SpanConservation { node, detail });
@@ -803,6 +933,7 @@ impl Simulation {
             trace: std::mem::take(&mut self.trace),
             obs,
             fault,
+            ts,
         }
     }
 
@@ -1012,6 +1143,8 @@ impl Simulation {
         };
         let params = self.params.clone();
         let tr = self.net.transfer_timed(t, src, dst, bytes, &params);
+        self.ts_count(crate::timeseries::TsCounter::Messages, t, 1);
+        self.ts_count(crate::timeseries::TsCounter::MessageBytes, t, bytes);
         self.obs_flight(
             src,
             dst,
@@ -1059,6 +1192,7 @@ impl Simulation {
             crate::trace::TraceKind::ControllerCommand { cmd },
         );
         self.obs_engine(node, engine, cmd, start, end);
+        self.ts_ctrl_span(node, start, end);
         self.obs_edge(
             EdgeKind::Ctrl(cmd),
             node,
@@ -1124,6 +1258,10 @@ impl Simulation {
             Wait::Barrier => SpanKind::BarrierStall,
         };
         let was_barrier = matches!(self.nodes[pid].wait, Wait::Barrier);
+        let lock_wait = match self.nodes[pid].wait {
+            Wait::Lock { lock } => Some(lock),
+            _ => None,
+        };
         let (wait_start, stall, reclass);
         {
             let nd = &mut self.nodes[pid];
@@ -1153,6 +1291,11 @@ impl Simulation {
             // The barrier wait belongs to the epoch it closes; the next
             // epoch begins with the processor's release.
             self.obs_epoch(pid);
+        }
+        if let Some(lock) = lock_wait {
+            // The full stall is attributed to the window where the grant
+            // arrived — the moment the contention resolved.
+            self.ts_lock(lock as u64, stall, 0, 0);
         }
         // invariant: a processor only blocks with its faulting op recorded
         let op = self.nodes[pid].pending_op.expect("wake without pending op");

@@ -158,6 +158,7 @@ impl Simulation {
                 anchor,
             },
         );
+        self.ts_flight(src, dst, t, true);
         self.send_frame(t, src, dst, seq, 0, msg, anchor);
     }
 
@@ -212,6 +213,7 @@ impl Simulation {
             if let Some(ctx) = self.fault.as_mut() {
                 ctx.stats.frames_sent += 1;
             }
+            self.ts_count(crate::timeseries::TsCounter::FramesSent, t, 1);
             #[cfg(feature = "verify")]
             self.emit(crate::observe::ProtocolEvent::FrameSent {
                 src,
@@ -220,6 +222,8 @@ impl Simulation {
                 attempt,
             });
             let tr = self.net.transfer_timed(t, src, dst, bytes, &params);
+            self.ts_count(crate::timeseries::TsCounter::Messages, t, 1);
+            self.ts_count(crate::timeseries::TsCounter::MessageBytes, t, bytes);
             self.obs_flight(
                 src,
                 dst,
@@ -433,6 +437,8 @@ impl Simulation {
         };
         // The ack occupies the wire either way; a lost ack just never fires.
         let tr = self.net.transfer_timed(t, dst, src, ACK_BYTES, &params);
+        self.ts_count(crate::timeseries::TsCounter::Messages, t, 1);
+        self.ts_count(crate::timeseries::TsCounter::MessageBytes, t, ACK_BYTES);
         if !lost {
             self.queue
                 .push(tr.arrival, Priority::Normal, Ev::Ack { src, dst, cum });
@@ -442,16 +448,22 @@ impl Simulation {
     /// A cumulative ack arrived back at the sender: retire covered frames
     /// and charge the absorption cost.
     pub(crate) fn on_ack(&mut self, t: Cycles, src: usize, dst: usize, cum: u64) {
-        {
+        let retired = {
             // invariant: ack events only exist with the transport attached
             let ctx = self.fault.as_mut().expect("ack without fault ctx");
             let tx = ctx.tx.entry((src, dst)).or_default();
+            let mut retired: u64 = 0;
             while let Some((&seq, _)) = tx.unacked.first_key_value() {
                 if seq >= cum {
                     break;
                 }
                 tx.unacked.remove(&seq);
+                retired += 1;
             }
+            retired
+        };
+        for _ in 0..retired {
+            self.ts_flight(src, dst, t, false);
         }
         let ack_oh = self.params.ack_overhead;
         self.interrupt_proc(src, t, ack_oh, Category::Ipc, SpanKind::MsgSetup);
@@ -495,6 +507,7 @@ impl Simulation {
         let Some((next_attempt, msg, anchor)) = resend else {
             return;
         };
+        self.ts_retransmit(src, dst, t);
         self.record(
             t,
             src,
@@ -553,6 +566,7 @@ impl Simulation {
                 .stats
                 .prefetch_shed += 1;
             self.record(now, pid, crate::trace::TraceKind::PrefetchShed { page });
+            self.ts_count(crate::timeseries::TsCounter::PrefetchShed, now, 1);
         }
         shed
     }

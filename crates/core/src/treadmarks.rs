@@ -210,6 +210,10 @@ impl Simulation {
             let (_, _pe) = self.nodes[pid].mem.pci.burst(s, words.max(1), &params);
             self.nodes[pid].stats.diff_create_cycles += cpu;
             self.nodes[pid].stats.diffs_created += 1;
+            self.nodes[pid].stats.diff_bytes_created += 4 * words;
+            self.ts_count(crate::timeseries::TsCounter::DiffsCreated, t, 1);
+            self.ts_count(crate::timeseries::TsCounter::DiffBytesCreated, t, 4 * words);
+            self.ts_page(page, 0, 4 * words, 0);
             t + Controller::issue_cost(&params)
         } else {
             let Some((tivl, twin)) = self.tm_page(pid, page).twin.take() else {
@@ -231,6 +235,10 @@ impl Simulation {
             let cpu = Controller::sw_diff_scan(&params);
             self.nodes[pid].stats.diff_create_cycles += cpu;
             self.nodes[pid].stats.diffs_created += 1;
+            self.nodes[pid].stats.diff_bytes_created += 4 * words;
+            self.ts_count(crate::timeseries::TsCounter::DiffsCreated, t, 1);
+            self.ts_count(crate::timeseries::TsCounter::DiffBytesCreated, t, 4 * words);
+            self.ts_page(page, 0, 4 * words, 0);
             if mode.offload() {
                 let (s, e) = self.nodes[pid].ctrl.run(t, cpu);
                 self.note_ctrl(pid, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
@@ -316,6 +324,14 @@ impl Simulation {
                 let (_, _pe) = self.nodes[pid].mem.pci.burst(s, words.max(1), &params);
                 self.nodes[pid].stats.diff_create_cycles += cpu;
                 self.nodes[pid].stats.diffs_created += 1;
+                self.nodes[pid].stats.diff_bytes_created += 4 * words;
+                self.ts_count(crate::timeseries::TsCounter::DiffsCreated, now, 1);
+                self.ts_count(
+                    crate::timeseries::TsCounter::DiffBytesCreated,
+                    now,
+                    4 * words,
+                );
+                self.ts_page(page, 0, 4 * words, 0);
             } else {
                 // Write-protect so the next interval's writes re-fault and
                 // settle this twin lazily.
@@ -577,6 +593,10 @@ impl Simulation {
         let cpu = Controller::sw_diff_scan(&params);
         self.nodes[dst].stats.diff_create_cycles += cpu;
         self.nodes[dst].stats.diffs_created += 1;
+        self.nodes[dst].stats.diff_bytes_created += 4 * words;
+        self.ts_count(crate::timeseries::TsCounter::DiffsCreated, t, 1);
+        self.ts_count(crate::timeseries::TsCounter::DiffBytesCreated, t, 4 * words);
+        self.ts_page(page, 0, 4 * words, 0);
         if self.mode().offload() {
             let (s, e) = self.nodes[dst].ctrl.run(t, cpu);
             self.note_ctrl(dst, Engine::CtrlCore, CtrlCmd::DiffCreate, s, e);
@@ -696,6 +716,9 @@ impl Simulation {
             dst,
             crate::trace::TraceKind::PrefetchCompleted { page },
         );
+        self.nodes[dst].stats.prefetch_fills += 1;
+        self.ts_count(crate::timeseries::TsCounter::PrefetchFills, end, 1);
+        self.ts_page(page, 1, 0, 0);
         self.obs_prefetch_done(dst, page, end);
         if ps.joined {
             // Zero prefetch-to-use distance: a fault was already waiting.
@@ -755,12 +778,16 @@ impl Simulation {
             mem_words += params.page_words();
             self.record(start, pid, crate::trace::TraceKind::PageFetched { page });
             self.nodes[pid].stats.page_fetches += 1;
+            self.ts_count(crate::timeseries::TsCounter::PageFetches, start, 1);
+            self.ts_page(page, 1, 0, 0);
         }
         diffs.sort_by_key(|d| (self.vt_sum(pid, d.owner, d.interval), d.owner, d.interval));
         let mut cpu: Cycles = 0;
+        let mut apply_words: u64 = 0;
         for d in diffs.iter() {
             let words = d.word_count();
             mem_words += words;
+            apply_words += words;
             cpu += if mode.hw_diffs() {
                 Controller::dma_cost(&params, words)
             } else {
@@ -807,6 +834,18 @@ impl Simulation {
         }
         self.nodes[pid].stats.diffs_applied += diffs.len() as u64;
         self.nodes[pid].stats.diff_apply_cycles += cpu;
+        self.nodes[pid].stats.diff_bytes_applied += 4 * apply_words;
+        self.ts_count(
+            crate::timeseries::TsCounter::DiffsApplied,
+            start,
+            diffs.len() as u64,
+        );
+        self.ts_count(
+            crate::timeseries::TsCounter::DiffBytesApplied,
+            start,
+            4 * apply_words,
+        );
+        self.ts_page(page, 0, 4 * apply_words, 0);
         // The controller (or NI) wrote main memory: the processor snoop
         // invalidates its stale cache lines.
         let base = page * params.page_bytes;
@@ -901,6 +940,8 @@ impl Simulation {
                 }
                 if was_valid {
                     self.nodes[pid].stats.invalidations += 1;
+                    self.ts_count(crate::timeseries::TsCounter::Invalidations, c, 1);
+                    self.ts_page(page, 0, 0, 1);
                 }
                 #[cfg(feature = "verify")]
                 self.emit(crate::observe::ProtocolEvent::NoticeRecorded {
@@ -957,6 +998,7 @@ impl Simulation {
             self.record(c, pid, crate::trace::TraceKind::PrefetchIssued { page });
             self.obs_prefetch_issued(pid, page, c);
             self.nodes[pid].stats.prefetches += 1;
+            self.ts_count(crate::timeseries::TsCounter::PrefetchIssued, c, 1);
             let pending = self.tm_page(pid, page).pending.clone();
             let requests = self.tm_build_requests(pid, page, &pending, true);
             let outstanding = requests.len();

@@ -91,6 +91,7 @@ pub const HOOK_HYGIENE_DIRS: &[&str] = &["crates/core/src", "crates/net/src", "c
 /// `#[cfg(feature = …)]` region breaks the zero-cost hook guarantee.
 pub const HOOK_FIELDS: &[(&str, &str)] = &[
     ("obs", "obs"),
+    ("ts", "obs"),
     ("observer", "verify"),
     ("drop_notice_armed", "verify"),
     ("fault", "fault"),
@@ -102,11 +103,16 @@ pub const HOOK_FIELDS: &[(&str, &str)] = &[
 /// Hook-definition name prefixes: a `fn <prefix>*` definition in a hygiene
 /// dir must sit behind its feature's cfg gate (either polarity — the real
 /// implementation or its zero-cost stub).
-pub const HOOK_FN_PREFIXES: &[(&str, &str)] = &[("obs_", "obs"), ("prof_", "prof")];
+pub const HOOK_FN_PREFIXES: &[(&str, &str)] = &[("obs_", "obs"), ("prof_", "prof"), ("ts_", "obs")];
 
 /// Files compiled only under a feature via a `#[cfg(feature = …)] mod` in
 /// their parent — every line counts as gated for that feature.
 pub const WHOLE_FILE_GATES: &[(&str, &str)] = &[("crates/core/src/transport.rs", "fault")];
+
+/// Crates doing window-boundary math over the time-series log: dividing by
+/// the window width there needs a `// window:` boundary justification
+/// (`window-boundary-div`).
+pub const WINDOW_MATH_DIRS: &[&str] = &["crates/obs/src"];
 
 /// Crates whose per-event cost multiplies by the cluster size: linear
 /// container scans (`Vec::remove`, `retain`) there need a `// linear:`

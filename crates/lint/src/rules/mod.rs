@@ -20,7 +20,7 @@ pub use determinism::NondeterministicIteration;
 pub use panics::{ForbiddenPanic, UncheckedIndex, UndocumentedPanic};
 pub use perf::LinearScanInHotPath;
 pub use protocol::{EngineBypass, FeatureHookHygiene, UnanchoredEdge, UnboundedRetry};
-pub use timing::{SaturatingCycleArith, TruncatingCycleCast, WallClockInSim};
+pub use timing::{SaturatingCycleArith, TruncatingCycleCast, WallClockInSim, WindowBoundaryDiv};
 
 /// Catalog-only entries for the two meta rules the engine enforces itself
 /// (they are not suppressible, so they never run as ordinary checks).
@@ -65,6 +65,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
             summary: "a suppression matching no finding must be removed",
         }),
         Box::new(WallClockInSim),
+        Box::new(WindowBoundaryDiv),
     ];
     rules.sort_by_key(|r| r.id());
     rules

@@ -1,7 +1,9 @@
 //! Timing-plane rules: cycle counters must never silently truncate, wrap
 //! without justification, or come from the wall clock.
 
-use crate::config::{in_dirs, CYCLE_ARITH_DIRS, CYCLE_CAST_DIRS, SIMULATED_TIME_DIRS};
+use crate::config::{
+    in_dirs, CYCLE_ARITH_DIRS, CYCLE_CAST_DIRS, SIMULATED_TIME_DIRS, WINDOW_MATH_DIRS,
+};
 use crate::diag::Diagnostic;
 use crate::engine::{FileCtx, Rule};
 use crate::lexer::TokKind;
@@ -74,6 +76,47 @@ impl Rule for WallClockInSim {
                     self.id(),
                     format!("`{}` in a simulated-time crate (use cycles)", t.text),
                 ));
+            }
+        }
+    }
+}
+
+/// `window-boundary-div`: integer division by the time-series window width
+/// floors, so a cycle count on a window boundary silently lands one window
+/// early and partial trailing windows under-report rates. Every raw
+/// `/ window_width` in the time-series consumers must say how the boundary
+/// is handled via a `// window:` comment, or carry a suppression.
+pub struct WindowBoundaryDiv;
+
+impl Rule for WindowBoundaryDiv {
+    fn id(&self) -> &'static str {
+        "window-boundary-div"
+    }
+    fn summary(&self) -> &'static str {
+        "raw `/ window_width` needs a `// window:` boundary justification"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        in_dirs(rel, WINDOW_MATH_DIRS)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            if !code[i].is_punct('/')
+                || !code.get(i + 1).is_some_and(|t| t.is_ident("window_width"))
+            {
+                continue;
+            }
+            let tok = &code[i + 1];
+            if !ctx.justified(tok.line, "window:") {
+                out.push(
+                    ctx.diag(
+                        tok,
+                        self.id(),
+                        "division by `window_width` without a `// window:` comment \
+                     saying how the boundary case is handled"
+                            .to_string(),
+                    ),
+                );
             }
         }
     }

@@ -540,6 +540,42 @@ mod tests {
 }
 
 #[test]
+fn window_boundary_div() {
+    let rel = "crates/obs/src/timeseries.rs";
+    fires(
+        rel,
+        r#"
+fn rate(count: u64, window_width: u64) -> u64 {
+    count / window_width
+}
+"#,
+        "window-boundary-div",
+    );
+    // A `// window:` comment explaining the boundary handling is the fix.
+    clean(
+        rel,
+        r#"
+fn rate(count: u64, window_width: u64) -> u64 {
+    // window: charges on a boundary belong to the later window by the
+    // half-open [start, end) convention; flooring implements exactly that.
+    count / window_width
+}
+"#,
+        "window-boundary-div",
+    );
+    // Outside the window-math dirs the rule does not apply.
+    clean(
+        "crates/core/src/system.rs",
+        r#"
+fn rate(count: u64, window_width: u64) -> u64 {
+    count / window_width
+}
+"#,
+        "window-boundary-div",
+    );
+}
+
+#[test]
 fn every_registered_rule_has_a_fixture_here() {
     // Keep this file honest: a new rule must add its fixture pair.
     let covered = [
@@ -557,6 +593,7 @@ fn every_registered_rule_has_a_fixture_here() {
         "unjustified-saturating-cycle-arith",
         "unused-suppression",
         "wall-clock-in-sim",
+        "window-boundary-div",
     ];
     let ids = ncp2_lint::rules::rule_ids();
     assert_eq!(ids.len(), covered.len(), "rule registry changed: {ids:?}");

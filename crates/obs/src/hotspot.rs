@@ -1,0 +1,225 @@
+//! Hot-spot attribution: ranked per-page / per-lock tables from a
+//! [`TsLog`], and the top-K per-node table used by `obs_report`.
+//!
+//! All orderings are total (every comparator ends on the id) so the tables
+//! are deterministic regardless of map iteration or worker count.
+
+use ncp2_core::{LockHot, NodeStats, PageHot, PageId, TsLog};
+
+/// Pages ranked hottest-first: by transfers, then diff bytes, then id.
+/// `top_k == 0` returns the full table.
+pub fn top_pages(log: &TsLog, top_k: usize) -> Vec<(PageId, PageHot)> {
+    let mut rows: Vec<(PageId, PageHot)> = log.pages.iter().map(|(&p, &h)| (p, h)).collect();
+    rows.sort_by(|a, b| {
+        b.1.transfers
+            .cmp(&a.1.transfers)
+            .then(b.1.diff_bytes.cmp(&a.1.diff_bytes))
+            .then(a.0.cmp(&b.0))
+    });
+    if top_k > 0 {
+        rows.truncate(top_k);
+    }
+    rows
+}
+
+/// Locks ranked hottest-first: by wait cycles, then acquires, then id.
+/// `top_k == 0` returns the full table.
+pub fn top_locks(log: &TsLog, top_k: usize) -> Vec<(u64, LockHot)> {
+    let mut rows: Vec<(u64, LockHot)> = log.locks.iter().map(|(&l, &h)| (l, h)).collect();
+    rows.sort_by(|a, b| {
+        b.1.wait_cycles
+            .cmp(&a.1.wait_cycles)
+            .then(b.1.acquires.cmp(&a.1.acquires))
+            .then(a.0.cmp(&b.0))
+    });
+    if top_k > 0 {
+        rows.truncate(top_k);
+    }
+    rows
+}
+
+/// Renders the hot-page and hot-lock tables as aligned text.
+pub fn render_hotspots(log: &TsLog, top_k: usize) -> String {
+    let mut out = String::new();
+    let pages = top_pages(log, top_k);
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>12} {:>10}\n",
+        "page", "transfers", "diff_bytes", "invals"
+    ));
+    for (page, h) in &pages {
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>12} {:>10}\n",
+            page, h.transfers, h.diff_bytes, h.invalidations
+        ));
+    }
+    let hidden = log.pages.len() - pages.len();
+    if hidden > 0 {
+        out.push_str(&format!("...{hidden} more pages\n"));
+    }
+    out.push('\n');
+    let locks = top_locks(log, top_k);
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>10} {:>11}\n",
+        "lock", "wait_cycles", "acquires", "migrations"
+    ));
+    for (lock, h) in &locks {
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>10} {:>11}\n",
+            lock, h.wait_cycles, h.acquires, h.owner_migrations
+        ));
+    }
+    let hidden = log.locks.len() - locks.len();
+    if hidden > 0 {
+        out.push_str(&format!("...{hidden} more locks\n"));
+    }
+    out
+}
+
+/// Renders the per-node statistics table, hottest nodes first.
+///
+/// Nodes are ranked by overhead cycles (everything that is not busy
+/// compute), tie-broken by id so the order is total. With `top_k > 0` only
+/// the hottest `top_k` nodes get their own row; the rest collapse into one
+/// `...N more nodes` row carrying their summed statistics, so a 256-node
+/// run stays readable. `top_k == 0` prints every node.
+pub fn render_node_table(nodes: &[NodeStats], top_k: usize) -> String {
+    let overhead =
+        |n: &NodeStats| n.breakdown.data + n.breakdown.synch + n.breakdown.ipc + n.breakdown.other;
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by(|&a, &b| {
+        overhead(&nodes[b])
+            .cmp(&overhead(&nodes[a]))
+            .then(a.cmp(&b))
+    });
+    let shown = if top_k == 0 {
+        order.len()
+    } else {
+        top_k.min(order.len())
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}\n",
+        "node", "busy", "data", "synch", "ipc", "faults", "fetches", "diffs", "locks"
+    ));
+    let row = |out: &mut String, label: &str, n: &NodeStats| {
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}\n",
+            label,
+            n.breakdown.busy,
+            n.breakdown.data,
+            n.breakdown.synch,
+            n.breakdown.ipc,
+            n.faults,
+            n.page_fetches,
+            n.diffs_created,
+            n.lock_acquires
+        ));
+    };
+    for &id in &order[..shown] {
+        row(&mut out, &id.to_string(), &nodes[id]);
+    }
+    if shown < order.len() {
+        let mut rest = NodeStats::default();
+        for &id in &order[shown..] {
+            let n = &nodes[id];
+            rest.breakdown = rest.breakdown.merged(&n.breakdown);
+            rest.faults += n.faults;
+            rest.page_fetches += n.page_fetches;
+            rest.diffs_created += n.diffs_created;
+            rest.lock_acquires += n.lock_acquires;
+        }
+        row(&mut out, &format!("...{}", order.len() - shown), &rest);
+        out.push_str(&format!(
+            "(...{} = {} more nodes, summed)\n",
+            order.len() - shown,
+            order.len() - shown
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncp2_core::TsRecorder;
+
+    fn log() -> TsLog {
+        let mut rec = TsRecorder::new(2, 100);
+        rec.page(5, 10, 400, 2);
+        rec.page(9, 10, 900, 1);
+        rec.page(1, 3, 50, 0);
+        rec.lock(0, 500, 2, 1);
+        rec.lock(3, 900, 1, 0);
+        rec.into_log(200)
+    }
+
+    #[test]
+    fn pages_rank_by_transfers_then_diff_bytes_then_id() {
+        let top = top_pages(&log(), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 9); // ties on transfers, more diff bytes
+        assert_eq!(top[1].0, 5);
+        assert_eq!(top_pages(&log(), 0).len(), 3);
+    }
+
+    #[test]
+    fn locks_rank_by_wait_cycles() {
+        let top = top_locks(&log(), 0);
+        assert_eq!(top[0].0, 3);
+        assert_eq!(top[1].0, 0);
+    }
+
+    #[test]
+    fn hotspot_render_marks_hidden_rows() {
+        let text = render_hotspots(&log(), 1);
+        assert!(text.contains("...2 more pages"));
+        assert!(text.contains("...1 more locks"));
+        assert!(!render_hotspots(&log(), 0).contains("more"));
+    }
+
+    fn synthetic_nodes(n: usize) -> Vec<NodeStats> {
+        (0..n)
+            .map(|i| {
+                let mut s = NodeStats::default();
+                s.breakdown.busy = 1_000;
+                // Overhead decreases with id, so rank order == id order and
+                // the table is easy to eyeball in the golden test.
+                s.breakdown.data = (n - i) as u64 * 10;
+                s.breakdown.synch = 5;
+                s.faults = i as u64;
+                s.page_fetches = 2 * i as u64;
+                s.diffs_created = 3;
+                s.lock_acquires = 1;
+                s
+            })
+            .collect()
+    }
+
+    /// Golden shape test at 256 nodes: default top-K keeps the table at 16
+    /// rows plus one aggregate row, and the aggregate conserves the sums.
+    #[test]
+    fn node_table_collapses_256_nodes_under_top_k() {
+        let nodes = synthetic_nodes(256);
+        let text = render_node_table(&nodes, 16);
+        let lines: Vec<&str> = text.lines().collect();
+        // header + 16 rows + aggregate row + footnote
+        assert_eq!(lines.len(), 1 + 16 + 1 + 1);
+        assert!(lines[1].starts_with("0 "));
+        assert!(lines[17].starts_with("...240"));
+        assert!(lines[18].contains("240 more nodes"));
+        // The aggregate row's faults column conserves the hidden sum.
+        let agg_faults: u64 = lines[17]
+            .split_whitespace()
+            .nth(5)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let hidden: u64 = (16..256).map(|i| i as u64).sum();
+        assert_eq!(agg_faults, hidden);
+
+        let full = render_node_table(&nodes, 0);
+        assert_eq!(full.lines().count(), 1 + 256);
+        assert!(!full.contains("more nodes"));
+    }
+}

@@ -19,7 +19,14 @@
 //!   re-executor predicting ablation speedups;
 //! * [`diff`] — the `cargo xtask bench-diff` regression pipeline: write a
 //!   bench file of reports, compare two files, flag regressions (including
-//!   per-category exposed-cycle growth on the critical path).
+//!   per-category exposed-cycle growth on the critical path);
+//! * [`timeseries::TimelineReport`] — deterministic JSON/CSV serialization
+//!   of the windowed time-series log ([`ncp2_core::TsLog`]);
+//! * [`hotspot`] — ranked hot-page / hot-lock attribution tables and the
+//!   top-K per-node table;
+//! * [`assertions`] — the SLO-style window-assertion engine
+//!   (`retransmits > 0 for 2`, `monotone queue_depth for 4`, ...) behind
+//!   `timeline_report --check` and the chaos gate.
 //!
 //! Everything here is pure data transformation over **simulated cycles**:
 //! no wall-clock sources, no host-dependent iteration orders, so repeated
@@ -30,17 +37,23 @@
 //! until [`Simulation::enable_obs`](ncp2_core::Simulation::enable_obs) is
 //! called.
 
+pub mod assertions;
 pub mod critpath;
 pub mod diff;
 pub mod graph;
 pub mod hist;
+pub mod hotspot;
 pub mod json;
 pub mod perfetto;
 pub mod report;
+pub mod timeseries;
 
+pub use assertions::{default_check_assertions, evaluate_all, Assertion, Firing};
 pub use critpath::{critical_path, slack, what_if, CritPath, CritSegment, Scenario, WhatIf};
 pub use diff::{compare, parse_bench, write_bench, Regression};
 pub use graph::ExecGraph;
 pub use hist::LogHistogram;
+pub use hotspot::{render_hotspots, render_node_table, top_locks, top_pages};
 pub use perfetto::perfetto_json;
 pub use report::{HistSummary, HostPhase, MetricsReport};
+pub use timeseries::TimelineReport;

@@ -14,7 +14,13 @@
 //!   last-arrival→departure — so the UI draws the cross-processor causal
 //!   chains the critical-path analyzer walks;
 //! * instant events from the protocol trace (faults, lock grants, barrier
-//!   releases, ...) when [`SysParams::trace`](ncp2_sim::SysParams) was set.
+//!   releases, ...) when [`SysParams::trace`](ncp2_sim::SysParams) was set;
+//! * counter tracks (`ph` `"C"`): one `cycles_by_category` sample per node
+//!   from the end-of-run breakdown (so every trace gets the counter lane),
+//!   and — when the run recorded a windowed time series
+//!   ([`RunResult::ts`]) — one `ts.*` track per counter/gauge, a
+//!   per-node controller-occupancy-percent track, and per-link
+//!   retransmit/in-flight tracks, each sampled once per window.
 //!
 //! Timestamps are simulated cycles written as integer `ts`/`dur`
 //! microsecond fields — the absolute unit is meaningless, relative layout
@@ -186,6 +192,70 @@ pub fn perfetto_json(r: &RunResult) -> String {
         }
     }
 
+    // Counter lane from the end-of-run per-category totals: one sample per
+    // node at ts 0, so the lane exists for every export, time series or not.
+    for (pid, node) in r.nodes.iter().enumerate() {
+        let b = node.breakdown;
+        let _ = writeln!(
+            out,
+            "{{\"ph\": \"C\", \"name\": \"cycles_by_category\", \"pid\": {pid}, \"tid\": 0, \
+             \"ts\": 0, \"args\": {{\"busy\": {}, \"data\": {}, \"synch\": {}, \"ipc\": {}, \
+             \"other\": {}}}}},",
+            b.busy, b.data, b.synch, b.ipc, b.other
+        );
+    }
+
+    // Windowed time-series counter tracks, one sample per window at the
+    // window's start cycle. Series order is fixed (counters, gauges,
+    // occupancy, links) so the export stays byte-deterministic.
+    if let Some(ts) = &r.ts {
+        let window_width = ts.width.max(1);
+        let sample = |out: &mut String, name: &str, pid: usize, w: usize, v: u64| {
+            let _ = writeln!(
+                out,
+                "{{\"ph\": \"C\", \"name\": \"{}\", \"pid\": {pid}, \"tid\": 0, \"ts\": {}, \
+                 \"args\": {{\"value\": {v}}}}},",
+                esc(name),
+                w as u64 * window_width
+            );
+        };
+        for c in ncp2_core::TsCounter::ALL {
+            for (w, v) in ts.counter_series(c).into_iter().enumerate() {
+                sample(&mut out, &format!("ts.{}", c.label()), NET_PID, w, v);
+            }
+        }
+        for g in ncp2_core::TsGauge::ALL {
+            for (w, v) in ts.gauge_series(g).into_iter().enumerate() {
+                sample(&mut out, &format!("ts.{}", g.label()), NET_PID, w, v);
+            }
+        }
+        for (node, series) in ts.occupancy.iter().enumerate() {
+            for (w, &busy) in series.iter().enumerate() {
+                // Flooring rounds the percentage down by at most 1 point; a
+                // counter track is a visual aid, not a metrics source.
+                // lint: allow(window-boundary-div) -- display-only rounding, exactness lives in TsLog
+                let pct = 100 * busy / window_width;
+                sample(&mut out, "ctrl_occupancy_pct", node, w, pct);
+            }
+        }
+        for ((src, dst), series) in &ts.link_retransmits {
+            for (w, &v) in series.iter().enumerate() {
+                sample(&mut out, &format!("ts.retx {src}->{dst}"), NET_PID, w, v);
+            }
+        }
+        for ((src, dst), series) in &ts.link_inflight {
+            for (w, &v) in series.iter().enumerate() {
+                sample(
+                    &mut out,
+                    &format!("ts.inflight {src}->{dst}"),
+                    NET_PID,
+                    w,
+                    v,
+                );
+            }
+        }
+    }
+
     for (i, e) in r.trace.iter().enumerate() {
         let comma = if i + 1 == r.trace.len() { "" } else { "," };
         let _ = writeln!(
@@ -222,6 +292,7 @@ mod tests {
             trace: Vec::new(),
             violations: Vec::new(),
             obs: None,
+            ts: None,
             fault: Default::default(),
         }
     }
@@ -234,8 +305,9 @@ mod tests {
             .get("traceEvents")
             .and_then(|e| e.as_arr())
             .expect("traceEvents array");
-        // 2 nodes x (process + 3 threads) + network process = 9 metadata rows.
-        assert_eq!(events.len(), 9);
+        // 2 nodes x (process + 3 threads) + network process = 9 metadata
+        // rows, plus one cycles_by_category counter sample per node.
+        assert_eq!(events.len(), 11);
     }
 
     #[test]
@@ -253,7 +325,60 @@ mod tests {
             v.get("traceEvents")
                 .and_then(|e| e.as_arr())
                 .map(|a| a.len()),
-            Some(10)
+            Some(12)
         );
+    }
+
+    #[test]
+    fn category_counter_lane_reflects_the_breakdown() {
+        let mut r = empty_run();
+        r.nodes[1].breakdown.busy = 42;
+        let doc = perfetto_json(&r);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let counter = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("pid").and_then(|p| p.as_u64()) == Some(1)
+            })
+            .expect("counter sample for node 1");
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("busy"))
+                .and_then(|b| b.as_u64()),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn time_series_counter_tracks_sample_every_window() {
+        use ncp2_core::{TsCounter, TsRecorder};
+        let mut rec = TsRecorder::new(2, 100);
+        rec.count(TsCounter::PageFetches, 50, 3);
+        rec.count(TsCounter::PageFetches, 250, 5);
+        rec.span(0, 0, 100);
+        rec.retransmit(0, 1, 150);
+        let mut r = empty_run();
+        r.ts = Some(rec.into_log(300));
+        let doc = perfetto_json(&r);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|x| x.as_str()) == Some("ts.page_fetches")
+            })
+            .collect();
+        assert_eq!(samples.len(), 3, "one sample per window");
+        assert_eq!(
+            samples[2].get("ts").and_then(|t| t.as_u64()),
+            Some(200),
+            "samples land at window starts"
+        );
+        assert!(doc.contains("\"ts.retx 0->1\""));
+        assert!(doc.contains("\"ctrl_occupancy_pct\""));
     }
 }

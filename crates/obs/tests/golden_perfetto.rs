@@ -52,6 +52,7 @@ fn tiny_tsp_export_parses_and_names_every_track() {
     let mut saw_cpu = false;
     let mut saw_link = false;
     let mut saw_span = false;
+    let mut saw_counter = false;
     let mut flow_starts: Vec<(u64, u64)> = Vec::new(); // (id, ts)
     let mut flow_ends: Vec<(u64, u64)> = Vec::new();
     for e in events {
@@ -75,6 +76,11 @@ fn tiny_tsp_export_parses_and_names_every_track() {
             "i" => {
                 assert!(e.get("ts").and_then(|t| t.as_u64()).is_some());
             }
+            "C" => {
+                assert!(e.get("ts").and_then(|t| t.as_u64()).is_some());
+                assert!(e.get("args").is_some(), "counter sample without args");
+                saw_counter = true;
+            }
             "s" | "f" => {
                 let id = e.get("id").and_then(|i| i.as_u64()).expect("flow id");
                 let ts = e.get("ts").and_then(|t| t.as_u64()).expect("flow ts");
@@ -89,6 +95,7 @@ fn tiny_tsp_export_parses_and_names_every_track() {
         }
     }
     assert!(saw_cpu && saw_link && saw_span);
+    assert!(saw_counter, "no cycles_by_category counter lane");
     // Every flow arrow has exactly one start and one matching, non-earlier
     // finish — the dependency edges behind them are forward in time.
     assert!(!flow_starts.is_empty(), "no flow events emitted");

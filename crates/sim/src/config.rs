@@ -111,6 +111,13 @@ pub struct SysParams {
     /// Record a protocol event trace on the run result (off by default —
     /// traces grow with every message).
     pub trace: bool,
+    /// Time-series window width in cycles for the windowed sampler
+    /// (`ncp2-core::timeseries`). `0` (the default) auto-picks: the recorder
+    /// starts at a small base width and doubles it whenever the run outgrows
+    /// the window cap, so every run lands in a bounded number of windows.
+    /// Only read when time-series recording is enabled; never affects
+    /// simulated timing.
+    pub ts_window: Cycles,
     /// Master seed for workload randomness.
     pub seed: u64,
 }
@@ -147,6 +154,7 @@ impl Default for SysParams {
             page_req_threshold: 32,
             prefetch_strategy: PrefetchStrategy::AllReferenced,
             trace: false,
+            ts_window: 0,
             seed: 0x4E43_5032, // "NCP2"
         }
     }
@@ -302,6 +310,7 @@ impl SysParams {
             page_req_threshold,
             prefetch_strategy,
             trace,
+            ts_window,
             seed,
         } = self;
         h.write_str("SysParams");
@@ -341,6 +350,7 @@ impl SysParams {
             }
         }
         h.write_bool(*trace);
+        h.write_u64(*ts_window);
         h.write_u64(*seed);
     }
 
@@ -465,6 +475,10 @@ mod tests {
             },
             SysParams {
                 aurc_pairwise: false,
+                ..SysParams::default()
+            },
+            SysParams {
+                ts_window: 4096,
                 ..SysParams::default()
             },
         ] {
