@@ -28,6 +28,13 @@ cargo run --release --bin critpath_report -- \
 cargo run --release --bin timeline_report -- \
     --check --no-cache --quiet --out-dir "$OBS_OUT"
 
+# Service gate: the open-loop tail-latency matrix — every protocol mode at
+# three offered loads, oracle-verified, checksum-invariant across modes and
+# loads, p99(I+P+D) < p99(Base) at the highest pre-saturation load, the 1%
+# frame-drop twin checksum-equal with bounded tail inflation, and the
+# archived svc_report.json byte-identical across --jobs 1 and --jobs 8.
+cargo run --release --bin svc_report -- --check --quiet --out-dir "$OBS_OUT"
+
 # Chaos gate: every tier-1 workload under every protocol mode, faulted
 # (drop + duplicate + corrupt + ack loss + a reordering latency spike) and
 # fault-free. Checksums must match their fault-free twins, the verification

@@ -15,8 +15,6 @@
 //! paper's simulation is 3-D, but tree sharing behaviour is dimension-blind
 //! (see DESIGN.md).
 
-use ncp2_sim::SimRng;
-
 use crate::framework::{Alloc, Ctx, Workload};
 
 /// Fixed-point scale (2^16).
@@ -126,12 +124,15 @@ impl Workload for Barnes {
         let b = self.bodies as u64;
         let lay = Layout::new(self.bodies, ctx.nprocs, self.max_nodes());
         if ctx.pid == 0 {
-            let mut rng = SimRng::new(self.seed);
+            let mut rng = crate::rng::seeded(self.seed);
             for i in 0..b {
-                ctx.write_i64(lay.pos + 16 * i, (rng.next_below(2048) as i64 - 1024) * FX);
+                ctx.write_i64(
+                    lay.pos + 16 * i,
+                    crate::rng::centered_fx(&mut rng, 1024, FX),
+                );
                 ctx.write_i64(
                     lay.pos + 16 * i + 8,
-                    (rng.next_below(2048) as i64 - 1024) * FX,
+                    crate::rng::centered_fx(&mut rng, 1024, FX),
                 );
                 ctx.write_i64(lay.vel + 16 * i, 0);
                 ctx.write_i64(lay.vel + 16 * i + 8, 0);

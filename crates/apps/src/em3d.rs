@@ -6,8 +6,6 @@
 //! each phase pulls freshly written remote pages — Em3d has the paper's
 //! highest diff overhead (26.7%) and its biggest wins from overlap.
 
-use ncp2_sim::SimRng;
-
 use crate::framework::{Alloc, Ctx, Workload};
 
 /// Cycles of local work per neighbour accumulation.
@@ -59,7 +57,7 @@ impl Em3d {
     /// Ownership zones shape where the `remote_pct` remote edges land.
     fn neighbours(&self, salt: u64) -> Vec<Vec<u32>> {
         let nprocs = Self::ZONES;
-        let mut rng = SimRng::new(self.seed ^ salt);
+        let mut rng = crate::rng::salted(self.seed, salt);
         let n = self.nodes as u64;
         let per = n.div_ceil(nprocs as u64);
         (0..n)

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ncp2_core::{Protocol, RunResult, Simulation};
-use ncp2_sim::{Cycles, ProcOp, ProcPort, SysParams};
+use ncp2_sim::{Cycles, ProcOp, ProcPort, SvcClass, SvcOp, SysParams};
 
 /// A workload from the paper's application suite.
 ///
@@ -194,6 +194,28 @@ impl<'a> Ctx<'a> {
     /// times, in the same program order).
     pub fn barrier(&self) {
         self.port.call(ProcOp::Barrier(0));
+    }
+
+    /// Reads this processor's current simulated clock (zero simulated
+    /// cost). The open-loop service workload uses it to compute idle gaps
+    /// and per-request response times in simulated cycles.
+    pub fn now(&self) -> Cycles {
+        self.port.call(ProcOp::Svc(SvcOp::Now)).value()
+    }
+
+    /// Marks a service-request dequeue; `depth` is this node's backlog
+    /// (arrived, not yet served) after the dequeue. Zero simulated cost;
+    /// feeds the `svc_queue_depth` time-series gauge and the trace.
+    pub fn svc_dequeue(&self, depth: u64) {
+        self.port.call(ProcOp::Svc(SvcOp::Dequeue { depth }));
+    }
+
+    /// Marks a service-request completion with its open-loop response time
+    /// (completion − arrival, queueing included). Zero simulated cost;
+    /// feeds the run's response-time histogram.
+    pub fn svc_reply(&self, class: SvcClass, response: Cycles) {
+        self.port
+            .call(ProcOp::Svc(SvcOp::Reply { class, response }));
     }
 
     /// The contiguous block `[lo, hi)` of `total` items owned by this

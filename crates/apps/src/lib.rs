@@ -33,6 +33,8 @@ pub mod em3d;
 pub mod framework;
 pub mod ocean;
 pub mod radix;
+pub mod rng;
+pub mod svc;
 pub mod tsp;
 pub mod water;
 
@@ -41,6 +43,7 @@ pub use em3d::Em3d;
 pub use framework::{run_app, run_app_with, sequential_baseline, Alloc, Ctx, Workload};
 pub use ocean::Ocean;
 pub use radix::Radix;
+pub use svc::Svc;
 pub use tsp::Tsp;
 pub use water::Water;
 

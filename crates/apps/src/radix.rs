@@ -6,8 +6,6 @@
 //! destination array — the page-grain false-sharing firehose that gives
 //! Radix its >20% diff overhead in the paper.
 
-use ncp2_sim::SimRng;
-
 use crate::framework::{Alloc, Ctx, Workload};
 
 /// Cycles of local work per key in the histogram/permutation loops.
@@ -55,11 +53,8 @@ impl Radix {
 
     /// The deterministic input keys.
     fn input(&self) -> Vec<u32> {
-        let mut rng = SimRng::new(self.seed);
         let mask = ((1u64 << self.key_bits()) - 1) as u32;
-        (0..self.keys)
-            .map(|_| rng.next_u64() as u32 & mask)
-            .collect()
+        crate::rng::masked_keys(&mut crate::rng::seeded(self.seed), self.keys, mask)
     }
 }
 

@@ -6,8 +6,6 @@
 //! optimistically during search). This is the paper's "reasonably good
 //! speedup" application: coarse tasks, tiny shared state, migratory locks.
 
-use ncp2_sim::SimRng;
-
 use crate::framework::{Alloc, Ctx, Workload};
 
 /// Lock protecting the task queue head.
@@ -53,10 +51,7 @@ impl Tsp {
 
     /// Deterministic integer distance matrix from random plane coordinates.
     fn distances(&self) -> Vec<Vec<u32>> {
-        let mut rng = SimRng::new(self.seed);
-        let pts: Vec<(f64, f64)> = (0..self.cities)
-            .map(|_| (rng.next_f64() * 1000.0, rng.next_f64() * 1000.0))
-            .collect();
+        let pts = crate::rng::plane_points(&mut crate::rng::seeded(self.seed), self.cities, 1000.0);
         (0..self.cities)
             .map(|i| {
                 (0..self.cities)

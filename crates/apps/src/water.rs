@@ -10,8 +10,6 @@
 //! accumulation is commutative and associative, so the final checksum is
 //! bit-identical on any processor count.
 
-use ncp2_sim::SimRng;
-
 use crate::framework::{Alloc, Ctx, Workload};
 
 /// Fixed-point scale (2^20).
@@ -102,10 +100,10 @@ impl Workload for Water {
         let m = self.molecules as u64;
         let lay = Layout::new(self.molecules);
         if ctx.pid == 0 {
-            let mut rng = SimRng::new(self.seed);
+            let mut rng = crate::rng::seeded(self.seed);
             for i in 0..m {
                 for ax in 0..3u64 {
-                    let p = (rng.next_below(64) as i64 - 32) * FX;
+                    let p = crate::rng::centered_fx(&mut rng, 32, FX);
                     ctx.write_i64(lay.pos3(i) + 8 * ax, p);
                     ctx.write_i64(lay.vel3(i) + 8 * ax, 0);
                     ctx.write_i64(lay.force3(i) + 8 * ax, 0);

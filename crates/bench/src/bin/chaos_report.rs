@@ -25,7 +25,7 @@
 //! # Sweep custom rates under AURC+P with 8 workers.
 //! cargo run --release --bin chaos_report -- --mode AURC+P --rates 0,2,50 --jobs 8
 //!
-//! # CI gate: 6 apps x 8 modes, faulted vs fault-free.
+//! # CI gate: 7 tier-1 workloads x 8 modes, faulted vs fault-free.
 //! cargo run --release --bin chaos_report -- --check --quiet
 //! ```
 

@@ -337,6 +337,14 @@ fn check(analyses: &[AppAnalysis]) -> bool {
             );
             ok = false;
         }
+        // The prediction-accuracy bound is a closed-loop validation: it
+        // assumes removing overhead from the critical path shortens the
+        // run. The open-loop Svc run ends no earlier than its last arrival,
+        // so run-length what-ifs legitimately over-promise there — only the
+        // conservation law above applies to it.
+        if an.name == "Svc" {
+            continue;
+        }
         let w = an
             .whatifs
             .iter()

@@ -102,7 +102,7 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    const APPS: [&str; 6] = ["TSP", "Water", "Radix", "Barnes", "Em3d", "Ocean"];
+    const APPS: [&str; 7] = ["TSP", "Water", "Radix", "Barnes", "Em3d", "Ocean", "Svc"];
     match APPS.iter().find(|n| n.eq_ignore_ascii_case(&a.app)) {
         Some(canonical) => a.app = canonical.to_string(),
         None => {

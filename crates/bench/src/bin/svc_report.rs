@@ -1,0 +1,456 @@
+//! `svc_report` — open-loop service rate sweep and tail-latency CI gate.
+//!
+//! The service workload (`ncp2_apps::Svc`) is the repo's only open-loop
+//! measurement: requests arrive on a seeded stream whether or not the nodes
+//! keep up, so the headline observable is the **response time**
+//! (completion − arrival), not the run length. This binary sweeps offered
+//! load (mean inter-arrival gap) against every protocol mode and reports
+//! the response-time tail — the experiment the paper's closed-loop figures
+//! cannot express.
+//!
+//! Two modes:
+//!
+//! * **Sweep** (default): arrival-rate × protocol-mode grid through the
+//!   parallel engine (observed jobs, so cache hits replay the archived
+//!   report rows), printing completed/p50/p90/p99/queue-peak per cell and
+//!   optionally writing `svc_report.json`.
+//! * **`--check`** (the CI gate): every protocol mode at three offered
+//!   loads with the verification oracle attached, plus a 1%-frame-drop
+//!   faulted/clean twin. The gate fails — exit code 1 — unless every run
+//!   is oracle-silent, every cell's checksum matches the protocol-invariant
+//!   service checksum, overlap (I+P+D) shows a lower p99 than Base at the
+//!   highest pre-saturation load, the faulted twin's checksum equals the
+//!   clean twin's with p99 inflation bounded, and the whole artifact is
+//!   byte-identical when re-run with a different worker count (`--jobs 1`
+//!   vs `--jobs 8`).
+//!
+//! ```sh
+//! # Rate sweep: 8 modes x default gaps, JSON export.
+//! cargo run --release --bin svc_report -- --out-dir target/svc
+//!
+//! # Custom offered loads (mean inter-arrival gaps, cycles).
+//! cargo run --release --bin svc_report -- --gaps 12000,6000,3000
+//!
+//! # CI gate.
+//! cargo run --release --bin svc_report -- --check --quiet --out-dir target/svc
+//! ```
+
+use std::path::PathBuf;
+
+use ncp2::prelude::*;
+use ncp2_bench::engine::{Engine, Grid, Job, RunRecord, WorkloadSpec};
+use ncp2_bench::harness::{protocol_from_label, ALL_MODE_LABELS};
+use ncp2_fault::FaultPlan;
+
+/// Default sweep gaps: comfortably under-loaded down to near saturation.
+const SWEEP_GAPS: [u64; 4] = [16_000, 8_000, 4_000, 2_000];
+
+/// `--check` gaps: light, moderate, and the highest pre-saturation load
+/// (the cell where queueing separates Base from I+P+D most clearly).
+const CHECK_GAPS: [u64; 3] = [8_000, 4_000, 2_000];
+
+/// `--check` twin plan: 1% frame drop; the retransmit path must preserve
+/// the checksum and keep the response tail bounded.
+const CHECK_DROP_PERMILLE: u16 = 10;
+
+/// Fault seed for the `--check` twin; fixed so the gate is reproducible.
+const CHECK_SEED: u64 = 0x5E4C;
+
+/// Faulted p99 must stay within this multiple of the clean twin's p99.
+const MAX_TAIL_INFLATION: f64 = 4.0;
+
+struct Args {
+    gaps: Vec<u64>,
+    nprocs: usize,
+    out_dir: Option<PathBuf>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    quiet: bool,
+    prof: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svc_report [--gaps G,G,...] [--nprocs N] [--out-dir DIR]\n\
+         \x20                 [--jobs N] [--no-cache] [--quiet] [--prof] [--check]\n\
+         gaps are mean inter-arrival gaps in simulated cycles (smaller = higher load)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        gaps: SWEEP_GAPS.to_vec(),
+        nprocs: 4,
+        out_dir: None,
+        jobs: None,
+        no_cache: false,
+        quiet: false,
+        prof: false,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--gaps" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                a.gaps = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if a.gaps.is_empty() || a.gaps.contains(&0) {
+                    usage();
+                }
+            }
+            "--nprocs" => {
+                a.nprocs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out-dir" => a.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--jobs" => {
+                a.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-cache" => a.no_cache = true,
+            "--quiet" => a.quiet = true,
+            "--prof" => a.prof = true,
+            "--check" => a.check = true,
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn engine(a: &Args) -> Engine {
+    let mut e = Engine::new();
+    if let Some(jobs) = a.jobs {
+        e = e.with_jobs(jobs);
+    }
+    if a.no_cache {
+        e = e.no_cache();
+    }
+    if a.quiet {
+        e = e.silent();
+    }
+    if a.prof {
+        e = e.with_prof();
+    }
+    e
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Response-time quantiles of one cell, whichever way the record carries
+/// them: fresh (and `--check`) runs expose `RunResult::svc` directly;
+/// cache hits replay the archived report's `svc_response` row instead
+/// (service counters are not persisted raw — the report rows are).
+fn tail(rec: &RunRecord) -> (u64, u64, u64, u64, u64) {
+    if let Some(svc) = &rec.result.svc {
+        return (
+            svc.completed(),
+            svc.response.quantile(0.50),
+            svc.response.quantile(0.90),
+            svc.response.quantile(0.99),
+            svc.queue_peak,
+        );
+    }
+    let rep = rec.report.as_ref().expect("svc jobs are observed");
+    let h = rep.hist("svc_response").expect("svc run reports a tail");
+    let counter = |n: &str| {
+        rep.counters
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|&(_, v)| v)
+            .expect("svc run reports service counters")
+    };
+    (
+        counter("svc_completed"),
+        h.p50,
+        h.p90,
+        h.p99,
+        counter("svc_queue_peak"),
+    )
+}
+
+/// One sweep/check cell as a JSON object line.
+fn cell_json(mode: &str, gap: u64, rec: &RunRecord, base: usize) -> String {
+    let (completed, p50, p90, p99, peak) = tail(rec);
+    format!(
+        "{p}{{\"mode\": \"{mode}\", \"mean_gap\": {gap}, \"completed\": {completed}, \
+         \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"queue_peak\": {peak}, \
+         \"total_cycles\": {}, \"checksum\": \"{:#x}\"}}",
+        rec.result.total_cycles,
+        rec.result.checksum,
+        p = " ".repeat(base),
+    )
+}
+
+fn report_doc(gaps: &[u64], records: &[RunRecord]) -> String {
+    let mut out = String::from("{\n  \"cells\": [\n");
+    let mut idx = 0;
+    for label in ALL_MODE_LABELS {
+        for &gap in gaps {
+            let comma = if idx + 1 == records.len() { "" } else { "," };
+            out.push_str(&cell_json(label, gap, &records[idx], 4));
+            out.push_str(comma);
+            out.push('\n');
+            idx += 1;
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Builds the mode × gap grid in a fixed order (modes outer, gaps inner).
+fn sweep_grid(a: &Args, verify: bool, obs: bool) -> Grid {
+    let params = SysParams::default().with_nprocs(a.nprocs);
+    let mut grid = Grid::new();
+    for label in ALL_MODE_LABELS {
+        // invariant: every ALL_MODE_LABELS entry is a known label.
+        let protocol = protocol_from_label(label).expect("known mode label");
+        for &gap in &a.gaps {
+            grid.add(Job {
+                label: format!("Svc/{label}/gap{gap}"),
+                params: params.clone(),
+                protocol,
+                workload: WorkloadSpec::Svc(Svc::default().at_mean_gap(gap)),
+                obs,
+                fault: FaultPlan::none(),
+                verify,
+                timeseries: false,
+            });
+        }
+    }
+    grid
+}
+
+fn print_table(gaps: &[u64], records: &[RunRecord]) {
+    println!(
+        "{:<8} {:>9} {:>7} {:>9} {:>9} {:>9} {:>6}",
+        "mode", "mean_gap", "done", "p50", "p90", "p99", "qpeak"
+    );
+    let mut idx = 0;
+    for label in ALL_MODE_LABELS {
+        for &gap in gaps {
+            let (completed, p50, p90, p99, peak) = tail(&records[idx]);
+            println!("{label:<8} {gap:>9} {completed:>7} {p50:>9} {p90:>9} {p99:>9} {peak:>6}");
+            idx += 1;
+        }
+    }
+}
+
+/// Sweep mode: modes × gaps, tail table, optional JSON export.
+fn sweep(a: &Args) -> bool {
+    let records = engine(a).run(&sweep_grid(a, false, true));
+    println!(
+        "svc rate sweep: nprocs {}, {} requests/run, gaps {:?} cycles",
+        a.nprocs,
+        Svc::default().requests,
+        a.gaps
+    );
+    print_table(&a.gaps, &records);
+    if let Some(dir) = &a.out_dir {
+        write_file(&dir.join("svc_report.json"), &report_doc(&a.gaps, &records));
+        println!("wrote svc_report.json to {}", dir.display());
+    }
+    true
+}
+
+/// `--check` mode: the CI tail-latency gate (see the module docs).
+fn check(a: &Args) -> bool {
+    // The gate pins its own loads and never touches the cache.
+    let a = &Args {
+        gaps: CHECK_GAPS.to_vec(),
+        nprocs: a.nprocs,
+        out_dir: a.out_dir.clone(),
+        jobs: a.jobs,
+        no_cache: true,
+        quiet: a.quiet,
+        prof: a.prof,
+        check: true,
+    };
+    let params = SysParams::default().with_nprocs(a.nprocs);
+    // The sweep cells run the oracle; svc stats come straight off the
+    // results (the gate never touches the cache).
+    let build_grid = || {
+        let mut grid = sweep_grid(a, true, false);
+        // The twin pair: I+P+D at the moderate load, 1% frame drop vs
+        // fault-free — faulted first, clean second, appended after the
+        // sweep cells.
+        let protocol = protocol_from_label("I+P+D").expect("known mode label");
+        let spec = WorkloadSpec::Svc(Svc::default().at_mean_gap(CHECK_GAPS[1]));
+        grid.add(Job {
+            label: "Svc/I+P+D/drop1pct".into(),
+            params: params.clone(),
+            protocol,
+            workload: spec.clone(),
+            obs: false,
+            fault: FaultPlan {
+                seed: CHECK_SEED,
+                drop_permille: CHECK_DROP_PERMILLE,
+                ..FaultPlan::none()
+            },
+            verify: true,
+            timeseries: false,
+        });
+        grid.add(Job {
+            label: "Svc/I+P+D/clean-twin".into(),
+            params: params.clone(),
+            protocol,
+            workload: spec,
+            obs: false,
+            fault: FaultPlan::none(),
+            verify: true,
+            timeseries: false,
+        });
+        grid
+    };
+
+    let sweep_cells = ALL_MODE_LABELS.len() * CHECK_GAPS.len();
+    let run_once = |jobs: usize| -> (Vec<RunRecord>, String) {
+        let mut e = Engine::new().with_jobs(jobs).no_cache();
+        if a.quiet {
+            e = e.silent();
+        }
+        if a.prof {
+            e = e.with_prof();
+        }
+        let records = e.run(&build_grid());
+        let doc = report_doc(&CHECK_GAPS, &records[..sweep_cells]);
+        (records, doc)
+    };
+
+    let (records, doc) = run_once(1);
+    let mut ok = true;
+
+    // 1. Every run is oracle-silent, and the checksum is the same in every
+    //    cell: the service state machine is protocol- and load-invariant.
+    let expect_ck = records[0].result.checksum;
+    for rec in &records {
+        let r = &rec.result;
+        if !r.violations.is_empty() {
+            eprintln!(
+                "check: {}: {} oracle violation(s)",
+                r.protocol,
+                r.violations.len()
+            );
+            ok = false;
+        }
+        if r.checksum != expect_ck {
+            eprintln!(
+                "check: checksum drift: {:#x} != {:#x}",
+                r.checksum, expect_ck
+            );
+            ok = false;
+        }
+        let (completed, ..) = tail(rec);
+        if completed != Svc::default().requests {
+            eprintln!(
+                "check: lost requests: served {completed} of {}",
+                Svc::default().requests
+            );
+            ok = false;
+        }
+    }
+    if !a.quiet {
+        print_table(&CHECK_GAPS, &records[..sweep_cells]);
+    }
+
+    // 2. At the highest pre-saturation load, overlap must beat Base on the
+    //    tail: hiding fetch/diff latency drains the queue faster, and the
+    //    open loop turns that directly into response time.
+    let cell = |mode: &str, gap_idx: usize| -> &RunRecord {
+        let mode_idx = ALL_MODE_LABELS
+            .iter()
+            .position(|&l| l == mode)
+            .expect("known mode label");
+        &records[mode_idx * CHECK_GAPS.len() + gap_idx]
+    };
+    let hot = CHECK_GAPS.len() - 1;
+    let (_, _, _, p99_base, _) = tail(cell("Base", hot));
+    let (_, _, _, p99_ipd, _) = tail(cell("I+P+D", hot));
+    if p99_ipd >= p99_base {
+        eprintln!(
+            "check: overlap does not help the tail: p99(I+P+D) = {p99_ipd} >= \
+             p99(Base) = {p99_base} at mean_gap {}",
+            CHECK_GAPS[hot]
+        );
+        ok = false;
+    }
+
+    // 3. The faulted twin: same memory, bounded tail.
+    let (faulted, clean) = (&records[sweep_cells], &records[sweep_cells + 1]);
+    if faulted.result.checksum != clean.result.checksum {
+        eprintln!(
+            "check: checksum diverged under 1% drop ({:#x} != {:#x})",
+            faulted.result.checksum, clean.result.checksum
+        );
+        ok = false;
+    }
+    if faulted.result.fault.injected() == 0 {
+        eprintln!("check: the drop plan injected no faults — the twin is not being exercised");
+        ok = false;
+    }
+    let (_, _, _, p99_faulted, _) = tail(faulted);
+    let (_, _, _, p99_clean, _) = tail(clean);
+    let inflation = p99_faulted as f64 / p99_clean.max(1) as f64;
+    if inflation > MAX_TAIL_INFLATION {
+        eprintln!(
+            "check: tail inflation unbounded under 1% drop: {inflation:.2}x > \
+             {MAX_TAIL_INFLATION}x ({p99_faulted} vs {p99_clean} cycles p99)"
+        );
+        ok = false;
+    }
+
+    // 4. Byte-determinism across worker counts: the artifact built from a
+    //    single-worker pass must equal the eight-worker pass exactly.
+    let (_, doc8) = run_once(8);
+    if doc8 != doc {
+        eprintln!("check: svc_report.json differs between --jobs 1 and --jobs 8");
+        ok = false;
+    }
+
+    if let Some(dir) = &a.out_dir {
+        write_file(&dir.join("svc_report.json"), &doc);
+        if !a.quiet {
+            println!("wrote svc_report.json to {}", dir.display());
+        }
+    }
+    if ok {
+        println!(
+            "svc check passed: {} cells oracle-silent, checksum {:#x} invariant, \
+             p99(I+P+D) {p99_ipd} < p99(Base) {p99_base} at mean_gap {}, drop-twin \
+             inflation {inflation:.2}x <= {MAX_TAIL_INFLATION}x, export deterministic \
+             across worker counts",
+            records.len(),
+            expect_ck,
+            CHECK_GAPS[hot]
+        );
+    }
+    ok
+}
+
+fn main() {
+    let a = parse_args();
+    let ok = if a.check { check(&a) } else { sweep(&a) };
+    if !ok {
+        std::process::exit(1);
+    }
+}

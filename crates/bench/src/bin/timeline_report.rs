@@ -257,9 +257,15 @@ fn report(a: &Args) -> bool {
     true
 }
 
+/// The two `--check` workloads: a closed-loop kernel and the open-loop
+/// service — the congestion storm must be visible on both shapes of
+/// traffic, and both fault-free twins must stay silent.
+const CHECK_APPS: [&str; 2] = ["TSP", "Svc"];
+
 /// The `--check` smoke (see the module docs): the assertion engine must fire
 /// inside an injected fault window and stay silent on the fault-free twin,
-/// and the archived JSON must be byte-identical across reruns.
+/// for both a closed-loop kernel and the open-loop service workload, and
+/// the archived JSON must be byte-identical across reruns.
 fn check(a: &Args) -> bool {
     let plan = FaultPlan {
         seed: CHECK_SEED,
@@ -270,129 +276,152 @@ fn check(a: &Args) -> bool {
         }],
         ..FaultPlan::none()
     };
-    // invariant: the tier-1 table always contains TSP.
-    let (app, spec) = tier1_workloads()
-        .into_iter()
-        .find(|(n, _)| *n == "TSP")
-        .expect("tier-1 table contains TSP");
+    let specs: Vec<(&str, WorkloadSpec)> = CHECK_APPS
+        .iter()
+        .map(|&app| {
+            tier1_workloads()
+                .into_iter()
+                .find(|(n, _)| *n == app)
+                // invariant: the tier-1 table contains every check app.
+                .expect("tier-1 table contains the check apps")
+        })
+        .collect();
     let protocol = protocol_from_label("I+P+D").expect("known mode label");
     let mut params = SysParams::default().with_nprocs(a.nprocs);
     params.ts_window = CHECK_WINDOW;
 
     let build_grid = || {
         let mut grid = Grid::new();
-        grid.add(Job {
-            label: format!("{app}/I+P+D/congested"),
-            params: params.clone(),
-            protocol,
-            workload: spec.clone(),
-            obs: false,
-            fault: plan.clone(),
-            verify: true,
-            timeseries: true,
-        });
-        grid.add(Job {
-            label: format!("{app}/I+P+D/clean"),
-            params: params.clone(),
-            protocol,
-            workload: spec.clone(),
-            obs: false,
-            fault: FaultPlan::none(),
-            verify: true,
-            timeseries: true,
-        });
+        for (app, spec) in &specs {
+            // Congested run first, fault-free twin second: the analysis
+            // below walks the records two at a time in grid order.
+            grid.add(Job {
+                label: format!("{app}/I+P+D/congested"),
+                params: params.clone(),
+                protocol,
+                workload: spec.clone(),
+                obs: false,
+                fault: plan.clone(),
+                verify: true,
+                timeseries: true,
+            });
+            grid.add(Job {
+                label: format!("{app}/I+P+D/clean"),
+                params: params.clone(),
+                protocol,
+                workload: spec.clone(),
+                obs: false,
+                fault: FaultPlan::none(),
+                verify: true,
+                timeseries: true,
+            });
+        }
         grid
     };
     let records = engine(a).run(&build_grid());
-    let (chaos, clean) = (&records[0].result, &records[1].result);
+    let assertion = Assertion::parse(CHECK_ASSERTION).expect("built-in assertion");
+    let horizon = CHECK_FAULT_END + 2 * SysParams::default().retransmit_timeout;
 
     let mut ok = true;
-    // invariant: both check jobs set `timeseries`, so both carry a log.
-    let chaos_rep =
-        TimelineReport::from_run("TSP/I+P+D/congested", chaos, a.top_k).expect("ts log");
-    let clean_rep = TimelineReport::from_run("TSP/I+P+D/clean", clean, a.top_k).expect("ts log");
-    let assertion = Assertion::parse(CHECK_ASSERTION).expect("built-in assertion");
+    let mut total_firings = 0;
+    let mut chaos_jsons = Vec::new();
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!("  \"assertion\": \"{CHECK_ASSERTION}\",\n"));
+    doc.push_str("  \"apps\": [\n");
+    for (i, (app, _)) in specs.iter().enumerate() {
+        let (chaos, clean) = (&records[2 * i].result, &records[2 * i + 1].result);
+        // invariant: both check jobs set `timeseries`, so both carry a log.
+        let chaos_rep = TimelineReport::from_run(&format!("{app}/I+P+D/congested"), chaos, a.top_k)
+            .expect("ts log");
+        let clean_rep = TimelineReport::from_run(&format!("{app}/I+P+D/clean"), clean, a.top_k)
+            .expect("ts log");
 
-    // 1. The faulted run fires, and the firing overlaps the injected window
-    //    (extended by one timeout: frames sent at the very end of the window
-    //    time out at most one RTO later).
-    let firings = assertion.evaluate(&chaos_rep.log);
-    let horizon = CHECK_FAULT_END + 2 * SysParams::default().retransmit_timeout;
-    if firings.is_empty() {
-        eprintln!("check: '{CHECK_ASSERTION}' did not fire under the congestion plan");
-        ok = false;
-    } else if !firings.iter().any(|f| f.start_cycle < horizon) {
-        eprintln!(
-            "check: no firing overlaps the injected fault window [0, {CHECK_FAULT_END}) \
-             (+{} cycles of timeout slack)",
-            horizon - CHECK_FAULT_END
-        );
-        ok = false;
-    }
-    if !a.quiet {
-        print_firings(&firings);
-    }
+        // 1. The faulted run fires, and the firing overlaps the injected
+        //    window (extended by one timeout: frames sent at the very end of
+        //    the window time out at most one RTO later).
+        let firings = assertion.evaluate(&chaos_rep.log);
+        if firings.is_empty() {
+            eprintln!("check: {app}: '{CHECK_ASSERTION}' did not fire under the congestion plan");
+            ok = false;
+        } else if !firings.iter().any(|f| f.start_cycle < horizon) {
+            eprintln!(
+                "check: {app}: no firing overlaps the injected fault window [0, {CHECK_FAULT_END}) \
+                 (+{} cycles of timeout slack)",
+                horizon - CHECK_FAULT_END
+            );
+            ok = false;
+        }
+        total_firings += firings.len();
+        if !a.quiet {
+            print_firings(&firings);
+        }
 
-    // 2. The fault-free twin is silent.
-    let clean_firings = assertion.evaluate(&clean_rep.log);
-    if !clean_firings.is_empty() {
-        eprintln!(
-            "check: '{CHECK_ASSERTION}' fired {} time(s) on the fault-free twin",
-            clean_firings.len()
-        );
-        print_firings(&clean_firings);
-        ok = false;
-    }
+        // 2. The fault-free twin is silent.
+        let clean_firings = assertion.evaluate(&clean_rep.log);
+        if !clean_firings.is_empty() {
+            eprintln!(
+                "check: {app}: '{CHECK_ASSERTION}' fired {} time(s) on the fault-free twin",
+                clean_firings.len()
+            );
+            print_firings(&clean_firings);
+            ok = false;
+        }
 
-    // 3. Memory stays correct under the plan, and the oracle agrees.
-    if chaos.checksum != clean.checksum {
-        eprintln!(
-            "check: checksum diverged under congestion ({:#x} != {:#x})",
-            chaos.checksum, clean.checksum
-        );
-        ok = false;
-    }
-    if !chaos.violations.is_empty() || !clean.violations.is_empty() {
-        eprintln!(
-            "check: {} oracle violation(s)",
-            chaos.violations.len() + clean.violations.len()
-        );
-        ok = false;
-    }
+        // 3. Memory stays correct under the plan, and the oracle agrees.
+        if chaos.checksum != clean.checksum {
+            eprintln!(
+                "check: {app}: checksum diverged under congestion ({:#x} != {:#x})",
+                chaos.checksum, clean.checksum
+            );
+            ok = false;
+        }
+        if !chaos.violations.is_empty() || !clean.violations.is_empty() {
+            eprintln!(
+                "check: {app}: {} oracle violation(s)",
+                chaos.violations.len() + clean.violations.len()
+            );
+            ok = false;
+        }
 
-    // The archived artifact: the assertion verdicts plus both timelines.
-    let doc = {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"assertion\": \"{CHECK_ASSERTION}\",\n"));
-        out.push_str(&format!(
-            "  \"firings\": {},\n",
-            firings_json(&firings, 2).trim_start()
+        // The archived artifact: per-app assertion verdicts plus both
+        // timelines.
+        let comma = if i + 1 == specs.len() { "" } else { "," };
+        doc.push_str(&format!("    {{\n      \"app\": \"{app}\",\n"));
+        doc.push_str(&format!(
+            "      \"firings\": {},\n",
+            firings_json(&firings, 6).trim_start()
         ));
-        out.push_str(&format!(
-            "  \"clean_firings\": {},\n",
-            firings_json(&clean_firings, 2).trim_start()
+        doc.push_str(&format!(
+            "      \"clean_firings\": {},\n",
+            firings_json(&clean_firings, 6).trim_start()
         ));
-        out.push_str(&format!(
-            "  \"congested\": {},\n",
-            chaos_rep.to_json_indented(2).trim_start()
+        doc.push_str(&format!(
+            "      \"congested\": {},\n",
+            chaos_rep.to_json_indented(6).trim_start()
         ));
-        out.push_str(&format!(
-            "  \"clean\": {}\n",
-            clean_rep.to_json_indented(2).trim_start()
+        doc.push_str(&format!(
+            "      \"clean\": {}\n    }}{comma}\n",
+            clean_rep.to_json_indented(6).trim_start()
         ));
-        out.push_str("}\n");
-        out
-    };
+        chaos_jsons.push(chaos_rep.to_json());
+    }
+    doc.push_str("  ]\n}\n");
 
     // 4. Byte-determinism: a fresh rerun of the same grid must reproduce the
     //    artifact exactly (time-series jobs never hit the cache, so this
     //    genuinely re-simulates).
     let records2 = engine(a).silent().run(&build_grid());
-    let chaos_rep2 = TimelineReport::from_run("TSP/I+P+D/congested", &records2[0].result, a.top_k)
+    for (i, (app, _)) in specs.iter().enumerate() {
+        let rerun = TimelineReport::from_run(
+            &format!("{app}/I+P+D/congested"),
+            &records2[2 * i].result,
+            a.top_k,
+        )
         .expect("ts log");
-    if chaos_rep2.to_json() != chaos_rep.to_json() {
-        eprintln!("check: timeline JSON differs between identical runs");
-        ok = false;
+        if rerun.to_json() != chaos_jsons[i] {
+            eprintln!("check: {app}: timeline JSON differs between identical runs");
+            ok = false;
+        }
     }
 
     if let Some(dir) = &a.out_dir {
@@ -403,9 +432,9 @@ fn check(a: &Args) -> bool {
     }
     if ok {
         println!(
-            "timeline check passed: '{CHECK_ASSERTION}' fired {} time(s) inside the fault \
-             window, clean twin silent, export deterministic",
-            firings.len()
+            "timeline check passed: '{CHECK_ASSERTION}' fired {total_firings} time(s) inside \
+             the fault window across {} workloads, clean twins silent, export deterministic",
+            specs.len()
         );
     }
     ok

@@ -31,7 +31,7 @@ use ncp2_obs::{HistSummary, MetricsReport};
 
 /// Bumped whenever the serialized layout changes; part of every cache key,
 /// so stale layouts can never be misread as current ones.
-pub const FORMAT_VERSION: u64 = 4;
+pub const FORMAT_VERSION: u64 = 5;
 
 /// Number of scalar columns in a serialized node row.
 const NODE_COLS: usize = 27;
@@ -401,6 +401,10 @@ pub fn decode(text: &str) -> Option<(RunResult, Option<MetricsReport>)> {
         // Time-series jobs are never cached (like trace jobs), so a decoded
         // entry carries no log by construction.
         ts: None,
+        // Service counters are not persisted either: every svc consumer
+        // reads the derived report (whose svc_* rows round-trip), and the
+        // svc_report gate runs --no-cache.
+        svc: None,
     };
     Some((result, report))
 }
@@ -471,6 +475,7 @@ mod tests {
             violations: Vec::new(),
             obs: None,
             ts: None,
+            svc: None,
             fault: ncp2::core::FaultStats {
                 frames_sent: 20,
                 retransmits: 3,

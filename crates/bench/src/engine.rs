@@ -68,6 +68,8 @@ pub enum WorkloadSpec {
     Em3d(Em3d),
     /// Explicitly configured Ocean.
     Ocean(Ocean),
+    /// Explicitly configured open-loop service workload.
+    Svc(Svc),
 }
 
 impl WorkloadSpec {
@@ -89,6 +91,7 @@ impl WorkloadSpec {
             WorkloadSpec::Barnes(w) => Box::new(w.clone()),
             WorkloadSpec::Em3d(w) => Box::new(w.clone()),
             WorkloadSpec::Ocean(w) => Box::new(w.clone()),
+            WorkloadSpec::Svc(w) => Box::new(w.clone()),
         }
     }
 
@@ -165,6 +168,28 @@ impl WorkloadSpec {
                 h.write_str("ocean");
                 h.write_usize(*grid);
                 h.write_usize(*iters);
+            }
+            WorkloadSpec::Svc(Svc {
+                requests,
+                mean_gap,
+                keys,
+                sessions,
+                put_permille,
+                session_permille,
+                skew_x100,
+                service_compute,
+                seed,
+            }) => {
+                h.write_str("svc");
+                h.write_u64(*requests);
+                h.write_u64(*mean_gap);
+                h.write_usize(*keys);
+                h.write_usize(*sessions);
+                h.write_u64(*put_permille as u64);
+                h.write_u64(*session_permille as u64);
+                h.write_u64(*skew_x100 as u64);
+                h.write_u64(*service_compute);
+                h.write_u64(*seed);
             }
         }
     }
@@ -388,6 +413,7 @@ pub fn tier1_workloads() -> Vec<(&'static str, WorkloadSpec)> {
             }),
         ),
         ("Ocean", WorkloadSpec::Ocean(Ocean { grid: 16, iters: 2 })),
+        ("Svc", WorkloadSpec::Svc(Svc::default())),
     ]
 }
 

@@ -34,6 +34,9 @@ pub fn build_app(name: &str, paper_size: bool) -> Box<dyn Workload> {
         ("Em3d", true) => Box::new(Em3d::paper()),
         ("Ocean", false) => Box::new(Ocean::default()),
         ("Ocean", true) => Box::new(Ocean::paper()),
+        // The service workload has no separate paper size: the paper's
+        // closed-loop kernels don't cover it, so both sizes are tier-1.
+        ("Svc", _) => Box::new(Svc::default()),
         _ => panic!("unknown application {name}"),
     }
 }
@@ -188,7 +191,7 @@ mod tests {
 
     #[test]
     fn all_apps_buildable_at_both_sizes() {
-        for name in APP_NAMES {
+        for name in APP_NAMES.into_iter().chain(["Svc"]) {
             assert_eq!(build_app(name, false).name(), name);
             assert_eq!(build_app(name, true).name(), name);
         }

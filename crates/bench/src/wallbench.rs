@@ -261,6 +261,23 @@ fn bench_cache_key(c: &mut Criterion) {
     });
 }
 
+/// The open-loop arrival stream: one million gap draws plus the bounded
+/// reorder shuffle, through the alloc-free iterator. The stream is
+/// re-derived on every node of every service run, so its steady state must
+/// stay allocation-free (the iterator holds its reorder window inline).
+fn bench_svc_arrivals(c: &mut Criterion) {
+    let stream = ncp2_svc::ArrivalStream::new(0x5ecc, 4_000, 1_000_000);
+    c.bench_function("svc/arrival_stream_1e6", |b| {
+        b.iter(|| {
+            let mut last = 0;
+            for a in black_box(&stream).iter() {
+                last = a.at;
+            }
+            black_box(last)
+        })
+    });
+}
+
 /// Registers the whole suite on `c`, in gate order. This is the single
 /// source of truth for what `BENCH_WALL.json` covers.
 pub fn register_all(c: &mut Criterion) {
@@ -272,4 +289,5 @@ pub fn register_all(c: &mut Criterion) {
     bench_queue(c);
     bench_transport_resequence(c);
     bench_cache_key(c);
+    bench_svc_arrivals(c);
 }

@@ -20,7 +20,8 @@ use ncp2_bench::harness::ALL_MODE_LABELS;
 /// restores the default before releasing it).
 static POOLING: Mutex<()> = Mutex::new(());
 
-/// Runs the 6-apps × 8-modes tier-1 grid under the current pooling mode.
+/// Runs the 7-workloads × 8-modes tier-1 grid under the current pooling
+/// mode.
 fn run_grid() -> Vec<RunRecord> {
     Engine::new()
         .no_cache()
@@ -37,7 +38,7 @@ fn pooling_leaves_all_simulated_output_byte_identical() {
     let pooled = run_grid();
 
     assert_eq!(fresh.len(), pooled.len());
-    assert_eq!(fresh.len(), 6 * ALL_MODE_LABELS.len());
+    assert_eq!(fresh.len(), 7 * ALL_MODE_LABELS.len());
     for (f, p) in fresh.iter().zip(&pooled) {
         let mut rep1 = f.report.clone().expect("tier-1 jobs are observed");
         let mut rep2 = p.report.clone().expect("tier-1 jobs are observed");

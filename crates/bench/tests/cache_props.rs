@@ -195,6 +195,44 @@ fn assert_fault_mutators_cover_every_field(p: &FaultPlan) -> usize {
     11
 }
 
+/// One mutator per `Svc` field, mirroring [`MUTATORS`]: the service
+/// workload's whole configuration must feed the cache key, or two different
+/// offered loads could alias one tail-latency result.
+type SvcMutator = (&'static str, fn(&mut Svc, u64));
+
+const SVC_MUTATORS: [SvcMutator; 9] = [
+    ("requests", |w, d| w.requests += d),
+    ("mean_gap", |w, d| w.mean_gap += d),
+    ("keys", |w, d| w.keys += d as usize),
+    ("sessions", |w, d| w.sessions += d as usize),
+    ("put_permille", |w, d| {
+        w.put_permille = (w.put_permille + d as u32) % 1000
+    }),
+    ("session_permille", |w, d| {
+        w.session_permille = (w.session_permille + d as u32) % 1000
+    }),
+    ("skew_x100", |w, d| w.skew_x100 += d as u32),
+    ("service_compute", |w, d| w.service_compute += d),
+    ("seed", |w, d| w.seed ^= d),
+];
+
+/// Compile-time guard that [`SVC_MUTATORS`] stays exhaustive, like
+/// [`assert_mutators_cover_every_field`] for `SysParams`.
+fn assert_svc_mutators_cover_every_field(w: &Svc) -> usize {
+    let Svc {
+        requests: _,
+        mean_gap: _,
+        keys: _,
+        sessions: _,
+        put_permille: _,
+        session_permille: _,
+        skew_x100: _,
+        service_compute: _,
+        seed: _,
+    } = w;
+    9
+}
+
 fn job_with(params: SysParams) -> Job {
     Job {
         label: "probe".into(),
@@ -256,6 +294,28 @@ proptest! {
             iters: 1 + delta as usize,
         });
         prop_assert_ne!(base.cache_key(), other_workload.cache_key());
+    }
+
+    #[test]
+    fn any_single_svc_field_perturbation_changes_the_cache_key(delta in 1u64..900) {
+        let mut base = job_with(SysParams::default());
+        base.workload = WorkloadSpec::Svc(Svc::default());
+        let field_count = assert_svc_mutators_cover_every_field(&Svc::default());
+        prop_assert_eq!(SVC_MUTATORS.len(), field_count);
+
+        for (field, mutate) in SVC_MUTATORS {
+            let mut w = Svc::default();
+            mutate(&mut w, delta);
+            let mut perturbed = job_with(SysParams::default());
+            perturbed.workload = WorkloadSpec::Svc(w);
+            prop_assert_ne!(
+                base.cache_key(),
+                perturbed.cache_key(),
+                "perturbing Svc::{} (delta {}) did not change the cache key",
+                field,
+                delta
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use ncp2_bench::engine::{tier1_grid, Engine, RunRecord};
 use ncp2_bench::harness::ALL_MODE_LABELS;
 
-/// Runs the 6-apps × 8-modes tier-1 grid, profiled or not.
+/// Runs the 7-workloads × 8-modes tier-1 grid, profiled or not.
 fn run_grid(prof: bool) -> Vec<RunRecord> {
     let mut e = Engine::new().no_cache().silent();
     if prof {
@@ -22,7 +22,7 @@ fn prof_leaves_all_simulated_output_byte_identical() {
     let plain = run_grid(false);
     let profiled = run_grid(true);
     assert_eq!(plain.len(), profiled.len());
-    assert_eq!(plain.len(), 6 * ALL_MODE_LABELS.len());
+    assert_eq!(plain.len(), 7 * ALL_MODE_LABELS.len());
 
     for (p, q) in plain.iter().zip(&profiled) {
         let rep1 = p.report.clone().expect("tier-1 jobs are observed");

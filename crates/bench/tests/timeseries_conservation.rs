@@ -80,7 +80,7 @@ fn ts_grid(width: u64) -> Grid {
 fn every_counter_conserves_and_sums_are_width_invariant() {
     let fine = Engine::new().no_cache().silent().run(&ts_grid(1_024));
     let coarse = Engine::new().no_cache().silent().run(&ts_grid(16_384));
-    assert_eq!(fine.len(), 6 * ALL_MODE_LABELS.len());
+    assert_eq!(fine.len(), 7 * ALL_MODE_LABELS.len());
     for (f, c) in fine.iter().zip(&coarse) {
         assert_conserved(f);
         assert_conserved(c);

@@ -13,7 +13,7 @@ use ncp2_bench::engine::{tier1_grid, Engine, RunRecord};
 use ncp2_bench::harness::ALL_MODE_LABELS;
 use ncp2_obs::TimelineReport;
 
-/// Runs the 6-apps × 8-modes tier-1 grid with the recorder on or off.
+/// Runs the 7-workloads × 8-modes tier-1 grid with the recorder on or off.
 fn run_grid(timeseries: bool) -> Vec<RunRecord> {
     let mut grid = tier1_grid(&ALL_MODE_LABELS);
     for job in &mut grid.jobs {
@@ -28,7 +28,7 @@ fn recorder_leaves_all_simulated_output_byte_identical() {
     let plain = run_grid(false);
     let recorded = run_grid(true);
     assert_eq!(plain.len(), recorded.len());
-    assert_eq!(plain.len(), 6 * ALL_MODE_LABELS.len());
+    assert_eq!(plain.len(), 7 * ALL_MODE_LABELS.len());
 
     for (p, q) in plain.iter().zip(&recorded) {
         let rep1 = p.report.clone().expect("tier-1 jobs are observed");

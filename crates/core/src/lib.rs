@@ -37,6 +37,7 @@ pub mod aurc;
 pub mod bitvec;
 pub mod controller;
 pub mod diff;
+pub mod hist;
 pub mod interval;
 pub mod msg;
 pub mod observe;
@@ -57,6 +58,7 @@ pub mod vtime;
 
 pub use controller::Controller;
 pub use diff::Diff;
+pub use hist::LogHistogram;
 pub use interval::{IntervalAnnouncement, IntervalStore, Notice};
 #[cfg(feature = "fault")]
 pub use ncp2_fault::{self, FaultPlan};
@@ -66,7 +68,7 @@ pub use protocol::{OverlapMode, Protocol};
 pub use span::{
     CtrlCmd, DepEdge, EdgeKind, Engine, EngineSpan, Flight, ObsLog, Span, SpanId, SpanKind,
 };
-pub use stats::{FaultStats, NodeStats, RunResult, RETX_BUCKETS};
+pub use stats::{FaultStats, NodeStats, RunResult, SvcStats, RETX_BUCKETS};
 pub use system::Simulation;
 pub use timeseries::{
     LockHot, PageHot, TsCounter, TsGauge, TsLog, TsRecorder, WindowRow, TS_BASE_WIDTH,

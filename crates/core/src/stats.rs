@@ -111,6 +111,35 @@ impl FaultStats {
     }
 }
 
+/// Run-global counters for the open-loop service workload (`ncp2-svc`),
+/// accumulated by the back end from `ProcOp::Svc` lifecycle markers.
+/// `None` on [`RunResult`] unless the workload issued at least one service
+/// operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SvcStats {
+    /// Get requests completed.
+    pub gets: u64,
+    /// Put requests completed.
+    pub puts: u64,
+    /// Session requests completed.
+    pub sessions: u64,
+    /// Requests dequeued for service.
+    pub dequeues: u64,
+    /// Peak instantaneous backlog observed at any node (arrived but not
+    /// yet served, sampled at each dequeue).
+    pub queue_peak: u64,
+    /// Open-loop response times (completion − arrival, queueing included),
+    /// in simulated cycles.
+    pub response: crate::hist::LogHistogram,
+}
+
+impl SvcStats {
+    /// Total requests completed across all classes.
+    pub fn completed(&self) -> u64 {
+        self.gets + self.puts + self.sessions
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -143,6 +172,9 @@ pub struct RunResult {
     /// `obs` feature and recording was enabled via
     /// `Simulation::enable_timeseries`).
     pub ts: Option<crate::timeseries::TsLog>,
+    /// Open-loop service counters and response-time histogram (`None`
+    /// unless the workload issued `ProcOp::Svc` lifecycle markers).
+    pub svc: Option<SvcStats>,
 }
 
 impl RunResult {
@@ -215,6 +247,7 @@ mod tests {
             obs: None,
             fault: FaultStats::default(),
             ts: None,
+            svc: None,
         }
     }
 
@@ -262,5 +295,18 @@ mod tests {
         };
         let r = run(1, vec![a, b]);
         assert_eq!(r.prefetch_totals(), (15, 9));
+    }
+
+    #[test]
+    fn svc_stats_sum_classes() {
+        let mut s = SvcStats {
+            gets: 10,
+            puts: 3,
+            sessions: 2,
+            ..Default::default()
+        };
+        s.response.observe(100);
+        assert_eq!(s.completed(), 15);
+        assert_eq!(s.response.count(), 1);
     }
 }

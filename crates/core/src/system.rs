@@ -380,6 +380,10 @@ pub struct Simulation {
     pub(crate) done: usize,
     pub(crate) seq: bool,
     pub(crate) trace: Vec<crate::trace::TraceEvent>,
+    /// Open-loop service counters, lazily created by the first
+    /// [`ProcOp::Svc`] lifecycle marker (stays `None` for the closed-loop
+    /// kernels, so their results are bit-for-bit unchanged).
+    pub(crate) svc: Option<crate::stats::SvcStats>,
     /// Shadow checker receiving protocol events (`verify` feature only).
     #[cfg(feature = "verify")]
     pub(crate) observer: Option<Box<dyn crate::observe::Observer>>,
@@ -429,6 +433,7 @@ impl Simulation {
             done: 0,
             seq: n == 1,
             trace: Vec::new(),
+            svc: None,
             #[cfg(feature = "verify")]
             observer: None,
             #[cfg(feature = "verify")]
@@ -934,6 +939,7 @@ impl Simulation {
             obs,
             fault,
             ts,
+            svc: self.svc.take(),
         }
     }
 
@@ -986,6 +992,44 @@ impl Simulation {
                 self.nodes[pid].status = ProcStatus::Done;
                 self.done += 1;
                 harness.reply(pid, ProcReply::Ack);
+            }
+            ProcOp::Svc(svc_op) => {
+                let reply = self.svc_op(pid, svc_op);
+                harness.reply(pid, reply);
+            }
+        }
+    }
+
+    /// Handles a zero-time service-plane marker: clock reads answer from
+    /// the node clock, dequeue/reply markers accumulate the open-loop
+    /// service statistics and emit trace/time-series samples. Never blocks
+    /// and never advances simulated time.
+    fn svc_op(&mut self, pid: usize, op: ncp2_sim::SvcOp) -> ProcReply {
+        let now = self.nodes[pid].time;
+        match op {
+            ncp2_sim::SvcOp::Now => ProcReply::Value(now),
+            ncp2_sim::SvcOp::Dequeue { depth } => {
+                let svc = self.svc.get_or_insert_with(Default::default);
+                svc.dequeues += 1;
+                svc.queue_peak = svc.queue_peak.max(depth);
+                self.record(now, pid, crate::trace::TraceKind::SvcDequeue { depth });
+                self.ts_gauge(crate::timeseries::TsGauge::SvcQueueDepth, now, depth);
+                ProcReply::Ack
+            }
+            ncp2_sim::SvcOp::Reply { class, response } => {
+                let svc = self.svc.get_or_insert_with(Default::default);
+                match class {
+                    ncp2_sim::SvcClass::Get => svc.gets += 1,
+                    ncp2_sim::SvcClass::Put => svc.puts += 1,
+                    ncp2_sim::SvcClass::Session => svc.sessions += 1,
+                }
+                svc.response.observe(response);
+                self.record(
+                    now,
+                    pid,
+                    crate::trace::TraceKind::SvcReply { class, response },
+                );
+                ProcReply::Ack
             }
         }
     }

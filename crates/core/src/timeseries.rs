@@ -150,11 +150,14 @@ pub enum TsGauge {
     LockWaiters,
     /// Nodes parked at a barrier at a sample point.
     BarrierWaiters,
+    /// Open-loop service backlog (arrived but not yet served requests),
+    /// sampled at every service dequeue.
+    SvcQueueDepth,
 }
 
 impl TsGauge {
     /// Number of gauges (array dimension of [`WindowRow::gauges`]).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in rendering order (= discriminant order).
     pub const ALL: [TsGauge; Self::COUNT] = [
@@ -162,6 +165,7 @@ impl TsGauge {
         TsGauge::InflightFrames,
         TsGauge::LockWaiters,
         TsGauge::BarrierWaiters,
+        TsGauge::SvcQueueDepth,
     ];
 
     /// Stable snake_case label used by the exporters and assertion grammar.
@@ -171,6 +175,7 @@ impl TsGauge {
             TsGauge::InflightFrames => "inflight_frames",
             TsGauge::LockWaiters => "lock_waiters",
             TsGauge::BarrierWaiters => "barrier_waiters",
+            TsGauge::SvcQueueDepth => "svc_queue_depth",
         }
     }
 }

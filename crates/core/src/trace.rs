@@ -100,6 +100,18 @@ pub enum TraceKind {
         /// The page whose prefetch was shed.
         page: u64,
     },
+    /// The service workload dequeued a request for service.
+    SvcDequeue {
+        /// Backlog (arrived, not yet served) at this node after the dequeue.
+        depth: u64,
+    },
+    /// The service workload completed a request.
+    SvcReply {
+        /// Request class.
+        class: ncp2_sim::SvcClass,
+        /// Open-loop response time in cycles (completion minus arrival).
+        response: Cycles,
+    },
 }
 
 /// One timestamped protocol event at one node.
@@ -155,6 +167,10 @@ pub fn trace_csv(events: &[TraceEvent]) -> String {
                 ("duplicate_dropped".into(), src as u64, seq, false)
             }
             TraceKind::PrefetchShed { page } => ("prefetch_shed".into(), page, 0, true),
+            TraceKind::SvcDequeue { depth } => ("svc_dequeue".into(), depth, 0, false),
+            TraceKind::SvcReply { class, response } => {
+                (format!("svc_reply_{}", class.label()), response, 0, false)
+            }
         };
         out.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -291,5 +307,27 @@ mod tests {
         assert!(csv.contains("11,0,retransmit,7,2,0"), "{csv}");
         assert!(csv.contains("12,3,duplicate_dropped,0,7,0"), "{csv}");
         assert!(csv.contains("13,1,prefetch_shed,42,0,1"), "{csv}");
+    }
+
+    #[test]
+    fn service_event_kinds_render() {
+        let events = vec![
+            TraceEvent {
+                time: 20,
+                node: 2,
+                kind: TraceKind::SvcDequeue { depth: 5 },
+            },
+            TraceEvent {
+                time: 25,
+                node: 2,
+                kind: TraceKind::SvcReply {
+                    class: ncp2_sim::SvcClass::Session,
+                    response: 450,
+                },
+            },
+        ];
+        let csv = trace_csv(&events);
+        assert!(csv.contains("20,2,svc_dequeue,5,0,0"), "{csv}");
+        assert!(csv.contains("25,2,svc_reply_session,450,0,0"), "{csv}");
     }
 }

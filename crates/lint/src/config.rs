@@ -33,6 +33,7 @@ pub const CYCLE_CAST_DIRS: &[&str] = &[
     "crates/mem/src",
     "crates/stats/src",
     "crates/obs/src",
+    "crates/svc/src",
 ];
 
 /// Crates that must never read wall-clock time: the simulation and
@@ -43,6 +44,7 @@ pub const SIMULATED_TIME_DIRS: &[&str] = &[
     "crates/obs/src",
     "crates/fault/src",
     "crates/verify/src",
+    "crates/svc/src",
 ];
 
 /// Directory whose binaries must route every simulation through the
@@ -80,6 +82,7 @@ pub const DETERMINISTIC_OUTPUT_DIRS: &[&str] = &[
     "crates/bench/src",
     "crates/lint/src",
     "crates/prof/src",
+    "crates/svc/src",
 ];
 
 /// Crates policed by `feature-hook-hygiene`. `crates/prof/src` is here for
@@ -127,7 +130,13 @@ pub const CYCLE_ARITH_DIRS: &[&str] = &[
     "crates/net/src",
     "crates/mem/src",
     "crates/obs/src",
+    "crates/svc/src",
 ];
+
+/// The open-loop service crate: arrival-time arithmetic there must cite
+/// simulated-`Cycles` types or a `// clock:` justification
+/// (`open-loop-clock`) — response times are cycle deltas, never host time.
+pub const OPEN_LOOP_DIRS: &[&str] = &["crates/svc/src"];
 
 /// True when `rel` lives under any of `dirs`.
 pub fn in_dirs(rel: &str, dirs: &[&str]) -> bool {

@@ -20,7 +20,9 @@ pub use determinism::NondeterministicIteration;
 pub use panics::{ForbiddenPanic, UncheckedIndex, UndocumentedPanic};
 pub use perf::LinearScanInHotPath;
 pub use protocol::{EngineBypass, FeatureHookHygiene, UnanchoredEdge, UnboundedRetry};
-pub use timing::{SaturatingCycleArith, TruncatingCycleCast, WallClockInSim, WindowBoundaryDiv};
+pub use timing::{
+    OpenLoopClock, SaturatingCycleArith, TruncatingCycleCast, WallClockInSim, WindowBoundaryDiv,
+};
 
 /// Catalog-only entries for the two meta rules the engine enforces itself
 /// (they are not suppressible, so they never run as ordinary checks).
@@ -54,6 +56,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
             summary: "every `lint: allow(…)` must name known rules and carry a `-- reason`",
         }),
         Box::new(NondeterministicIteration),
+        Box::new(OpenLoopClock),
         Box::new(SaturatingCycleArith),
         Box::new(TruncatingCycleCast),
         Box::new(UnanchoredEdge),

@@ -2,7 +2,8 @@
 //! without justification, or come from the wall clock.
 
 use crate::config::{
-    in_dirs, CYCLE_ARITH_DIRS, CYCLE_CAST_DIRS, SIMULATED_TIME_DIRS, WINDOW_MATH_DIRS,
+    in_dirs, CYCLE_ARITH_DIRS, CYCLE_CAST_DIRS, OPEN_LOOP_DIRS, SIMULATED_TIME_DIRS,
+    WINDOW_MATH_DIRS,
 };
 use crate::diag::Diagnostic;
 use crate::engine::{FileCtx, Rule};
@@ -118,6 +119,74 @@ impl Rule for WindowBoundaryDiv {
                     ),
                 );
             }
+        }
+    }
+}
+
+/// Identifier fragments that mark a value as open-loop clock state:
+/// arrival times, inter-arrival gaps, deadlines, the stream clock.
+const CLOCK_IDENT_PARTS: &[&str] = &["clock", "gap", "arrival", "deadline"];
+
+/// Identifiers that are clock state only as exact names (`at` is the
+/// arrival-time field; substring matching would catch half the language).
+const CLOCK_IDENT_EXACT: &[&str] = &["at"];
+
+/// Binary arithmetic operators policed by [`OpenLoopClock`]. Comparisons
+/// and shifts are deliberately absent: ordering checks are unit-safe, and
+/// the fixed-point shift pipeline cites `Cycles` at its ends.
+const CLOCK_ARITH_OPS: &[char] = &['+', '-', '*', '/', '%'];
+
+/// `open-loop-clock`: arrival-time arithmetic in the open-loop service
+/// crate must visibly be simulated-cycle math. A line that combines clock
+/// state (arrival times, gaps, deadlines) with arithmetic must cite the
+/// `Cycles` type on the line or carry a `// clock:` comment saying why the
+/// units are right — the one thing an open-loop measurement cannot survive
+/// is host wall-clock (or unit-confused) time sneaking into the stream.
+pub struct OpenLoopClock;
+
+impl Rule for OpenLoopClock {
+    fn id(&self) -> &'static str {
+        "open-loop-clock"
+    }
+    fn summary(&self) -> &'static str {
+        "arrival/clock arithmetic in the service crate must cite `Cycles` or a `// clock:` comment"
+    }
+    fn applies(&self, rel: &str) -> bool {
+        in_dirs(rel, OPEN_LOOP_DIRS)
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let mut done_line = 0;
+        for t in &ctx.code {
+            if t.line == done_line || t.kind != TokKind::Ident {
+                continue;
+            }
+            let lower = t.text.to_ascii_lowercase();
+            let clockish = CLOCK_IDENT_EXACT.contains(&lower.as_str())
+                || CLOCK_IDENT_PARTS.iter().any(|p| lower.contains(p));
+            if !clockish {
+                continue;
+            }
+            let line = ctx.code_on_line(t.line);
+            // `->` lexes as `-` `>`: a return-type arrow is not arithmetic.
+            let has_arith = line.iter().enumerate().any(|(j, o)| {
+                CLOCK_ARITH_OPS.iter().any(|&c| o.is_punct(c))
+                    && !(o.is_punct('-') && line.get(j + 1).is_some_and(|n| n.is_punct('>')))
+            });
+            if !has_arith || line.iter().any(|o| o.is_ident("Cycles")) {
+                continue;
+            }
+            if !ctx.justified(t.line, "clock:") {
+                out.push(ctx.diag(
+                    t,
+                    self.id(),
+                    format!(
+                        "arithmetic on clock state `{}` without a `Cycles` type \
+                         citation or a `// clock:` comment",
+                        t.text
+                    ),
+                ));
+            }
+            done_line = t.line;
         }
     }
 }

@@ -576,6 +576,62 @@ fn rate(count: u64, window_width: u64) -> u64 {
 }
 
 #[test]
+fn open_loop_clock() {
+    let rel = "crates/svc/src/arrival.rs";
+    fires(
+        rel,
+        r#"
+fn advance(clock: u64, gap: u64) -> u64 {
+    clock + gap
+}
+"#,
+        "open-loop-clock",
+    );
+    // Citing the simulated-cycle type on the line is the fix...
+    clean(
+        rel,
+        r#"
+fn advance(clock: Cycles, gap: Cycles) -> Cycles {
+    let next: Cycles = clock + gap;
+    next
+}
+"#,
+        "open-loop-clock",
+    );
+    // ...or a `// clock:` comment saying why the units are right.
+    clean(
+        rel,
+        r#"
+fn advance(&mut self) {
+    // clock: cumulative sum of simulated-cycle gaps (both fields Cycles).
+    self.clock += self.gap;
+}
+"#,
+        "open-loop-clock",
+    );
+    // Comparisons are unit-safe; only arithmetic is policed.
+    clean(
+        rel,
+        r#"
+fn behind(clock: u64, deadline: u64) -> bool {
+    clock >= deadline
+}
+"#,
+        "open-loop-clock",
+    );
+    // Outside the service crate the rule does not apply.
+    clean(
+        "crates/core/src/system.rs",
+        r#"
+fn advance(clock: u64, gap: u64) -> u64 {
+    clock + gap
+}
+"#,
+        "open-loop-clock",
+    );
+}
+
+#[test]
 fn every_registered_rule_has_a_fixture_here() {
     // Keep this file honest: a new rule must add its fixture pair.
     let covered = [
@@ -585,6 +641,7 @@ fn every_registered_rule_has_a_fixture_here() {
         "linear-scan-in-hot-path",
         "malformed-suppression",
         "nondeterministic-iteration",
+        "open-loop-clock",
         "truncating-cycle-cast",
         "unanchored-edge",
         "unbounded-retry",

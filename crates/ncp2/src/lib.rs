@@ -37,7 +37,7 @@ pub use ncp2_stats as stats;
 /// Everything needed to run and report an experiment.
 pub mod prelude {
     pub use ncp2_apps::{
-        run_app, sequential_baseline, Barnes, Ctx, Em3d, Ocean, Radix, Tsp, Water, Workload,
+        run_app, sequential_baseline, Barnes, Ctx, Em3d, Ocean, Radix, Svc, Tsp, Water, Workload,
     };
     pub use ncp2_core::{OverlapMode, Protocol, RunResult, Simulation};
     pub use ncp2_sim::{Breakdown, Category, Cycles, SysParams};

@@ -76,6 +76,10 @@ fn instant_name(kind: &TraceKind) -> String {
         }
         TraceKind::DuplicateDropped { src, seq } => format!("duplicate_dropped s{src} q{seq}"),
         TraceKind::PrefetchShed { page } => format!("prefetch_shed p{page}"),
+        TraceKind::SvcDequeue { depth } => format!("svc_dequeue d{depth}"),
+        TraceKind::SvcReply { class, response } => {
+            format!("svc_reply_{} r{response}", class.label())
+        }
     }
 }
 
@@ -293,6 +297,7 @@ mod tests {
             violations: Vec::new(),
             obs: None,
             ts: None,
+            svc: None,
             fault: Default::default(),
         }
     }

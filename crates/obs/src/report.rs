@@ -189,11 +189,22 @@ impl MetricsReport {
                 hs[6].observe(d);
             }
         }
-        let hists = HIST_NAMES
+        let mut hists: Vec<(String, HistSummary)> = HIST_NAMES
             .iter()
             .zip(&hs)
             .map(|(n, h)| (n.to_string(), HistSummary::of(h)))
             .collect();
+        // Service workloads: response-time distribution plus request
+        // counters. These rows only exist when the run issued svc markers,
+        // so the six closed-loop kernels keep byte-identical reports.
+        if let Some(svc) = &r.svc {
+            counters.push(("svc_completed".into(), svc.completed()));
+            counters.push(("svc_gets".into(), svc.gets));
+            counters.push(("svc_puts".into(), svc.puts));
+            counters.push(("svc_sessions".into(), svc.sessions));
+            counters.push(("svc_queue_peak".into(), svc.queue_peak));
+            hists.push(("svc_response".into(), HistSummary::of(&svc.response)));
+        }
 
         MetricsReport {
             name: name.to_string(),

@@ -35,13 +35,59 @@ pub enum ProcOp {
     Barrier(BarrierId),
     /// The workload on this processor is finished.
     Finish,
+    /// A service-plane operation (clock read, request lifecycle marker).
+    /// Never blocks and consumes zero simulated time; it exists so the
+    /// open-loop service workload can observe the node clock and report
+    /// per-request response times to the back end.
+    Svc(SvcOp),
+}
+
+/// Request class served by the open-loop service workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SvcClass {
+    /// Read-mostly catalog lookup.
+    Get,
+    /// Key-value update.
+    Put,
+    /// Migratory session mutation pinned by a DSM lock.
+    Session,
+}
+
+impl SvcClass {
+    /// Stable lowercase label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SvcClass::Get => "get",
+            SvcClass::Put => "put",
+            SvcClass::Session => "session",
+        }
+    }
+}
+
+/// Service-plane operations issued by the open-loop service workload.
+///
+/// All of them complete instantly in simulated time (the back end replies
+/// without advancing the node clock); their purpose is observation, not
+/// simulation work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcOp {
+    /// Read the issuing node's current simulated clock.
+    Now,
+    /// A request was dequeued for service; `depth` is the number of
+    /// already-arrived, not-yet-served requests at this node *after* the
+    /// dequeue (the instantaneous backlog).
+    Dequeue { depth: u64 },
+    /// A request finished service; `response` is its full open-loop
+    /// response time (completion minus *arrival*, queueing included).
+    Reply { class: SvcClass, response: Cycles },
 }
 
 impl ProcOp {
     /// Whether this operation can block the issuing processor on remote
-    /// state (everything except pure computation and `Finish`).
+    /// state (everything except pure computation, `Finish`, and the
+    /// zero-time service-plane markers).
     pub fn may_block(&self) -> bool {
-        !matches!(self, ProcOp::Compute(_) | ProcOp::Finish)
+        !matches!(self, ProcOp::Compute(_) | ProcOp::Finish | ProcOp::Svc(_))
     }
 }
 
@@ -87,6 +133,20 @@ mod tests {
         assert!(ProcOp::Lock(0).may_block());
         assert!(ProcOp::Unlock(0).may_block());
         assert!(ProcOp::Barrier(0).may_block());
+        assert!(!ProcOp::Svc(SvcOp::Now).may_block());
+        assert!(!ProcOp::Svc(SvcOp::Dequeue { depth: 3 }).may_block());
+        assert!(!ProcOp::Svc(SvcOp::Reply {
+            class: SvcClass::Get,
+            response: 100
+        })
+        .may_block());
+    }
+
+    #[test]
+    fn svc_class_labels_are_stable() {
+        assert_eq!(SvcClass::Get.label(), "get");
+        assert_eq!(SvcClass::Put.label(), "put");
+        assert_eq!(SvcClass::Session.label(), "session");
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Zipf-skewed keyspace model and pure-function request classification.
+//!
+//! Services do not touch keys uniformly: a few catalog entries are hot, the
+//! long tail is cold. [`Keyspace`] models this with Zipf weights
+//! `w(rank) = rank^(−s)` computed entirely in integer fixed point (a
+//! linear-mantissa `log2` and a linear-mantissa `exp2`, each within ~6% —
+//! plenty for a skew model, and bit-identical on every host, unlike `powf`).
+//!
+//! [`ReqMix`] classifies each request (get / put / session) as a pure
+//! function of its global sequence number, so the multiset of DSM updates a
+//! stream performs is independent of processor count and of the order in
+//! which nodes happen to serve requests.
+
+use ncp2_sim::{SimRng, SvcClass};
+
+/// `log2(x)` in 16.16 fixed point, linear-mantissa approximation.
+fn log2_fp(x: u64) -> u64 {
+    debug_assert!(x > 0);
+    let m = 63 - x.leading_zeros() as u64;
+    let f_fp = if m >= 16 {
+        (x - (1 << m)) >> (m - 16)
+    } else {
+        (x - (1 << m)) << (16 - m)
+    };
+    (m << 16) + f_fp
+}
+
+/// Zipf weight of `rank` (1-based) with exponent `skew_x100 / 100`,
+/// as an integer scaled so `rank 1` weighs `2^40`.
+fn zipf_weight(rank: u64, skew_x100: u32) -> u64 {
+    // e = s · log2(rank) in 16.16 fixed point.
+    let e = log2_fp(rank) * skew_x100 as u64 / 100;
+    let k = e >> 16;
+    let frac = e & 0xFFFF;
+    // 2^e ≈ (1 + frac) · 2^k in 16.16 fixed point (linear mantissa).
+    let denom = ((1u64 << 16) + frac) << k;
+    (1u64 << 56) / denom
+}
+
+/// A Zipf-skewed keyspace of `keys` integer keys (ranks `0..keys`, rank 0
+/// hottest).
+///
+/// Construction allocates the cumulative weight table once; sampling is a
+/// branch-free binary search with zero allocation.
+///
+/// ```
+/// use ncp2_sim::SimRng;
+/// use ncp2_svc::Keyspace;
+/// let ks = Keyspace::new(1000, 90); // s = 0.9
+/// let mut rng = SimRng::new(1);
+/// let k = ks.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyspace {
+    cum: Vec<u64>,
+}
+
+impl Keyspace {
+    /// Builds a keyspace of `keys` keys with Zipf exponent
+    /// `skew_x100 / 100` (0 = uniform, 100 = classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn new(keys: usize, skew_x100: u32) -> Self {
+        assert!(keys > 0, "keyspace must be non-empty");
+        let mut cum = Vec::with_capacity(keys);
+        let mut total = 0u64;
+        for rank in 1..=keys as u64 {
+            total += zipf_weight(rank, skew_x100);
+            cum.push(total);
+        }
+        Keyspace { cum }
+    }
+
+    /// Number of keys.
+    pub fn keys(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Draws one key (`0..keys()`, 0 hottest). Deterministic given the RNG
+    /// state; allocation-free.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cum.last().expect("non-empty by construction");
+        let r = rng.next_below(total);
+        self.cum.partition_point(|&c| c <= r)
+    }
+}
+
+/// Request-class mix in permille of the stream.
+///
+/// Classification is a pure function of `(seed, seq)` — see
+/// [`ReqMix::class_of`] — so any node serving request `seq` performs the
+/// same class of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqMix {
+    /// Put (key-value update) share, permille.
+    pub put_permille: u32,
+    /// Session (migratory lock-pinned mutation) share, permille.
+    pub session_permille: u32,
+}
+
+impl ReqMix {
+    /// The class of request `seq` under stream seed `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix shares exceed 1000 permille.
+    pub fn class_of(&self, seed: u64, seq: u64) -> SvcClass {
+        assert!(
+            self.put_permille + self.session_permille <= 1000,
+            "request mix exceeds 1000 permille"
+        );
+        let mut rng = SimRng::new(seed ^ seq.wrapping_mul(0xD6E8_FEB8_6659_FD93)); // overflow: hash mixing
+        let roll = rng.next_below(1000) as u32;
+        if roll < self.session_permille {
+            SvcClass::Session
+        } else if roll < self.session_permille + self.put_permille {
+            SvcClass::Put
+        } else {
+            SvcClass::Get
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rank_one_is_hottest() {
+        assert_eq!(zipf_weight(1, 100), 1 << 40);
+        assert!(zipf_weight(1, 100) > zipf_weight(2, 100));
+        assert!(zipf_weight(2, 100) > zipf_weight(10, 100));
+        // s = 1: w(2) should be about half of w(1).
+        let ratio = zipf_weight(1, 100) / zipf_weight(2, 100);
+        assert_eq!(ratio, 2);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        for rank in [1u64, 2, 17, 1000] {
+            assert_eq!(zipf_weight(rank, 0), 1 << 40);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_skewed() {
+        let ks = Keyspace::new(100, 100);
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let xs: Vec<usize> = (0..1000).map(|_| ks.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..1000).map(|_| ks.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        // Key 0 should dominate any single cold key by a wide margin.
+        let hot = xs.iter().filter(|&&k| k == 0).count();
+        let cold = xs.iter().filter(|&&k| k == 99).count();
+        assert!(hot > 10 * cold.max(1), "hot {hot} vs cold {cold}");
+        assert!(xs.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn class_mix_roughly_matches_permille() {
+        let mix = ReqMix {
+            put_permille: 200,
+            session_permille: 100,
+        };
+        let mut counts = [0u64; 3];
+        for seq in 0..10_000 {
+            match mix.class_of(1234, seq) {
+                SvcClass::Get => counts[0] += 1,
+                SvcClass::Put => counts[1] += 1,
+                SvcClass::Session => counts[2] += 1,
+            }
+        }
+        assert!((6500..=7500).contains(&counts[0]), "gets {}", counts[0]);
+        assert!((1700..=2300).contains(&counts[1]), "puts {}", counts[1]);
+        assert!((800..=1200).contains(&counts[2]), "sessions {}", counts[2]);
+        // Pure function: same (seed, seq) always classifies the same.
+        assert_eq!(mix.class_of(7, 42), mix.class_of(7, 42));
+    }
+}

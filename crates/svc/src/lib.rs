@@ -1,0 +1,34 @@
+//! # ncp2-svc — the open-loop service plane of the NCP2 DSM study
+//!
+//! The paper evaluates latency hiding (`I`/`D`/`P`) on closed-loop
+//! SPLASH-style kernels: every processor is always either computing or
+//! blocked on the DSM, so "time" is service time. A *service* is different:
+//! requests keep arriving whether or not the system keeps up, so queueing
+//! delay exists and the interesting observable is the **response time**
+//! (completion − arrival), not the service time. This crate supplies the
+//! deterministic open-loop machinery that turns the simulated DSM cluster
+//! into such a service:
+//!
+//! * [`ArrivalStream`] — a seeded, rate-parameterized, bounded-reorder
+//!   pseudo-Poisson arrival process in **simulated cycles**. Like
+//!   `ncp2_fault::FaultPlan` it is reproducible by construction: the stream
+//!   is a pure function of `(seed, mean_gap, count)` and is byte-identical
+//!   at any processor count.
+//! * [`Keyspace`] — a Zipf hot-key skew model over integer key ranks,
+//!   sampled with integer-only fixed-point arithmetic (no `libm`, so the
+//!   weights are identical on every host).
+//! * [`ReqMix`] / [`node_of`] — pure-function request classification
+//!   (get / put / session) and request→node assignment, both keyed off the
+//!   request sequence number alone so the multiset of DSM updates is
+//!   independent of processor count and service order.
+//!
+//! The `SvcWorkload` in `ncp2-apps` drives a simulated node per processor:
+//! it replays this stream, serves each request against shared DSM pages and
+//! reports per-request response times back to the simulation via
+//! `ProcOp::Svc` lifecycle markers.
+
+pub mod arrival;
+pub mod keyspace;
+
+pub use arrival::{node_of, Arrival, ArrivalStream, Arrivals, REORDER_WINDOW};
+pub use keyspace::{Keyspace, ReqMix};

@@ -1,0 +1,104 @@
+//! Property-based tests for the open-loop arrival stream: the four
+//! determinism guarantees the service study rests on (same-seed
+//! byte-identical streams, monotone timestamps, mean-rate convergence
+//! within the documented bound, and invariance under processor count).
+
+use ncp2_svc::{node_of, Arrival, ArrivalStream, REORDER_WINDOW};
+use proptest::prelude::*;
+
+proptest! {
+    /// Two iterations of the same stream value are byte-identical.
+    #[test]
+    fn same_seed_streams_are_identical(
+        seed in any::<u64>(),
+        mean_gap in 1u64..10_000,
+        count in 0u64..2_000
+    ) {
+        let s = ArrivalStream::new(seed, mean_gap, count);
+        let a: Vec<Arrival> = s.iter().collect();
+        let b: Vec<Arrival> = s.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arrival timestamps never decrease, whatever the parameters.
+    #[test]
+    fn timestamps_are_monotone_non_decreasing(
+        seed in any::<u64>(),
+        mean_gap in 1u64..100_000,
+        count in 1u64..2_000
+    ) {
+        let mut last = 0u64;
+        for a in ArrivalStream::new(seed, mean_gap, count).iter() {
+            prop_assert!(a.at >= last, "clock regressed at seq {}", a.seq);
+            last = a.at;
+        }
+    }
+
+    /// Sequence numbers are a permutation of 0..count that strays less
+    /// than one reorder window from sorted order.
+    #[test]
+    fn seqs_are_bounded_reorder_permutation(
+        seed in any::<u64>(),
+        mean_gap in 1u64..1_000,
+        count in 1u64..1_000
+    ) {
+        let seqs: Vec<u64> = ArrivalStream::new(seed, mean_gap, count)
+            .iter()
+            .map(|a| a.seq)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..count).collect::<Vec<_>>());
+        for (slot, &seq) in seqs.iter().enumerate() {
+            let stray = (seq as i64 - slot as i64).unsigned_abs() as usize;
+            prop_assert!(stray < REORDER_WINDOW, "seq {seq} strayed {stray} slots");
+        }
+    }
+
+    /// The empirical mean gap converges to the configured mean within the
+    /// documented 2% bound (at 1e5 draws; smaller streams get a looser
+    /// noise allowance of σ/√n ≈ 1/√n relative error, times 4 for safety).
+    #[test]
+    fn mean_rate_converges_within_bound(
+        seed in any::<u64>(),
+        mean_gap in 100u64..10_000
+    ) {
+        let count = 20_000u64;
+        let last = ArrivalStream::new(seed, mean_gap, count)
+            .iter()
+            .last()
+            .unwrap();
+        let empirical = last.at / count;
+        // 4σ noise at n = 2e4 is ~2.8%; allow 4%.
+        let lo = mean_gap * 96 / 100;
+        let hi = mean_gap * 104 / 100;
+        prop_assert!(
+            (lo..=hi).contains(&empirical),
+            "mean gap {empirical} outside [{lo}, {hi}]"
+        );
+    }
+
+    /// Node assignment partitions the identical global stream at every
+    /// processor count: the stream value never depends on nprocs.
+    #[test]
+    fn stream_is_invariant_under_processor_count(
+        seed in any::<u64>(),
+        mean_gap in 1u64..1_000,
+        count in 1u64..500,
+        nprocs in 1usize..16
+    ) {
+        let s = ArrivalStream::new(seed, mean_gap, count);
+        let global: Vec<Arrival> = s.iter().collect();
+        // Each request is served by exactly one node, and that node sees
+        // exactly the global stream restricted to its assignment.
+        let mut covered = vec![false; count as usize];
+        for pid in 0..nprocs {
+            for a in s.iter().filter(|a| node_of(a.seq, nprocs) == pid) {
+                prop_assert!(!covered[a.seq as usize], "seq {} served twice", a.seq);
+                covered[a.seq as usize] = true;
+                prop_assert_eq!(global[global.iter().position(|g| g.seq == a.seq).unwrap()], a);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "some request unserved");
+    }
+}
